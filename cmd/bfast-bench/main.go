@@ -1,0 +1,56 @@
+// Command bfast-bench regenerates the tables and figures of the paper's
+// evaluation (Table I, Figs. 6/7/8/10, the change maps of Figs. 3/9, the
+// §V-B speed-ups and the §V-C monitoring-period sweep), printing the
+// paper's reported values next to the reproduced ones. See DESIGN.md for
+// the experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	bfast-bench -exp all
+//	bfast-bench -exp fig6 -sample 8192 -datasets D1,D6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bfast/internal/benchutil"
+	"bfast/internal/gpusim"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: "+strings.Join(benchutil.Experiments(), ", ")+", or all")
+		sample   = flag.Int("sample", 4096, "pixel sample size per dataset")
+		datasets = flag.String("datasets", "", "comma-separated Table I subset (default all)")
+		device   = flag.String("device", "rtx2080ti", "simulated device: rtx2080ti or titanz")
+		workers  = flag.Int("workers", 0, "host workers for measured baselines (0 = all cores)")
+		mapsDir  = flag.String("maps-dir", "", "write PPM/PGM maps here (maps experiment)")
+	)
+	flag.Parse()
+
+	cfg := benchutil.Config{
+		Out:     os.Stdout,
+		SampleM: *sample,
+		Workers: *workers,
+		MapsDir: *mapsDir,
+	}
+	switch *device {
+	case "rtx2080ti":
+		cfg.Profile = gpusim.RTX2080Ti()
+	case "titanz":
+		cfg.Profile = gpusim.TitanZ()
+	default:
+		fmt.Fprintf(os.Stderr, "bfast-bench: unknown device %q\n", *device)
+		os.Exit(2)
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if err := benchutil.Run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "bfast-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command bfast-critval computes MOSUM monitoring critical values by
+// Monte Carlo simulation of the full monitoring procedure (history fit,
+// out-of-sample residuals, normalized moving sums). It regenerates the
+// table embedded in internal/stats and computes λ for configurations the
+// table does not cover (longer monitoring horizons, other window
+// fractions, other model orders).
+//
+// Usage:
+//
+//	bfast-critval                         # regenerate the embedded table
+//	bfast-critval -h-frac 0.25 -period 4 -levels 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bfast/internal/stats"
+)
+
+func main() {
+	var (
+		hFrac     = flag.Float64("h-frac", 0, "window fraction (0 = sweep 0.25, 0.5, 1.0)")
+		levelsArg = flag.String("levels", "0.20,0.10,0.05,0.01", "comma-separated significance levels")
+		period    = flag.Float64("period", 2, "monitoring horizon as (history+monitoring)/history")
+		n         = flag.Int("n", 250, "history length of the discretization")
+		reps      = flag.Int("reps", 60000, "Monte Carlo replications")
+		seed      = flag.Int64("seed", 12345, "simulation seed")
+		harmonics = flag.Int("harmonics", 3, "harmonic terms of the fitted model")
+		freq      = flag.Float64("freq", 23, "observations per season cycle")
+		boundary  = flag.String("boundary", "paper", "boundary shape: paper or strucchange (MOSUM only)")
+		process   = flag.String("process", "mosum", "fluctuation process: mosum or cusum")
+	)
+	flag.Parse()
+
+	var levels []float64
+	for _, s := range strings.Split(*levelsArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad level %q: %w", s, err))
+		}
+		levels = append(levels, v)
+	}
+	kind := stats.BoundaryPaper
+	switch *boundary {
+	case "paper":
+	case "strucchange":
+		kind = stats.BoundaryStrucchange
+	default:
+		fatal(fmt.Errorf("unknown boundary %q", *boundary))
+	}
+	cfg := stats.SimConfig{
+		N: *n, Period: *period, Reps: *reps, Seed: *seed,
+		Harmonics: *harmonics, Frequency: *freq,
+	}
+	switch *process {
+	case "mosum":
+	case "cusum":
+		cfg.Process = stats.ProcessCUSUM
+	default:
+		fatal(fmt.Errorf("unknown process %q", *process))
+	}
+
+	hs := []float64{0.25, 0.5, 1.0}
+	if *hFrac > 0 {
+		hs = []float64{*hFrac}
+	}
+	fmt.Printf("process=%v boundary=%v period=%g n=%d reps=%d harmonics=%d\n",
+		cfg.Process, kind, cfg.Period, cfg.N, cfg.Reps, cfg.Harmonics)
+	fmt.Printf("%-8s", "h")
+	for _, lv := range levels {
+		fmt.Printf(" %10.2f", lv)
+	}
+	fmt.Println()
+	for _, h := range hs {
+		vals, err := stats.SimulateCriticalValues(kind, h, levels, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8.2f", h)
+		for _, v := range vals {
+			fmt.Printf(" %10.4f", v)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfast-critval:", err)
+	os.Exit(1)
+}

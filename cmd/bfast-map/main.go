@@ -1,0 +1,134 @@
+// Command bfast-map inspects cube files: it prints the cube's shape and
+// missing-value statistics and can render a single date slice (values and
+// cloud mask) as PGM images — handy for eyeballing generated scenes before
+// a long run.
+//
+// Usage:
+//
+//	bfast-map -in scene.bfc
+//	bfast-map -in scene.bfc -slice 42 -out slice42.pgm -mask-out mask42.pgm
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"bfast"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input cube file (required)")
+		slice   = flag.Int("slice", -1, "date index to render (-1 = stats only)")
+		out     = flag.String("out", "slice.pgm", "values image output (with -slice)")
+		maskOut = flag.String("mask-out", "", "optional mask image output (with -slice)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "bfast-map: -in is required")
+		os.Exit(2)
+	}
+	c, err := bfast.ReadCubeFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	missing := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range c.Values {
+		if math.IsNaN(v) {
+			missing++
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	fmt.Printf("%s: %dx%d pixels, %d dates, %.1f%% missing, values [%.3f, %.3f]\n",
+		*in, c.Width, c.Height, c.Dates,
+		100*float64(missing)/float64(len(c.Values)), lo, hi)
+
+	if *slice < 0 {
+		return
+	}
+	if *slice >= c.Dates {
+		fatal(fmt.Errorf("slice %d out of range (cube has %d dates)", *slice, c.Dates))
+	}
+	if err := writeSlicePGM(c, *slice, *out, lo, hi); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("slice %d values: %s\n", *slice, *out)
+	if *maskOut != "" {
+		if err := writeMaskPGM(c, *slice, *maskOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("slice %d mask:   %s\n", *slice, *maskOut)
+	}
+}
+
+func writeSlicePGM(c *bfast.Cube, t int, path string, lo, hi float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "P5\n%d %d\n255\n", c.Width, c.Height)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for y := 0; y < c.Height; y++ {
+		for x := 0; x < c.Width; x++ {
+			v := c.At(x, y, t)
+			var b byte
+			if !math.IsNaN(v) {
+				g := 1 + 254*(v-lo)/span
+				if g < 1 {
+					g = 1
+				}
+				if g > 255 {
+					g = 255
+				}
+				b = byte(g)
+			}
+			if err := w.WriteByte(b); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+func writeMaskPGM(c *bfast.Cube, t int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "P5\n%d %d\n255\n", c.Width, c.Height)
+	for y := 0; y < c.Height; y++ {
+		for x := 0; x < c.Width; x++ {
+			var b byte = 255
+			if math.IsNaN(c.At(x, y, t)) {
+				b = 0
+			}
+			if err := w.WriteByte(b); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfast-map:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Command bfast-serve runs the BFAST-Monitor HTTP service: per-pixel
+// detection, trace and batch endpoints over JSON (null = missing value).
+//
+// Usage:
+//
+//	bfast-serve -addr :8080
+//	curl -s localhost:8080/v1/detect -d '{"series":[0.8,0.81,null,0.79,...],"history":113}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"bfast/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+	}
+	fmt.Printf("bfast-serve listening on %s (POST /v1/detect, /v1/trace, /v1/batch)\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,66 @@
+// Command bfast-stack assembles single-date float32 TIFF images into a
+// cube file for bfast-run — the scene-preparation step of the paper's
+// pipeline (§III-D). Images are ordered by the acquisition date stored in
+// their ImageDescription tag (RFC 3339); empty images (every pixel NaN)
+// can be dropped up front, mirroring the Africa preprocessing.
+//
+// Usage:
+//
+//	bfast-stack -out scene.bfc img1.tif img2.tif ...
+//	bfast-stack -out scene.bfc -drop-empty scenes/*.tif
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bfast/internal/geotiff"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "output cube file (required)")
+		dropEmpty = flag.Bool("drop-empty", false, "skip images whose every pixel is NaN")
+	)
+	flag.Parse()
+	if *out == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "bfast-stack: -out and at least one TIFF are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var images []*geotiff.Image
+	dropped := 0
+	for _, path := range flag.Args() {
+		im, err := geotiff.ReadFile(path)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if *dropEmpty && im.IsEmpty() {
+			dropped++
+			continue
+		}
+		images = append(images, im)
+	}
+	if len(images) == 0 {
+		fatal(fmt.Errorf("no non-empty images among %d inputs", flag.NArg()))
+	}
+	c, axis, err := geotiff.Stack(images)
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %dx%d pixels, %d dates (%s .. %s), %d empty images dropped\n",
+		*out, c.Width, c.Height, c.Dates,
+		axis.Times[0].Format("2006-01-02"),
+		axis.Times[axis.Len()-1].Format("2006-01-02"),
+		dropped)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfast-stack:", err)
+	os.Exit(1)
+}

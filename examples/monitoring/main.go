@@ -1,0 +1,80 @@
+// Monitoring-period sweep: the §V-C experiment of the paper at example
+// scale. The same scene is analyzed with consecutive one-year monitoring
+// periods (2010-2011, 2011-2012, …): each run extends the history by one
+// year and monitors the following year, so a deforestation event shows up
+// as a break exactly in the period covering it. The example prints, per
+// period, how many breaks were found, how many indicate vegetation loss,
+// and how that compares with the events injected in that year.
+//
+// Run with: go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfast"
+)
+
+func main() {
+	const yearDates = 23 // 16-day composites per year
+	spec := bfast.SceneSpec{
+		Name:       "sweep-example",
+		M:          96 * 96,
+		Width:      96,
+		N:          113 + 4*yearDates, // history to "2010" + 4 years
+		History:    113,
+		NaNFrac:    0.6,
+		Mask:       1,
+		BreakFrac:  0.12,
+		BreakShift: -0.5,
+		Seed:       42,
+	}
+	scene, err := bfast.GenerateScene(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %10s %10s %14s\n", "period", "breaks", "negative", "events in year")
+	for year := 0; year < 4; year++ {
+		history := spec.History + year*yearDates
+		dates := history + yearDates
+
+		// Cut every pixel's series at the period end.
+		sub := make([]float64, spec.M*dates)
+		for i := 0; i < spec.M; i++ {
+			copy(sub[i*dates:(i+1)*dates], scene.Y[i*spec.N:i*spec.N+dates])
+		}
+		b, err := bfast.NewBatch(spec.M, dates, sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		det, err := bfast.NewDetector(dates, bfast.DefaultOptions(history))
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := det.DetectBatch(b, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		breaks, negative := 0, 0
+		for _, r := range results {
+			if r.HasBreak() {
+				breaks++
+				if r.MosumMean < 0 {
+					negative++
+				}
+			}
+		}
+		injected := 0
+		for _, at := range scene.TrueBreak {
+			if at >= history && at < dates {
+				injected++
+			}
+		}
+		fmt.Printf("2010+%d year %9d %10d %14d\n", year, breaks, negative, injected)
+	}
+	fmt.Println("\nnegative-magnitude breaks accumulate in the periods where events were injected —")
+	fmt.Println("the per-year maps of Figs. 3/9/11 are exactly this, rendered spatially.")
+}

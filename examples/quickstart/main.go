@@ -1,0 +1,66 @@
+// Quickstart: detect a break in a single pixel time series.
+//
+// A synthetic NDMI-like series is built with two years of 16-day
+// composites as the stable history and three years of monitoring, a cloud
+// mask hiding ~40% of the observations, and an abrupt drop (deforestation)
+// midway through the monitoring period. BFAST-Monitor fits the harmonic
+// season-trend model on the history and flags the first date on which the
+// MOSUM process leaves its significance envelope.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"bfast"
+)
+
+func main() {
+	const (
+		freq    = 23.0 // 16-day composites: 23 observations per year
+		history = 46   // two years of stable history
+		total   = 115  // five years in total
+		breakAt = 80   // deforestation event (absolute date index)
+	)
+
+	// Build the series: seasonal vegetation signal + noise + clouds.
+	rng := rand.New(rand.NewSource(7))
+	y := make([]float64, total)
+	for t := range y {
+		seasonal := 0.55 + 0.25*math.Sin(2*math.Pi*float64(t+1)/freq)
+		v := seasonal + rng.NormFloat64()*0.03
+		if t >= breakAt {
+			v -= 0.4 // canopy loss: NDMI drops
+		}
+		if rng.Float64() < 0.4 {
+			v = math.NaN() // cloud
+		}
+		y[t] = v
+	}
+
+	opt := bfast.DefaultOptions(history)
+	det, err := bfast.NewDetector(total, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := det.Detect(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("status:          %v\n", res.Status)
+	fmt.Printf("valid history:   %d of %d dates\n", res.ValidHistory, history)
+	fmt.Printf("valid total:     %d of %d dates\n", res.Valid, total)
+	if res.HasBreak() {
+		abs := history + res.BreakIndex
+		fmt.Printf("break detected:  monitoring offset %d (date index %d; true event at %d)\n",
+			res.BreakIndex, abs, breakAt)
+		fmt.Printf("magnitude:       %+.3f (negative = vegetation loss)\n", res.MosumMean)
+	} else {
+		fmt.Println("no break detected")
+	}
+}

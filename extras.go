@@ -1,0 +1,158 @@
+package bfast
+
+import (
+	"time"
+
+	"bfast/internal/cube"
+	"bfast/internal/dates"
+	"bfast/internal/geotiff"
+	"bfast/internal/indices"
+	"bfast/internal/pipeline"
+	"bfast/internal/stats"
+)
+
+// Monitoring-process selection (see Options.Process): the paper's MOSUM
+// (Eq. 4) and the OLS-CUSUM extension.
+const (
+	ProcessMOSUM = stats.ProcessMOSUM
+	ProcessCUSUM = stats.ProcessCUSUM
+)
+
+// --- Vegetation indices (the paper's §II-A preprocessing) ----------------
+
+// NDMI computes the Normalized Difference Moisture Index from NIR and SWIR
+// reflectances; NaN in either band propagates (clouds mask the index).
+func NDMI(nir, swir float64) float64 { return indices.NDMI(nir, swir) }
+
+// NDVI computes the Normalized Difference Vegetation Index from NIR and
+// red reflectances.
+func NDVI(nir, red float64) float64 { return indices.NDVI(nir, red) }
+
+// CubeNDMI builds the NDMI cube from NIR and SWIR band cubes — the step
+// that turns a two-band image stack into the index cube the detector
+// consumes.
+func CubeNDMI(nir, swir *Cube) (*Cube, error) { return indices.CubeNDMI(nir, swir) }
+
+// CubeNDVI builds the NDVI cube from NIR and red band cubes.
+func CubeNDVI(nir, red *Cube) (*Cube, error) { return indices.CubeNDVI(nir, red) }
+
+// BandSceneSpec describes a synthetic two-band reflectance scene.
+type BandSceneSpec = indices.BandSceneSpec
+
+// BandScene holds generated band cubes plus break ground truth.
+type BandScene = indices.BandScene
+
+// GenerateBandScene builds a synthetic two-band Landsat-like scene.
+func GenerateBandScene(spec BandSceneSpec) (*BandScene, error) {
+	return indices.GenerateBandScene(spec)
+}
+
+// --- Acquisition calendars (decimal-year time axis) -----------------------
+
+// TimeAxis is an ordered acquisition calendar with decimal-year
+// coordinates (the time axis bfastmonitor fits in).
+type TimeAxis = dates.Axis
+
+// NewTimeAxis validates and wraps an acquisition calendar.
+func NewTimeAxis(times []time.Time) (*TimeAxis, error) { return dates.NewAxis(times) }
+
+// Landsat16Day generates a 16-day composite calendar from start for n
+// acquisitions.
+func Landsat16Day(start time.Time, n int) ([]time.Time, error) {
+	return dates.Landsat16Day(start, n)
+}
+
+// DecimalYear converts a timestamp to a fractional year.
+func DecimalYear(t time.Time) float64 { return dates.DecimalYear(t) }
+
+// NewDetectorForAxis builds a detector on a real acquisition calendar:
+// the design matrix is evaluated at the calendar's decimal-year
+// coordinates with an annual seasonal cycle, and the history length is
+// derived from monitorStart. Options fields Frequency and History are
+// overridden accordingly.
+func NewDetectorForAxis(axis *TimeAxis, monitorStart time.Time, opt Options) (*Detector, error) {
+	n, err := axis.HistoryLengthFor(monitorStart)
+	if err != nil {
+		return nil, err
+	}
+	opt.History = n
+	opt.Frequency = 1 // annual cycle in decimal years
+	if err := opt.Validate(axis.Len()); err != nil {
+		return nil, err
+	}
+	if _, err := opt.ResolveLambda(); err != nil {
+		return nil, err
+	}
+	x, err := axis.Design(opt.Harmonics, !opt.NoTrend)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{opt: opt, n: axis.Len(), design: x}, nil
+}
+
+// --- Pipeline and cluster modeling ----------------------------------------
+
+// PipelineConfig configures the chunked §III-D application pipeline.
+type PipelineConfig = pipeline.Config
+
+// PipelineResult is the output of RunPipeline, including the Fig. 10
+// per-phase time decomposition.
+type PipelineResult = pipeline.Result
+
+// RunPipeline executes the chunked pipeline over a cube: host-side
+// chunking and preprocessing are measured, transfer and kernel phases are
+// modeled on the configured device profile.
+func RunPipeline(c *Cube, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.Run(c, cfg)
+}
+
+// ClusterConfig models a multi-GPU campaign (§V footnote 14).
+type ClusterConfig = pipeline.ClusterConfig
+
+// ClusterResult summarizes a modeled campaign.
+type ClusterResult = pipeline.ClusterResult
+
+// ScheduleImages models the campaign wall time for per-image processing
+// times on a GPU cluster.
+func ScheduleImages(imageTimes []time.Duration, cfg ClusterConfig) (*ClusterResult, error) {
+	return pipeline.ScheduleImages(imageTimes, cfg)
+}
+
+// CubeHeader describes a cube file's dimensions.
+type CubeHeader = cube.Header
+
+// CubeChunk is a contiguous run of pixels streamed from a cube file.
+type CubeChunk = cube.Chunk
+
+// StreamCubeChunks reads a cube file chunk by chunk without loading the
+// whole cube — the host-side path for scenes larger than memory. The
+// chunk's Values buffer is reused between calls.
+func StreamCubeChunks(path string, count int, fn func(CubeHeader, CubeChunk) error) error {
+	return cube.StreamChunks(path, count, fn)
+}
+
+// --- GeoTIFF ingestion -----------------------------------------------------
+
+// GeoTIFF is a single-band float32 raster image with an optional
+// acquisition date (see internal/geotiff for format coverage).
+type GeoTIFF = geotiff.Image
+
+// ReadGeoTIFF reads a single-band float32 TIFF file.
+func ReadGeoTIFF(path string) (*GeoTIFF, error) { return geotiff.ReadFile(path) }
+
+// StackGeoTIFFs orders dated images into a data cube plus its acquisition
+// calendar — the scene-preparation step of the paper's pipeline.
+func StackGeoTIFFs(images []*GeoTIFF) (*Cube, *TimeAxis, error) {
+	return geotiff.Stack(images)
+}
+
+// CubeSliceGeoTIFF extracts one date of a cube as a dated image.
+func CubeSliceGeoTIFF(c *Cube, t int, at time.Time) (*GeoTIFF, error) {
+	return geotiff.Slice(c, t, at)
+}
+
+// RunPipelineFile executes the chunked pipeline by streaming a cube file
+// one chunk at a time — scenes larger than host memory never fully load.
+func RunPipelineFile(path string, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.RunFile(path, cfg)
+}

@@ -1,0 +1,192 @@
+package bfast
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPublicIndices(t *testing.T) {
+	if got := NDMI(0.3, 0.1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("NDMI = %v", got)
+	}
+	if got := NDVI(0.5, 0.1); got <= 0 {
+		t.Fatalf("NDVI = %v", got)
+	}
+}
+
+func TestPublicBandSceneToDetection(t *testing.T) {
+	scene, err := GenerateBandScene(BandSceneSpec{
+		Width: 16, Height: 16, Dates: 160, History: 80,
+		CloudFrac: 0.4, BreakFrac: 0.4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndmi, err := CubeNDMI(scene.NIR, scene.SWIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ProcessCube(ndmi, DefaultOptions(80), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, neg := m.CountBreaks()
+	if total == 0 || neg == 0 {
+		t.Fatalf("band pipeline found no breaks (total=%d neg=%d)", total, neg)
+	}
+}
+
+func TestNewDetectorForAxis(t *testing.T) {
+	start := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	times, err := Landsat16Day(start, 330)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis, err := NewTimeAxis(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	det, err := NewDetectorForAxis(axis, monitor, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.SeriesLen() != 330 {
+		t.Fatalf("series length %d", det.SeriesLen())
+	}
+	if det.Options().Frequency != 1 {
+		t.Fatal("axis detector must use annual frequency")
+	}
+
+	// A break after 2012 must be found and dated correctly.
+	y := make([]float64, axis.Len())
+	for i, ts := range axis.Times {
+		yr := DecimalYear(ts)
+		y[i] = 0.5 + 0.3*math.Sin(2*math.Pi*yr) + 0.001*math.Sin(float64(i))
+		if yr >= 2012 {
+			y[i] -= 0.5
+		}
+	}
+	res, err := det.Detect(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasBreak() {
+		t.Fatalf("missed the 2012 break: %+v", res)
+	}
+	when := DecimalYear(axis.Times[det.Options().History+res.BreakIndex])
+	if when < 2012 || when > 2013 {
+		t.Fatalf("break dated %v, want 2012.x", when)
+	}
+
+	// Monitoring start outside the calendar must fail.
+	if _, err := NewDetectorForAxis(axis, start.AddDate(-1, 0, 0), DefaultOptions(1)); err == nil {
+		t.Fatal("expected error for monitoring before the calendar")
+	}
+}
+
+func TestPublicCUSUMOption(t *testing.T) {
+	opt := DefaultOptions(100)
+	opt.Process = ProcessCUSUM
+	det, err := NewDetector(200, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 200)
+	for i := range y {
+		y[i] = 0.5 + 0.3*math.Sin(2*math.Pi*float64(i+1)/23) + 0.001*math.Sin(float64(7*i))
+		if i >= 150 {
+			y[i] -= 0.6
+		}
+	}
+	res, err := det.Detect(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasBreak() {
+		t.Fatalf("CUSUM missed a strong break: %+v", res)
+	}
+}
+
+func TestPublicDetectStable(t *testing.T) {
+	opt := DefaultOptions(150)
+	det, err := NewDetector(250, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 250)
+	for i := range y {
+		y[i] = 0.5 + 0.3*math.Sin(2*math.Pi*float64(i+1)/23) + 0.002*math.Sin(float64(13*i))
+		if i < 50 {
+			y[i] += 1.0 // unstable early regime
+		}
+	}
+	res, start, err := det.DetectStable(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start == 0 {
+		t.Fatal("ROC should have trimmed the early regime")
+	}
+	if res.HasBreak() {
+		t.Fatalf("no monitoring break was injected, got %+v (start=%d)", res, start)
+	}
+	if _, err := det.SelectStableHistory(make([]float64, 10), 0.05); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestPublicPipelineAndCluster(t *testing.T) {
+	spec := SceneSpec{M: 16 * 16, N: 96, History: 48, NaNFrac: 0.3, Width: 16, Seed: 13}
+	scene, err := GenerateScene(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CubeFromFlat(16, 16, 96, scene.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPipeline(c, PipelineConfig{Options: DefaultOptions(48), Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases.Kernel <= 0 {
+		t.Fatal("no modeled kernel time")
+	}
+	cl, err := ScheduleImages([]time.Duration{time.Second, 2 * time.Second, time.Second}, ClusterConfig{Devices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Makespan != 2*time.Second {
+		t.Fatalf("makespan %v", cl.Makespan)
+	}
+}
+
+func TestPublicStreamChunks(t *testing.T) {
+	c, _ := NewCube(4, 4, 8)
+	c.Set(1, 1, 3, 0.5)
+	path := t.TempDir() + "/c.bfc"
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	pixels := 0
+	found := false
+	err := StreamCubeChunks(path, 3, func(h CubeHeader, ch CubeChunk) error {
+		pixels += ch.Pixels
+		// Pixel (1,1) is index 5; date 3.
+		lo, hi := ch.Start, ch.Start+ch.Pixels
+		if lo <= 5 && 5 < hi {
+			if v := ch.Values[(5-ch.Start)*ch.Dates+3]; math.Abs(v-0.5) < 1e-6 {
+				found = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pixels != 16 || !found {
+		t.Fatalf("streamed %d pixels, found=%v", pixels, found)
+	}
+}

@@ -1,0 +1,3 @@
+module bfast
+
+go 1.22

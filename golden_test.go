@@ -1,0 +1,65 @@
+package bfast
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenDetection pins the exact outputs of the full pipeline
+// (generator → design matrix → masked fit → MOSUM → remap) on a fixed
+// seed. Any future change that alters detection semantics — even a
+// floating-point reordering — trips this test and must be reviewed
+// deliberately (the repository's bit-identity guarantees between the
+// implementations depend on the operation order staying put).
+func TestGoldenDetection(t *testing.T) {
+	spec := SceneSpec{Name: "golden", M: 16, N: 256, History: 128,
+		NaNFrac: 0.5, BreakFrac: 0.5, BreakShift: -0.5, Seed: 20200420}
+	scene, err := GenerateScene(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(256, DefaultOptions(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		pixel        int
+		status       string
+		breakIndex   int
+		validHistory int
+		valid        int
+		mean         float64
+	}{
+		{0, "ok", -1, 70, 134, -1.325716789719},
+		{1, "ok", 39, 61, 124, -12.185646218069},
+		{2, "ok", -1, 63, 128, 0.109187702086},
+		{3, "ok", -1, 60, 119, -1.645437301700},
+		{4, "ok", -1, 63, 125, 0.063514197873},
+		{5, "ok", -1, 62, 122, -0.721149739378},
+		{6, "ok", 23, 65, 137, -2.197493238439},
+		{7, "ok", -1, 60, 120, -0.102461913379},
+		{8, "ok", 122, 74, 129, 1.815316709877},
+		{9, "ok", -1, 56, 127, 0.699484233473},
+		{10, "ok", -1, 60, 126, 0.349803961212},
+		{11, "ok", -1, 57, 114, 1.607881763057},
+		{12, "ok", 53, 61, 127, -11.461331327397},
+		{13, "ok", -1, 62, 132, 0.342252653174},
+		{14, "ok", -1, 67, 125, 0.074297163821},
+		{15, "ok", 81, 59, 129, -4.473398765980},
+	}
+	for _, w := range want {
+		r, err := det.Detect(scene.Y[w.pixel*256 : (w.pixel+1)*256])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status.String() != w.status || r.BreakIndex != w.breakIndex ||
+			r.ValidHistory != w.validHistory || r.Valid != w.valid {
+			t.Errorf("pixel %d: got (%v, %d, %d, %d), want (%s, %d, %d, %d)",
+				w.pixel, r.Status, r.BreakIndex, r.ValidHistory, r.Valid,
+				w.status, w.breakIndex, w.validHistory, w.valid)
+		}
+		if math.Abs(r.MosumMean-w.mean) > 5e-13 {
+			t.Errorf("pixel %d: mean %.12f, want %.12f", w.pixel, r.MosumMean, w.mean)
+		}
+	}
+}

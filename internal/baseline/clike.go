@@ -1,0 +1,382 @@
+// Package baseline provides the two reference implementations the paper
+// compares against:
+//
+//   - CLike: a hand-optimized parallel CPU implementation mirroring the
+//     paper's OpenMP C baseline (§IV-C): one fused pass per pixel, all
+//     scratch memory reused per worker thread to maximize cache locality,
+//     no allocations in the hot loop. This is also the production path a
+//     Go user without a GPU would run, and the measured baseline for the
+//     Fig. 8 and §V-B speed-up experiments.
+//
+//   - RLike: a deliberately R-style implementation that mirrors how the
+//     reference bfastmonitor code evaluates — materializing the filtered
+//     data matrix for every pixel and going through generic
+//     matrix-algebra routines with fresh allocations everywhere. It
+//     reproduces the reference semantics (bit-identical results) and its
+//     allocation-bound performance character; the additional constant
+//     factor of the R interpreter itself is *not* simulated (see
+//     EXPERIMENTS.md).
+//
+// Both produce results identical to internal/core's reference Detect.
+package baseline
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"bfast/internal/core"
+	"bfast/internal/series"
+)
+
+// CLike runs BFAST-Monitor over the batch with the optimized fused CPU
+// implementation using the given number of workers (0 = GOMAXPROCS).
+// Results are bit-identical to core.Detect on every pixel.
+func CLike(b *core.Batch, opt core.Options, workers int) ([]core.Result, error) {
+	if err := opt.Validate(b.N); err != nil {
+		return nil, err
+	}
+	lambda, err := opt.ResolveLambda()
+	if err != nil {
+		return nil, err
+	}
+	x, err := core.DesignFor(opt, b.N)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]core.Result, b.M)
+
+	var wg sync.WaitGroup
+	chunk := (b.M + workers - 1) / workers
+	for lo := 0; lo < b.M; lo += chunk {
+		hi := lo + chunk
+		if hi > b.M {
+			hi = b.M
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Per-worker scratch, reused across pixels (the paper's C code
+			// does the same per OpenMP thread, footnote 10).
+			s := newScratch(opt.K(), b.N)
+			for i := lo; i < hi; i++ {
+				detectScratch(b.Row(i), x, opt, lambda, s, &out[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// scratch holds all per-pixel working memory for one worker.
+type scratch struct {
+	k       int
+	normal  []float64 // K×K normal matrix
+	sh      []float64 // K×2K Gauss-Jordan buffer
+	tmp     []float64 // K×2K elimination double buffer
+	inv     []float64 // K×K inverse
+	rhs     []float64 // K right-hand side
+	beta    []float64 // K coefficients
+	rBar    []float64 // compacted residuals (length N)
+	iBar    []int     // original indices (length N)
+	cholL   []float64 // K×K Cholesky factor
+	cholTmp []float64 // K intermediate
+}
+
+func newScratch(k, n int) *scratch {
+	return &scratch{
+		k:       k,
+		normal:  make([]float64, k*k),
+		sh:      make([]float64, k*2*k),
+		tmp:     make([]float64, k*2*k),
+		inv:     make([]float64, k*k),
+		rhs:     make([]float64, k),
+		beta:    make([]float64, k),
+		rBar:    make([]float64, n),
+		iBar:    make([]int, n),
+		cholL:   make([]float64, k*k),
+		cholTmp: make([]float64, k),
+	}
+}
+
+// detectScratch is the fused, allocation-free per-pixel implementation.
+// It performs exactly the operations of core.Detect in exactly the same
+// floating-point order, so the two agree bit for bit.
+func detectScratch(y []float64, x *series.DesignMatrix, opt core.Options, lambda float64, s *scratch, res *core.Result) {
+	n := opt.History
+	K := opt.K()
+	N := x.N
+
+	// Pass 1: valid counts (Alg. 1 line 1 without materializing).
+	nBar, nVal := 0, 0
+	for t, v := range y {
+		if math.IsNaN(v) {
+			continue
+		}
+		nVal++
+		if t < n {
+			nBar++
+		}
+	}
+	*res = core.Result{Status: core.StatusOK, BreakIndex: -1, ValidHistory: nBar, Valid: nVal}
+	minHist := opt.MinValidHistory
+	if minHist < K {
+		minHist = K
+	}
+	if nBar < minHist {
+		res.Status = core.StatusInsufficientHistory
+		return
+	}
+
+	// Normal matrix and right-hand side, masked (same accumulation order
+	// as linalg.MaskedCrossProduct / MaskedMatVec: regressor loops outer,
+	// dates inner).
+	for j1 := 0; j1 < K; j1++ {
+		r1 := x.Data[j1*N : j1*N+n]
+		for j2 := j1; j2 < K; j2++ {
+			r2 := x.Data[j2*N : j2*N+n]
+			var acc float64
+			for q := 0; q < n; q++ {
+				if math.IsNaN(y[q]) {
+					continue
+				}
+				acc += r1[q] * r2[q]
+			}
+			s.normal[j1*K+j2] = acc
+			s.normal[j2*K+j1] = acc
+		}
+	}
+	for j := 0; j < K; j++ {
+		row := x.Data[j*N : j*N+n]
+		var acc float64
+		for q := 0; q < n; q++ {
+			if math.IsNaN(y[q]) {
+				continue
+			}
+			acc += row[q] * y[q]
+		}
+		s.rhs[j] = acc
+	}
+
+	if !s.solve(opt) {
+		res.Status = core.StatusSingular
+		return
+	}
+	res.Beta = append([]float64(nil), s.beta...)
+
+	// Residuals on valid observations, compacted.
+	w := 0
+	for t := 0; t < N; t++ {
+		v := y[t]
+		if math.IsNaN(v) {
+			continue
+		}
+		var pred float64
+		for j := 0; j < K; j++ {
+			pred += x.Data[j*N+t] * s.beta[j]
+		}
+		s.rBar[w] = v - pred
+		s.iBar[w] = t
+		w++
+	}
+	nMon := nVal - nBar
+	mo := core.MonitorSeries(s.rBar, nBar, nMon, opt, lambda)
+	res.Status = mo.Status
+	res.Sigma = mo.Sigma
+	res.MosumMean = mo.Mean
+	if mo.Break >= 0 {
+		orig := s.iBar[nBar+mo.Break]
+		if orig >= n {
+			res.BreakIndex = orig - n
+		}
+	}
+}
+
+// solve computes β from the scratch normal matrix and rhs with the
+// configured solver, allocation-free. Returns false on singularity.
+func (s *scratch) solve(opt core.Options) bool {
+	switch opt.Solver {
+	case core.SolverCholesky:
+		return s.solveCholesky()
+	case core.SolverPivot:
+		if !s.invertPivot() {
+			return false
+		}
+	default:
+		if !s.invertGaussJordan() {
+			return false
+		}
+	}
+	K := s.k
+	for j := 0; j < K; j++ {
+		var acc float64
+		for p := 0; p < K; p++ {
+			acc += s.inv[j*K+p] * s.rhs[p]
+		}
+		s.beta[j] = acc
+	}
+	return true
+}
+
+// invertGaussJordan mirrors linalg.InvertGaussJordan on scratch buffers.
+func (s *scratch) invertGaussJordan() bool {
+	k := s.k
+	w := 2 * k
+	sh, tmp := s.sh, s.tmp
+	for i := 0; i < k; i++ {
+		for j := 0; j < w; j++ {
+			switch {
+			case j < k:
+				sh[i*w+j] = s.normal[i*k+j]
+			case j == k+i:
+				sh[i*w+j] = 1
+			default:
+				sh[i*w+j] = 0
+			}
+		}
+	}
+	for q := 0; q < k; q++ {
+		vq := sh[q]
+		for k1 := 0; k1 < k; k1++ {
+			for k2 := 0; k2 < w; k2++ {
+				var t float64
+				if vq == 0 {
+					t = sh[k1*w+k2]
+				} else {
+					x := sh[k2] / vq
+					if k1 == k-1 {
+						t = x
+					} else {
+						t = sh[(k1+1)*w+k2] - sh[(k1+1)*w+q]*x
+					}
+				}
+				tmp[k1*w+k2] = t
+			}
+		}
+		sh, tmp = tmp, sh
+	}
+	ok := true
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			v := sh[i*w+j]
+			if math.IsNaN(v) || math.Abs(v-want) > 1e-6 {
+				ok = false
+			}
+			s.inv[i*k+j] = sh[i*w+k+j]
+		}
+	}
+	if !ok {
+		return false
+	}
+	for _, v := range s.inv {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// invertPivot mirrors linalg.InvertPivot on scratch buffers.
+func (s *scratch) invertPivot() bool {
+	k := s.k
+	w := 2 * k
+	sh := s.sh
+	for i := 0; i < k; i++ {
+		for j := 0; j < w; j++ {
+			switch {
+			case j < k:
+				sh[i*w+j] = s.normal[i*k+j]
+			case j == k+i:
+				sh[i*w+j] = 1
+			default:
+				sh[i*w+j] = 0
+			}
+		}
+	}
+	for col := 0; col < k; col++ {
+		piv, best := -1, 0.0
+		for r := col; r < k; r++ {
+			if v := math.Abs(sh[r*w+col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if piv < 0 || best == 0 || math.IsNaN(best) {
+			return false
+		}
+		if piv != col {
+			for j := 0; j < w; j++ {
+				sh[col*w+j], sh[piv*w+j] = sh[piv*w+j], sh[col*w+j]
+			}
+		}
+		inv := 1 / sh[col*w+col]
+		for j := 0; j < w; j++ {
+			sh[col*w+j] *= inv
+		}
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			f := sh[r*w+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < w; j++ {
+				sh[r*w+j] -= f * sh[col*w+j]
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		copy(s.inv[i*k:(i+1)*k], sh[i*w+k:i*w+w])
+	}
+	for _, v := range s.inv {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// solveCholesky mirrors linalg.SolveSPD on scratch buffers, writing β.
+func (s *scratch) solveCholesky() bool {
+	k := s.k
+	l := s.cholL
+	for i := 0; i < k; i++ {
+		for j := 0; j <= i; j++ {
+			sum := s.normal[i*k+j]
+			for p := 0; p < j; p++ {
+				sum -= l[i*k+p] * l[j*k+p]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return false
+				}
+				l[i*k+i] = math.Sqrt(sum)
+			} else {
+				l[i*k+j] = sum / l[j*k+j]
+			}
+		}
+	}
+	yv := s.cholTmp
+	for i := 0; i < k; i++ {
+		sum := s.rhs[i]
+		for p := 0; p < i; p++ {
+			sum -= l[i*k+p] * yv[p]
+		}
+		yv[i] = sum / l[i*k+i]
+	}
+	for i := k - 1; i >= 0; i-- {
+		sum := yv[i]
+		for p := i + 1; p < k; p++ {
+			sum -= l[p*k+i] * s.beta[p]
+		}
+		s.beta[i] = sum / l[i*k+i]
+	}
+	return true
+}

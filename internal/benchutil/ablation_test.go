@@ -1,0 +1,88 @@
+package benchutil
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, SampleM: 512}
+	rows, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bySweep := map[string][]AblationRow{}
+	for _, r := range rows {
+		bySweep[r.Sweep] = append(bySweep[r.Sweep], r)
+	}
+
+	// tile-R: throughput must increase (weakly) with R and saturate; the
+	// paper's R=30 must sit near the plateau.
+	tr := bySweep["tile-R"]
+	if len(tr) != 6 {
+		t.Fatalf("tile-R rows: %d", len(tr))
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].GFlopsSp < tr[i-1].GFlopsSp*0.98 {
+			t.Fatalf("tile-R throughput not monotone: %v", tr)
+		}
+	}
+	if tr[4].GFlopsSp < 0.9*tr[5].GFlopsSp { // R=30 vs R=64
+		t.Fatalf("R=30 should be near the plateau: %v vs %v", tr[4].GFlopsSp, tr[5].GFlopsSp)
+	}
+	if tr[0].GFlopsSp > tr[4].GFlopsSp/5 {
+		t.Fatalf("R=1 should be far below R=30: %v vs %v", tr[0].GFlopsSp, tr[4].GFlopsSp)
+	}
+
+	// harmonics: the paper says larger k gives higher GFlops^Sp.
+	hk := bySweep["harmonics-K"]
+	for i := 1; i < len(hk); i++ {
+		if hk[i].GFlopsSp <= hk[i-1].GFlopsSp {
+			t.Fatalf("GFlops^Sp must grow with k: %v", hk)
+		}
+	}
+
+	// nan-frac: padded kernels are insensitive to f^NaN (within 10%).
+	nf := bySweep["nan-frac"]
+	for _, r := range nf[1:] {
+		if ratio := r.GFlopsSp / nf[0].GFlopsSp; ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("NaN-fraction sensitivity too high: %v", nf)
+		}
+	}
+
+	// sampling: extrapolation error below 5%.
+	for _, r := range bySweep["sample-accuracy"] {
+		if r.GFlopsSp > 5 || r.GFlopsSp < -5 { // field holds % deviation
+			t.Fatalf("sampling deviation %v%% too large", r.GFlopsSp)
+		}
+	}
+}
+
+func TestRunDispatchAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("ablations", Config{Out: &buf, SampleM: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestClaimsScorecard(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, SampleM: 1024}
+	claims, err := Claims(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 9 {
+		t.Fatalf("expected ≥9 claims, got %d", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Holds {
+			t.Errorf("claim %s failed: %s (observed: %s)", c.ID, c.Text, c.Observed)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+// Package benchutil is the experiment harness that regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md §4 for the
+// experiment index). It is shared by the bench_test.go benchmarks and the
+// cmd/bfast-bench CLI so both print the same paper-style rows, with the
+// paper's reported values alongside the reproduced ones.
+//
+// Scaling: the full Table I datasets hold up to 600M values; experiments
+// execute on a pixel subsample (Config.SampleM) and extrapolate device
+// counters linearly in M — valid because the computation is
+// embarrassingly parallel across pixels (§III-B) and every kernel charge
+// is linear in M. Host baselines are measured on the subsample and
+// reported as per-pixel throughput.
+package benchutil
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bfast/internal/baseline"
+	"bfast/internal/core"
+	"bfast/internal/cube"
+	"bfast/internal/flops"
+	"bfast/internal/gpusim"
+	"bfast/internal/kernels"
+	"bfast/internal/pipeline"
+	"bfast/internal/workload"
+)
+
+// Config parameterizes the harness.
+type Config struct {
+	// Out receives the formatted report (required).
+	Out io.Writer
+	// SampleM caps the pixels simulated/measured per dataset (default 2048).
+	SampleM int
+	// Datasets restricts Table I experiments to the named subset (default all).
+	Datasets []string
+	// Profile is the simulated device (default RTX2080Ti).
+	Profile gpusim.Profile
+	// Workers is the host-parallel worker count for measured baselines
+	// (default GOMAXPROCS via the callee).
+	Workers int
+	// MapsDir, when non-empty, is where the maps experiment writes its
+	// PPM/PGM outputs.
+	MapsDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleM <= 0 {
+		c.SampleM = 2048
+	}
+	if len(c.Datasets) == 0 {
+		for _, s := range workload.TableI() {
+			c.Datasets = append(c.Datasets, s.Name)
+		}
+	}
+	if c.Profile.Name == "" {
+		c.Profile = gpusim.RTX2080Ti()
+	}
+	return c
+}
+
+// Experiments lists the experiment names accepted by Run, in order.
+func Experiments() []string {
+	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "speedups", "sweep", "ablations", "claims"}
+}
+
+// Run dispatches one experiment by name ("all" runs every one).
+func Run(name string, cfg Config) error {
+	if name == "all" {
+		for _, e := range Experiments() {
+			if err := Run(e, cfg); err != nil {
+				return err
+			}
+			fmt.Fprintln(cfg.Out)
+		}
+		return nil
+	}
+	switch name {
+	case "table1":
+		_, err := Table1(cfg)
+		return err
+	case "fig6":
+		_, err := Fig6(cfg)
+		return err
+	case "fig7":
+		_, err := Fig7(cfg)
+		return err
+	case "fig8":
+		_, err := Fig8(cfg)
+		return err
+	case "fig10":
+		_, err := Fig10(cfg)
+		return err
+	case "maps":
+		_, err := Maps(cfg)
+		return err
+	case "speedups":
+		_, err := Speedups(cfg)
+		return err
+	case "sweep":
+		_, err := Sweep(cfg)
+		return err
+	case "ablations":
+		_, err := Ablations(cfg)
+		return err
+	case "claims":
+		_, err := Claims(cfg)
+		return err
+	default:
+		return fmt.Errorf("benchutil: unknown experiment %q (have %v)", name, Experiments())
+	}
+}
+
+// sampledSpec returns the spec with M capped at cap (cfg.SampleM), plus
+// the extrapolation factor fullM/sampledM. The sampled scene keeps a
+// rectangular 2-D shape so the spatial cloud masks stay meaningful.
+func sampledSpec(spec workload.Spec, cfg Config) (workload.Spec, float64) {
+	return sampledSpecCap(spec, cfg.SampleM)
+}
+
+func sampledSpecCap(spec workload.Spec, cap int) (workload.Spec, float64) {
+	if cap <= 0 || spec.M <= cap {
+		return spec, 1
+	}
+	full := spec.M
+	w := 1
+	for (w+1)*(w+1) <= cap {
+		w++
+	}
+	spec.M = w * (cap / w)
+	spec.Width = w
+	return spec, float64(full) / float64(spec.M)
+}
+
+func datasets(cfg Config) ([]workload.Spec, error) {
+	var out []workload.Spec
+	for _, name := range cfg.Datasets {
+		s, err := workload.Preset(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Table1Row records one dataset's parameters and the realized NaN rate.
+type Table1Row struct {
+	Name          string
+	M, N, History int
+	TargetNaN     float64
+	RealizedNaN   float64
+	SampledM      int
+}
+
+// Table1 regenerates Table I: the dataset parameters, with the realized
+// missing-value frequency of the generated (sampled) data as evidence the
+// generator hits the spec.
+func Table1(cfg Config) ([]Table1Row, error) {
+	cfg = cfg.withDefaults()
+	specs, err := datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.Out, "TABLE I — dataset parameters (generated at sample size, NaN realized vs target)\n")
+	fmt.Fprintf(cfg.Out, "%-15s %9s %6s %6s %8s %12s\n", "dataset", "M", "N", "n", "f^NaN", "realized")
+	var rows []Table1Row
+	for _, spec := range specs {
+		sampled, _ := sampledSpec(spec, cfg)
+		ds, err := workload.Generate(sampled)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Name: spec.Name, M: spec.M, N: spec.N, History: spec.History,
+			TargetNaN: spec.NaNFrac, RealizedNaN: ds.NaNFraction(), SampledM: sampled.M,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(cfg.Out, "%-15s %9d %6d %6d %7.0f%% %11.1f%%\n",
+			row.Name, row.M, row.N, row.History, 100*row.TargetNaN, 100*row.RealizedNaN)
+	}
+	return rows, nil
+}
+
+// FigRow is one (dataset, variant) measurement of a kernel/app experiment.
+type FigRow struct {
+	Dataset  string
+	Variant  string
+	Time     time.Duration
+	GFlopsSp float64
+}
+
+// Fig6 regenerates Figure 6: the batch-masked matrix multiplication in
+// its three variants, reported in GFlops^Sp (flops = 4MnK²).
+func Fig6(cfg Config) ([]FigRow, error) {
+	cfg = cfg.withDefaults()
+	specs, err := datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.Out, "FIGURE 6 — batch-masked matrix multiplication, GFlops^Sp (higher is better)\n")
+	fmt.Fprintf(cfg.Out, "paper: register-tiled 2600-3700 across D1-D5/Peru/Africa (lower on D6); 2-3x over the others\n")
+	fmt.Fprintf(cfg.Out, "%-15s %18s %18s %18s\n", "dataset", "register-tiled", "block-tiled", "naive")
+	var rows []FigRow
+	for _, spec := range specs {
+		sampled, scale := sampledSpec(spec, cfg)
+		ds, err := workload.Generate(sampled)
+		if err != nil {
+			return nil, err
+		}
+		b, err := kernels.FromFloat64(sampled.M, sampled.N, ds.Y)
+		if err != nil {
+			return nil, err
+		}
+		x, err := kernels.MakeDesign32(sampled.N, 3, 23)
+		if err != nil {
+			return nil, err
+		}
+		fz := flops.Sizes{M: spec.M, N: spec.N, History: spec.History, K: 8, HFrac: 0.25}
+		var cells []string
+		for _, v := range []kernels.MatMulVariant{kernels.MMRegisterTiled, kernels.MMBlockTiled, kernels.MMNaive} {
+			dev := gpusim.NewDevice(cfg.Profile)
+			_, run, err := kernels.BatchNormalMatrices(dev, v, x, b, sampled.History, scale)
+			if err != nil {
+				return nil, err
+			}
+			g := run.GFlopsSp(fz.MaskedMatMul())
+			rows = append(rows, FigRow{Dataset: spec.Name, Variant: v.String(), Time: run.Time, GFlopsSp: g})
+			cells = append(cells, fmt.Sprintf("%9.0f (%6s)", g, shortDur(run.Time)))
+		}
+		fmt.Fprintf(cfg.Out, "%-15s %18s %18s %18s\n", spec.Name, cells[0], cells[1], cells[2])
+	}
+	return rows, nil
+}
+
+// Fig7 regenerates Figure 7: batched Gauss-Jordan inversion, shared-memory
+// vs global-memory, GFlops^Sp (flops = 6MK³).
+func Fig7(cfg Config) ([]FigRow, error) {
+	cfg = cfg.withDefaults()
+	specs, err := datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.Out, "FIGURE 7 — batched matrix inversion, GFlops^Sp (higher is better)\n")
+	fmt.Fprintf(cfg.Out, "paper: shared-mem ~400 GFlops^Sp, 5-6x over the global-memory version\n")
+	fmt.Fprintf(cfg.Out, "%-15s %18s %18s %8s\n", "dataset", "shared-mem", "global-mem", "speedup")
+	var rows []FigRow
+	for _, spec := range specs {
+		sampled, scale := sampledSpec(spec, cfg)
+		ds, err := workload.Generate(sampled)
+		if err != nil {
+			return nil, err
+		}
+		b, err := kernels.FromFloat64(sampled.M, sampled.N, ds.Y)
+		if err != nil {
+			return nil, err
+		}
+		x, err := kernels.MakeDesign32(sampled.N, 3, 23)
+		if err != nil {
+			return nil, err
+		}
+		dev := gpusim.NewDevice(cfg.Profile)
+		normal, _, err := kernels.BatchNormalMatrices(dev, kernels.MMNaive, x, b, sampled.History, 1)
+		if err != nil {
+			return nil, err
+		}
+		fz := flops.Sizes{M: spec.M, N: spec.N, History: spec.History, K: 8, HFrac: 0.25}
+		var times []time.Duration
+		var cells []string
+		for _, v := range []kernels.InvVariant{kernels.InvShared, kernels.InvGlobal} {
+			dev := gpusim.NewDevice(cfg.Profile)
+			_, run, err := kernels.BatchInvert(dev, v, normal, 8, scale)
+			if err != nil {
+				return nil, err
+			}
+			g := run.GFlopsSp(fz.MatInv())
+			rows = append(rows, FigRow{Dataset: spec.Name, Variant: v.String(), Time: run.Time, GFlopsSp: g})
+			times = append(times, run.Time)
+			cells = append(cells, fmt.Sprintf("%9.0f (%6s)", g, shortDur(run.Time)))
+		}
+		fmt.Fprintf(cfg.Out, "%-15s %18s %18s %7.1fx\n",
+			spec.Name, cells[0], cells[1], times[1].Seconds()/times[0].Seconds())
+	}
+	return rows, nil
+}
+
+// Fig8 regenerates Figure 8: whole-application GFlops^Sp for the three GPU
+// strategies (modeled) and the parallel CPU baseline (measured on this
+// host). The paper's C column ran on a 16-core Xeon; absolute CPU numbers
+// differ with the host, the ordering should not.
+func Fig8(cfg Config) ([]FigRow, error) {
+	cfg = cfg.withDefaults()
+	specs, err := datasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.Out, "FIGURE 8 — application level, GFlops^Sp (higher is better)\n")
+	fmt.Fprintf(cfg.Out, "paper: Ours ~950 (575 on D6); 2-3x over RgTl-EfSeq; RgTl 1.5-2x over Full-EfSeq; Ours 24-48x over 32-thread C\n")
+	fmt.Fprintf(cfg.Out, "%-15s %12s %12s %12s %14s\n", "dataset", "Ours", "RgTl-EfSeq", "Full-EfSeq", "C (measured)")
+	var rows []FigRow
+	for _, spec := range specs {
+		sampled, scale := sampledSpec(spec, cfg)
+		ds, err := workload.Generate(sampled)
+		if err != nil {
+			return nil, err
+		}
+		b32, err := kernels.FromFloat64(sampled.M, sampled.N, ds.Y)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.DefaultOptions(spec.History)
+		fzFull := flops.Sizes{M: spec.M, N: spec.N, History: spec.History, K: 8, HFrac: 0.25}
+		var cells []string
+		for _, s := range []core.Strategy{core.StrategyOurs, core.StrategyRgTlEfSeq, core.StrategyFullEfSeq} {
+			dev := gpusim.NewDevice(cfg.Profile)
+			res, err := kernels.SimulateApp(dev, b32, opt, s, 0)
+			if err != nil {
+				return nil, err
+			}
+			var t time.Duration
+			for _, r := range res.Runs {
+				t += cfg.Profile.Rescale(r, scale).Time
+			}
+			g := fzFull.App() / t.Seconds() / 1e9
+			rows = append(rows, FigRow{Dataset: spec.Name, Variant: s.String(), Time: t, GFlopsSp: g})
+			cells = append(cells, fmt.Sprintf("%12.0f", g))
+		}
+		// Measured host-parallel baseline on the sample.
+		cb, err := core.NewBatch(sampled.M, sampled.N, ds.Y)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := baseline.CLike(cb, opt, cfg.Workers); err != nil {
+			return nil, err
+		}
+		cpu := time.Since(start)
+		fzSample := fzFull
+		fzSample.M = sampled.M
+		g := fzSample.App() / cpu.Seconds() / 1e9
+		rows = append(rows, FigRow{Dataset: spec.Name, Variant: "c-measured", Time: cpu, GFlopsSp: g})
+		fmt.Fprintf(cfg.Out, "%-15s %s %14.1f\n", spec.Name, joinCells(cells), g)
+	}
+	return rows, nil
+}
+
+func joinCells(cells []string) string {
+	out := ""
+	for _, c := range cells {
+		out += c + " "
+	}
+	return out[:len(out)-1]
+}
+
+func shortDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", d.Seconds()*1e3)
+	default:
+		return fmt.Sprintf("%.0fus", d.Seconds()*1e6)
+	}
+}
+
+// Fig10Row is one scenario's phase decomposition.
+type Fig10Row struct {
+	Scenario string
+	Chunks   int
+	Phases   pipeline.Phases
+	Wall     time.Duration
+}
+
+// Fig10 regenerates Figure 10: per-phase runtimes of the pipeline on the
+// three Section V scenarios (Peru Small full-size; Peru Large and the
+// Africa per-image scenario geometry-preserved at reduced pixel count —
+// see workload.SectionV — with the paper's 50-chunk split).
+func Fig10(cfg Config) ([]Fig10Row, error) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "FIGURE 10 — pipeline phase breakdown (Peru Large / Africa chunked in 50)\n")
+	fmt.Fprintf(cfg.Out, "paper: transfer < kernel; preprocess+chunking ≈ kernel; interleaved wall ≈ kernel-dominated\n")
+	fmt.Fprintf(cfg.Out, "%-18s %6s %12s %12s %12s %12s %12s\n",
+		"scenario", "chunks", "preprocess", "chunking", "transfer", "kernel", "wall(intl)")
+	scenarios := []struct {
+		name   string
+		chunks int
+	}{
+		{"PeruSmallScene", 1},
+		{"PeruLargeScene", 50},
+		{"AfricaImageScene", 50},
+	}
+	var rows []Fig10Row
+	for _, sc := range scenarios {
+		spec, err := workload.Preset(sc.name)
+		if err != nil {
+			return nil, err
+		}
+		// Scenario pixel counts scale with the sampling budget (phase
+		// *ratios* are the reproduction target; times are reported for
+		// the scaled scene).
+		spec, _ = sampledSpecCap(spec, cfg.SampleM*16)
+		ds, err := workload.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		height := spec.M / spec.Width
+		c, err := cube.FromFlat(spec.Width, height, spec.N, ds.Y)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.DefaultOptions(spec.History)
+		pcfg := pipeline.Config{
+			Profile: gpusim.TitanZ(), // the §V device
+			Options: opt,
+			Chunks:  sc.chunks,
+			SampleM: cfg.SampleM,
+		}
+		res, err := pipeline.Run(c, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10Row{Scenario: sc.name, Chunks: sc.chunks, Phases: res.Phases, Wall: res.WallInterleaved}
+		rows = append(rows, row)
+		fmt.Fprintf(cfg.Out, "%-18s %6d %12s %12s %12s %12s %12s\n",
+			sc.name, sc.chunks,
+			shortDur(res.Phases.Preprocess), shortDur(res.Phases.Chunking),
+			shortDur(res.Phases.Transfer), shortDur(res.Phases.Kernel),
+			shortDur(res.WallInterleaved))
+	}
+	return rows, nil
+}

@@ -1,0 +1,211 @@
+package benchutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Out: buf, SampleM: 256, Datasets: []string{"D2", "D6"}}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, SampleM: 512}
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("expected 8 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if diff := r.RealizedNaN - r.TargetNaN; diff > 0.12 || diff < -0.12 {
+			t.Errorf("%s: realized NaN %.2f too far from target %.2f", r.Name, r.RealizedNaN, r.TargetNaN)
+		}
+	}
+	if !strings.Contains(buf.String(), "TABLE I") {
+		t.Fatal("report header missing")
+	}
+}
+
+func TestFig6RowsAndOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig6(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 datasets × 3 variants
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	// Register-tiled must win on every dataset.
+	byDS := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byDS[r.Dataset] == nil {
+			byDS[r.Dataset] = map[string]float64{}
+		}
+		byDS[r.Dataset][r.Variant] = r.GFlopsSp
+	}
+	for ds, m := range byDS {
+		if m["register-tiled"] <= m["block-tiled"] || m["register-tiled"] <= m["naive"] {
+			t.Errorf("%s: register tiling should win: %+v", ds, m)
+		}
+	}
+}
+
+func TestFig7RowsAndOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig7(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		shared, global := rows[i], rows[i+1]
+		ratio := global.Time.Seconds() / shared.Time.Seconds()
+		if ratio < 3 {
+			t.Errorf("%s: shared-mem speedup %.1f too small", shared.Dataset, ratio)
+		}
+	}
+}
+
+func TestFig8RowsAndOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig8(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 datasets × (3 strategies + C)
+		t.Fatalf("expected 8 rows, got %d", len(rows))
+	}
+	byDS := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byDS[r.Dataset] == nil {
+			byDS[r.Dataset] = map[string]float64{}
+		}
+		byDS[r.Dataset][r.Variant] = r.GFlopsSp
+	}
+	for ds, m := range byDS {
+		if !(m["ours"] > m["rgtl-efseq"] && m["rgtl-efseq"] > m["full-efseq"]) {
+			t.Errorf("%s: strategy ordering violated: %+v", ds, m)
+		}
+		if m["c-measured"] <= 0 {
+			t.Errorf("%s: missing measured CPU row", ds)
+		}
+	}
+}
+
+func TestFig10Phases(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, SampleM: 128}
+	rows, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 scenarios, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Phases.Kernel <= 0 || r.Phases.Transfer <= 0 {
+			t.Errorf("%s: missing modeled phases: %+v", r.Scenario, r.Phases)
+		}
+		// Paper claim: transfer time smaller than kernel time.
+		if r.Phases.Transfer >= r.Phases.Kernel {
+			t.Errorf("%s: transfer %v should be below kernel %v",
+				r.Scenario, r.Phases.Transfer, r.Phases.Kernel)
+		}
+	}
+	if rows[1].Chunks != 50 || rows[2].Chunks != 50 {
+		t.Fatal("large scenarios must use the paper's 50 chunks")
+	}
+}
+
+func TestMapsScoring(t *testing.T) {
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	cfg := Config{Out: &buf, SampleM: 256, MapsDir: dir}
+	res, err := Maps(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breaks == 0 || res.NegativeBreaks == 0 {
+		t.Fatalf("no breaks detected: %+v", res)
+	}
+	if res.Precision < 0.5 || res.Recall < 0.5 {
+		t.Fatalf("detection quality too low: precision %.2f recall %.2f", res.Precision, res.Recall)
+	}
+	if res.TimingMapPath == "" || res.MagnitudePath == "" {
+		t.Fatal("maps not written")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, SampleM: 256}
+	res, err := Speedups(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPUvsCPUParallel <= 1 {
+		t.Fatalf("modeled GPU should beat measured CPU: %.2fx", res.GPUvsCPUParallel)
+	}
+	// R-style is single-threaded and allocation-bound; allow a small
+	// scheduling-noise margin on loaded hosts.
+	if res.GPUvsRLike <= 0.9*res.GPUvsCPUParallel {
+		t.Fatalf("R-style should be slower than parallel CPU: %.1fx vs %.1fx",
+			res.GPUvsRLike, res.GPUvsCPUParallel)
+	}
+	if res.ParallelSpeedup <= 1 {
+		t.Fatalf("parallelism should speed up the CPU baseline: %.2fx", res.ParallelSpeedup)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, SampleM: 256}
+	rows, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("expected ≥3 yearly periods, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Dates-r.History != 23 {
+			t.Errorf("period %s: monitoring span %d dates, want 23", r.Label, r.Dates-r.History)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, SampleM: 128, Datasets: []string{"D4"}}
+	if err := Run("table1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run("nope", cfg); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	if len(Experiments()) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(Experiments()))
+	}
+}
+
+func TestGFlopsSpOf(t *testing.T) {
+	v, err := GFlopsSpOf("D1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatal("non-positive spec flops")
+	}
+	if _, err := GFlopsSpOf("nope"); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"bfast/internal/linalg"
+	"bfast/internal/series"
+)
+
+// Strategy selects how the batch computation is organized. The strategies
+// mirror the code versions evaluated in Fig. 8 of the paper; on the host
+// they differ in traversal order and intermediate-memory footprint but
+// produce identical results.
+type Strategy int
+
+const (
+	// StrategyOurs is the paper's winning strategy: the computation is
+	// decomposed into batched kernels of same inner-parallel size
+	// (ker 1–10 of Fig. 12), each sweeping all pixels before the next
+	// stage runs, with padded per-pixel buffers.
+	StrategyOurs Strategy = iota
+	// StrategyRgTlEfSeq stages the matrix-multiplication-like kernels
+	// (normal matrix, inversion, β) across the batch but runs the rest of
+	// the per-pixel computation fused ("RgTl-EfSeq" in Fig. 8).
+	StrategyRgTlEfSeq
+	// StrategyFullEfSeq fuses the entire per-pixel computation into one
+	// pass per pixel ("Full-EfSeq" in Fig. 8) — minimal intermediates,
+	// no cross-pixel staging.
+	StrategyFullEfSeq
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyOurs:
+		return "ours"
+	case StrategyRgTlEfSeq:
+		return "rgtl-efseq"
+	case StrategyFullEfSeq:
+		return "full-efseq"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// BatchConfig configures DetectBatch.
+type BatchConfig struct {
+	// Strategy selects the execution organization (default StrategyOurs).
+	Strategy Strategy
+	// Workers is the number of goroutines (default GOMAXPROCS).
+	Workers int
+}
+
+func (c BatchConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Batch is a dense M×N pixel batch: M series of length N, row-major,
+// NaN = missing. It is the in-memory layout the kernels stream over
+// (one row per pixel, dates contiguous).
+type Batch struct {
+	M, N int
+	Y    []float64
+}
+
+// NewBatch validates and wraps a flat pixel matrix.
+func NewBatch(m, n int, y []float64) (*Batch, error) {
+	if m < 0 || n < 0 || len(y) != m*n {
+		return nil, fmt.Errorf("core: batch data length %d != M*N = %d*%d", len(y), m, n)
+	}
+	return &Batch{M: m, N: n, Y: y}, nil
+}
+
+// Row returns pixel i's series (a view, not a copy).
+func (b *Batch) Row(i int) []float64 { return b.Y[i*b.N : (i+1)*b.N] }
+
+// DetectBatch runs BFAST-Monitor over every pixel of the batch using the
+// shared design matrix implied by opt (built internally) and the given
+// execution strategy. All strategies return identical results.
+func DetectBatch(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
+	if err := opt.Validate(b.N); err != nil {
+		return nil, err
+	}
+	lambda, err := opt.ResolveLambda()
+	if err != nil {
+		return nil, err
+	}
+	x, err := DesignFor(opt, b.N)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Strategy {
+	case StrategyFullEfSeq:
+		return batchFused(b, x, opt, lambda, cfg.workers()), nil
+	case StrategyRgTlEfSeq:
+		return batchStagedFit(b, x, opt, lambda, cfg.workers(), false), nil
+	case StrategyOurs:
+		return batchStagedFit(b, x, opt, lambda, cfg.workers(), true), nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", int(cfg.Strategy))
+	}
+}
+
+// parallelFor runs fn(i) for i in [0,m) across w workers in contiguous
+// chunks (pixels of a chunk share cache lines of the staged arrays).
+func parallelFor(m, w int, fn func(lo, hi int)) {
+	if w > m {
+		w = m
+	}
+	if w <= 1 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + w - 1) / w
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// batchFused is Full-EfSeq: one fused per-pixel pass, parallel over pixels.
+func batchFused(b *Batch, x *series.DesignMatrix, opt Options, lambda float64, workers int) []Result {
+	out := make([]Result, b.M)
+	parallelFor(b.M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = detectResolved(b.Row(i), x, opt, lambda)
+		}
+	})
+	return out
+}
+
+// batchStagedFit implements the staged strategies. The model-fitting
+// kernels (ker 1–5 of Fig. 12: masked cross product, inversion, masked
+// matrix-vector, β) sweep the whole batch stage by stage with padded
+// per-pixel buffers — the host analogue of the paper's batched GPU kernels.
+// When fullStaging is true ("Ours") the monitoring part (ker 6–10) is also
+// staged across the batch; otherwise ("RgTl-EfSeq") it runs fused per pixel.
+func batchStagedFit(b *Batch, x *series.DesignMatrix, opt Options, lambda float64, workers int, fullStaging bool) []Result {
+	M, N := b.M, b.N
+	n := opt.History
+	K := opt.K()
+	out := make([]Result, M)
+
+	// Shared slice of X restricted to the history period.
+	xh := historySlice(x, n)
+
+	// Stage arrays (padded to uniform sizes, like the GPU buffers).
+	normal := make([]float64, M*K*K) // ker 1-2: X̄_h·X̄_hᵀ per pixel
+	beta := make([]float64, M*K)     // ker 3-5: fitted coefficients
+	fitted := make([]bool, M)
+
+	// ker 1-2: batched masked cross product.
+	parallelFor(M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y := b.Row(i)
+			f := series.FilterMissing(y, n)
+			out[i] = Result{
+				Status:       StatusOK,
+				BreakIndex:   -1,
+				ValidHistory: f.NValidHist,
+				Valid:        f.NValid,
+			}
+			if f.NValidHist < opt.minHist() {
+				out[i].Status = StatusInsufficientHistory
+				continue
+			}
+			m := linalg.MaskedCrossProduct(xh, y[:n])
+			copy(normal[i*K*K:(i+1)*K*K], m.Data)
+			fitted[i] = true
+		}
+	})
+
+	// ker 3-5: batched inversion + β. (Separate sweep: same-inner-size
+	// group of operations, as in the paper's kernel decomposition.)
+	parallelFor(M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !fitted[i] {
+				continue
+			}
+			m := linalg.NewMatrixFrom(K, K, normal[i*K*K:(i+1)*K*K])
+			rhs := linalg.MaskedMatVec(xh, b.Row(i)[:n])
+			var bta []float64
+			var ok bool
+			switch opt.Solver {
+			case SolverCholesky:
+				v, err := linalg.SolveSPD(m, rhs)
+				bta, ok = v, err == nil
+			case SolverPivot:
+				inv, err := linalg.InvertPivot(m)
+				if err == nil {
+					bta, ok = linalg.MatVec(inv, rhs), true
+				}
+			default:
+				inv, err := linalg.InvertGaussJordan(m)
+				if err == nil {
+					bta, ok = linalg.MatVec(inv, rhs), true
+				}
+			}
+			if !ok {
+				out[i].Status = StatusSingular
+				fitted[i] = false
+				continue
+			}
+			copy(beta[i*K:(i+1)*K], bta)
+			out[i].Beta = beta[i*K : (i+1)*K : (i+1)*K]
+		}
+	})
+
+	if !fullStaging {
+		// RgTl-EfSeq: fused monitoring per pixel.
+		parallelFor(M, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !fitted[i] {
+					continue
+				}
+				monitorPixel(b.Row(i), x, opt, lambda, beta[i*K:(i+1)*K], &out[i])
+			}
+		})
+		return out
+	}
+
+	// "Ours": stage the monitoring kernels too, with padded buffers.
+	residual := make([]float64, M*N) // ker 6-7: compacted residuals, NaN-padded
+	index := make([]int, M*N)        // ker 7: original date index per residual
+	nBarArr := make([]int, M)
+	nValArr := make([]int, M)
+
+	// ker 6-7: predictions, residuals, NaN filtering with keys.
+	parallelFor(M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !fitted[i] {
+				continue
+			}
+			y := b.Row(i)
+			bta := beta[i*K : (i+1)*K]
+			r := residual[i*N : (i+1)*N]
+			ix := index[i*N : (i+1)*N]
+			w := 0
+			nb := 0
+			for t := 0; t < N; t++ {
+				v := y[t]
+				if math.IsNaN(v) {
+					continue
+				}
+				var pred float64
+				for j := 0; j < K; j++ {
+					pred += x.Data[j*N+t] * bta[j]
+				}
+				r[w] = v - pred
+				ix[w] = t
+				if t < n {
+					nb++
+				}
+				w++
+			}
+			for p := w; p < N; p++ {
+				r[p] = math.NaN()
+				ix[p] = -1
+			}
+			nBarArr[i] = nb
+			nValArr[i] = w
+		}
+	})
+
+	// ker 8-10: σ̂, fluctuation process, boundary test, remap — staged
+	// sweep through the shared monitoring loop.
+	parallelFor(M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !fitted[i] {
+				continue
+			}
+			res := &out[i]
+			nBar := nBarArr[i]
+			nMon := nValArr[i] - nBar
+			r := residual[i*N : (i+1)*N]
+			mo := monitorSeries(r, nBar, nMon, opt, lambda)
+			res.Status = mo.status
+			res.Sigma = mo.sigma
+			res.MosumMean = mo.mean
+			if mo.brk >= 0 {
+				orig := index[i*N+nBar+mo.brk]
+				if orig >= n {
+					res.BreakIndex = orig - n
+				}
+			}
+		}
+	})
+	return out
+}
+
+// monitorPixel runs the fused monitoring phase (ker 6–10) for one pixel
+// with a pre-fitted β, writing into res.
+func monitorPixel(y []float64, x *series.DesignMatrix, opt Options, lambda float64, beta []float64, res *Result) {
+	n := opt.History
+	K := opt.K()
+	f := series.FilterMissing(y, n)
+	rBar := make([]float64, f.NValid)
+	for i := 0; i < f.NValid; i++ {
+		t := f.Index[i]
+		var pred float64
+		for j := 0; j < K; j++ {
+			pred += x.Data[j*x.N+t] * beta[j]
+		}
+		rBar[i] = f.Values[i] - pred
+	}
+	nBar := f.NValidHist
+	nMon := f.NValid - nBar
+	mo := monitorSeries(rBar, nBar, nMon, opt, lambda)
+	res.Status = mo.status
+	res.Sigma = mo.sigma
+	res.MosumMean = mo.mean
+	if mo.brk >= 0 {
+		res.BreakIndex = series.RemapIndex(f, mo.brk, n)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfast/internal/series"
+)
+
+// TestFalsePositiveRateCalibrated checks that the embedded critical-value
+// table actually delivers (approximately) its nominal significance level on
+// stable noisy series with missing values — i.e. that the Monte Carlo table
+// and the detector implement the same procedure. At level 0.05 and 400
+// trials the rate should stay well below 0.10 (binomial 3σ ≈ 0.083).
+func TestFalsePositiveRateCalibrated(t *testing.T) {
+	N, n := 460, 230
+	x, _ := series.MakeDesign(N, 3, 23)
+	fp := 0
+	trials := 400
+	for s := 0; s < trials; s++ {
+		rng := rand.New(rand.NewSource(int64(s)))
+		y := synthSeries(rng, N, 3, 23, 0.02, -1, 0, 0.3)
+		res, err := Detect(y, x, defaultTestOpts(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HasBreak() {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(trials)
+	t.Logf("false-positive rate: %d/%d = %.3f (nominal 0.05)", fp, trials, rate)
+	if rate > 0.10 {
+		t.Fatalf("false-positive rate %.3f far above nominal 0.05 — critical values miscalibrated", rate)
+	}
+}
+
+// TestDetectionPowerCalibrated checks that a strong shift is detected with
+// high probability — the complement of the calibration test above.
+func TestDetectionPowerCalibrated(t *testing.T) {
+	N, n := 460, 230
+	x, _ := series.MakeDesign(N, 3, 23)
+	hits := 0
+	trials := 200
+	for s := 0; s < trials; s++ {
+		rng := rand.New(rand.NewSource(int64(1000 + s)))
+		y := synthSeries(rng, N, 3, 23, 0.02, 280, -0.5, 0.3)
+		res, err := Detect(y, x, defaultTestOpts(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HasBreak() {
+			hits++
+		}
+	}
+	power := float64(hits) / float64(trials)
+	t.Logf("detection power: %d/%d = %.3f", hits, trials, power)
+	if power < 0.95 {
+		t.Fatalf("power %.3f too low for a 25σ shift", power)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"bfast/internal/linalg"
+	"bfast/internal/series"
+)
+
+// Detect runs BFAST-Monitor (Alg. 1 of the paper) on a single pixel series.
+// y has one entry per date (length N, NaN = missing), x is the shared K×N
+// design matrix for the same date axis, and opt carries the parameters.
+// This is the scalar reference implementation: every batched/kernel/baseline
+// implementation in the repository is tested for equivalence against it.
+func Detect(y []float64, x *series.DesignMatrix, opt Options) (Result, error) {
+	if err := opt.Validate(len(y)); err != nil {
+		return Result{}, err
+	}
+	if x.N != len(y) {
+		return Result{}, fmt.Errorf("core: design matrix has %d dates but series has %d", x.N, len(y))
+	}
+	lambda, err := opt.ResolveLambda()
+	if err != nil {
+		return Result{}, err
+	}
+	return detectResolved(y, x, opt, lambda), nil
+}
+
+// detectResolved is Detect with options pre-validated and λ resolved; it is
+// the hot path shared by the batched drivers.
+func detectResolved(y []float64, x *series.DesignMatrix, opt Options, lambda float64) Result {
+	n := opt.History
+	K := opt.K()
+
+	// Alg. 1 line 1: filter missing values, track original indices.
+	f := series.FilterMissing(y, n)
+	res := Result{
+		Status:       StatusOK,
+		BreakIndex:   -1,
+		ValidHistory: f.NValidHist,
+		Valid:        f.NValid,
+	}
+	if f.NValidHist < opt.minHist() {
+		res.Status = StatusInsufficientHistory
+		return res
+	}
+
+	// Alg. 1 lines 2-4: fit β on the valid history observations.
+	// The masked cross product and masked matrix-vector product operate on
+	// the *unfiltered* X and y, skipping NaN dates (the paper's mmMulFilt /
+	// mvMulFilt trick that avoids materializing X̄ per pixel).
+	xh := historySlice(x, n)
+	yh := y[:n]
+	beta, ok := fitModel(xh, yh, opt)
+	if !ok {
+		res.Status = StatusSingular
+		return res
+	}
+	res.Beta = beta
+
+	// Alg. 1 line 5 (Fig. 12 convention): residuals r = y − ŷ on the
+	// valid observations, compacted.
+	rBar := make([]float64, f.NValid)
+	for i := 0; i < f.NValid; i++ {
+		t := f.Index[i]
+		var pred float64
+		for j := 0; j < K; j++ {
+			pred += x.Data[j*x.N+t] * beta[j]
+		}
+		rBar[i] = f.Values[i] - pred
+	}
+
+	nBar := f.NValidHist
+	nMon := f.NValid - nBar
+
+	// Fig. 12 ker 8-10: σ̂, the fluctuation process and the boundary test.
+	mo := monitorSeries(rBar, nBar, nMon, opt, lambda)
+	res.Status = mo.status
+	res.Sigma = mo.sigma
+	res.MosumMean = mo.mean
+	if mo.brk >= 0 {
+		res.BreakIndex = series.RemapIndex(f, mo.brk, n)
+	}
+	return res
+}
+
+// historySlice copies the first n columns of the design matrix into a
+// K×n linalg matrix (the X_h operand of the fitting kernels).
+func historySlice(x *series.DesignMatrix, n int) *linalg.Matrix {
+	xh := linalg.NewMatrix(x.K, n)
+	for j := 0; j < x.K; j++ {
+		copy(xh.Data[j*n:(j+1)*n], x.Data[j*x.N:j*x.N+n])
+	}
+	return xh
+}
+
+// fitModel computes β from the masked history regression with the
+// configured solver. It returns ok=false if the normal matrix is singular.
+func fitModel(xh *linalg.Matrix, yh []float64, opt Options) ([]float64, bool) {
+	m := linalg.MaskedCrossProduct(xh, yh)
+	rhs := linalg.MaskedMatVec(xh, yh)
+	switch opt.Solver {
+	case SolverCholesky:
+		beta, err := linalg.SolveSPD(m, rhs)
+		if err != nil {
+			return nil, false
+		}
+		return beta, true
+	case SolverPivot:
+		inv, err := linalg.InvertPivot(m)
+		if err != nil {
+			return nil, false
+		}
+		return linalg.MatVec(inv, rhs), true
+	default: // SolverGaussJordan — the paper's kernel semantics.
+		inv, err := linalg.InvertGaussJordan(m)
+		if err != nil {
+			return nil, false
+		}
+		return linalg.MatVec(inv, rhs), true
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "fmt"
+
+// Status describes whether a pixel could be modeled and monitored.
+type Status int
+
+const (
+	// StatusOK: model fitted, monitoring performed. BreakIndex is valid.
+	StatusOK Status = iota
+	// StatusInsufficientHistory: fewer than max(K, MinValidHistory) valid
+	// observations in the history period; no model can be fitted.
+	StatusInsufficientHistory
+	// StatusSingular: the normal matrix was singular (e.g. duplicate or
+	// degenerate dates); no model.
+	StatusSingular
+	// StatusNoMonitoringData: every monitoring observation is missing;
+	// the model was fitted but no MOSUM process exists.
+	StatusNoMonitoringData
+	// StatusNoVariance: the history residual variance is zero (perfectly
+	// fitted or constant series) or the window h is empty; the normalized
+	// MOSUM process is undefined.
+	StatusNoVariance
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusInsufficientHistory:
+		return "insufficient-history"
+	case StatusSingular:
+		return "singular"
+	case StatusNoMonitoringData:
+		return "no-monitoring-data"
+	case StatusNoVariance:
+		return "no-variance"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the output of BFAST-Monitor for one pixel — the pair the paper's
+// entry point returns (first break index, MOSUM mean) plus diagnostics.
+type Result struct {
+	// Status reports whether the pixel could be processed.
+	Status Status
+	// BreakIndex is the 0-based offset of the first detected break within
+	// the original monitoring period [History, N), or -1 if no break was
+	// detected (or the pixel could not be processed).
+	BreakIndex int
+	// MosumMean is the mean of the normalized MOSUM process over the
+	// monitoring period — the paper's change magnitude. Negative values
+	// indicate vegetation decrease. Zero when not computable.
+	MosumMean float64
+	// Beta holds the fitted model coefficients (length K) when Status is
+	// StatusOK, StatusNoMonitoringData or StatusNoVariance; nil otherwise.
+	Beta []float64
+	// Sigma is the fitted σ̂.
+	Sigma float64
+	// ValidHistory is n̄, the number of valid history observations.
+	ValidHistory int
+	// Valid is N̄, the number of valid observations in the whole series.
+	Valid int
+}
+
+// HasBreak reports whether a break was detected.
+func (r Result) HasBreak() bool { return r.Status == StatusOK && r.BreakIndex >= 0 }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bfast/internal/series"
+	"bfast/internal/stats"
+)
+
+// Monitor is the near-real-time variant of BFAST-Monitor: the use case the
+// paper's introduction motivates ("the timely ... detection of such events
+// is critical to enable a better protection and to trigger
+// countermeasures", citing the near-real-time design of Verbesselt et al.
+// 2012). The model is fitted once on the history period; subsequent
+// observations are then pushed one at a time as they are acquired, each
+// update costing O(K) — no refitting, no reprocessing of the series.
+//
+// A Monitor is created per pixel with NewMonitor and fed with Push; it
+// reports the break as soon as the process leaves the boundary.
+type Monitor struct {
+	opt    Options
+	lambda float64
+	x      *series.DesignMatrix
+	beta   []float64
+
+	nBar  int     // valid history observations
+	sigma float64 // residual scale from the history fit
+	h     int     // MOSUM window size (unused for CUSUM)
+	norm  float64 // 1/(σ̂·sqrt(n̄))
+
+	// window holds the last h residuals (ring buffer) for MOSUM.
+	window []float64
+	wPos   int
+	acc    float64 // current process value (un-normalized)
+
+	t        int // next date index to consume (absolute)
+	validMon int // valid monitoring observations seen
+	sum      float64
+	brk      int // monitoring-offset of first break, -1
+}
+
+// NewMonitor fits the history model on the first opt.History entries of
+// history (which must have length ≥ opt.History; entries beyond are
+// ignored) and returns a streaming monitor positioned at the first
+// monitoring date. seriesLen is the total designed series length N — the
+// design matrix must cover every date that will ever be pushed.
+func NewMonitor(history []float64, seriesLen int, opt Options) (*Monitor, error) {
+	if err := opt.Validate(seriesLen); err != nil {
+		return nil, err
+	}
+	if len(history) < opt.History {
+		return nil, fmt.Errorf("core: history has %d entries, need %d", len(history), opt.History)
+	}
+	lambda, err := opt.ResolveLambda()
+	if err != nil {
+		return nil, err
+	}
+	x, err := DesignFor(opt, seriesLen)
+	if err != nil {
+		return nil, err
+	}
+	n := opt.History
+	K := opt.K()
+
+	f := series.FilterMissing(history[:n], n)
+	if f.NValidHist < opt.minHist() {
+		return nil, fmt.Errorf("core: insufficient valid history (%d < %d)", f.NValidHist, opt.minHist())
+	}
+	xh := historySlice(x, n)
+	beta, ok := fitModel(xh, history[:n], opt)
+	if !ok {
+		return nil, fmt.Errorf("core: singular normal matrix in history fit")
+	}
+
+	// History residuals (compacted) for σ̂ and the initial MOSUM window.
+	rHist := make([]float64, 0, f.NValidHist)
+	for p := 0; p < f.NValidHist; p++ {
+		t := f.Index[p]
+		var pred float64
+		for j := 0; j < K; j++ {
+			pred += x.Data[j*x.N+t] * beta[j]
+		}
+		rHist = append(rHist, history[t]-pred)
+	}
+	sigma := stats.Sigma(opt.Sigma, rHist, K, opt.Harmonics)
+	if sigma <= 0 {
+		return nil, fmt.Errorf("core: zero residual variance in history")
+	}
+	m := &Monitor{
+		opt: opt, lambda: lambda, x: x, beta: beta,
+		nBar: f.NValidHist, sigma: sigma,
+		norm: 1 / (sigma * math.Sqrt(float64(f.NValidHist))),
+		t:    n, brk: -1,
+	}
+	if opt.Process != stats.ProcessCUSUM {
+		m.h = int(float64(m.nBar) * opt.HFrac)
+		if m.h < 1 || m.h > m.nBar {
+			return nil, fmt.Errorf("core: MOSUM window ⌊%g·%d⌋ invalid", opt.HFrac, m.nBar)
+		}
+		// Seed the window with the last h−1 history residuals: the first
+		// monitoring observation completes the first window (Fig. 12
+		// ker 9 semantics: indices n̄−h+1 .. n̄).
+		m.window = make([]float64, m.h)
+		for i := 0; i < m.h-1; i++ {
+			r := rHist[len(rHist)-(m.h-1)+i]
+			m.window[i] = r
+			m.acc += r
+		}
+		m.wPos = m.h - 1
+	}
+	return m, nil
+}
+
+// State is the monitor's standing after the latest Push.
+type State struct {
+	// Date is the absolute index of the last consumed date.
+	Date int
+	// Process is the normalized fluctuation-process value (NaN until a
+	// valid monitoring observation has been seen).
+	Process float64
+	// Boundary is the current boundary value.
+	Boundary float64
+	// BreakDetected reports whether a break has been flagged (sticky).
+	BreakDetected bool
+	// BreakOffset is the monitoring offset of the first break, or -1.
+	BreakOffset int
+	// Mean is the running mean of the process over valid observations.
+	Mean float64
+}
+
+// Push consumes the observation for the next date (NaN = missing) and
+// returns the updated state. Pushing past the designed series length
+// returns an error.
+func (m *Monitor) Push(v float64) (State, error) {
+	if m.t >= m.x.N {
+		return State{}, fmt.Errorf("core: series exhausted (designed for %d dates)", m.x.N)
+	}
+	t := m.t
+	m.t++
+	st := State{Date: t, Process: math.NaN(), BreakOffset: m.brk, BreakDetected: m.brk >= 0}
+	if math.IsNaN(v) {
+		if m.validMon > 0 {
+			st.Mean = m.sum / float64(m.validMon)
+		}
+		return st, nil
+	}
+	K := m.opt.K()
+	var pred float64
+	for j := 0; j < K; j++ {
+		pred += m.x.Data[j*m.x.N+t] * m.beta[j]
+	}
+	r := v - pred
+	if m.opt.Process == stats.ProcessCUSUM {
+		m.acc += r
+	} else {
+		// Slide the window: drop the oldest residual, add the newest.
+		m.acc += r - m.window[m.wPos]
+		m.window[m.wPos] = r
+		m.wPos = (m.wPos + 1) % m.h
+	}
+	proc := m.acc * m.norm
+	m.sum += proc
+	m.validMon++
+	bound := stats.BoundaryFor(m.opt.Process, m.opt.Boundary, m.lambda, m.validMon-1, m.nBar)
+	if m.brk < 0 && math.Abs(proc) > bound {
+		m.brk = t - m.opt.History
+	}
+	st.Process = proc
+	st.Boundary = bound
+	st.Mean = m.sum / float64(m.validMon)
+	st.BreakOffset = m.brk
+	st.BreakDetected = m.brk >= 0
+	return st, nil
+}
+
+// Beta returns the fitted history coefficients.
+func (m *Monitor) Beta() []float64 { return append([]float64(nil), m.beta...) }
+
+// Sigma returns the fitted σ̂.
+func (m *Monitor) Sigma() float64 { return m.sigma }
+
+// ValidHistory returns n̄.
+func (m *Monitor) ValidHistory() int { return m.nBar }

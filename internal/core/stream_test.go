@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bfast/internal/series"
+	"bfast/internal/stats"
+)
+
+// TestMonitorMatchesBatchDetect: feeding the monitoring observations one
+// by one must produce exactly the same break decision, break offset and
+// process mean as the offline Detect on the full series.
+func TestMonitorMatchesBatchDetect(t *testing.T) {
+	N, n := 320, 160
+	x, _ := series.MakeDesign(N, 3, 23)
+	opt := defaultTestOpts(n)
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(3000 + trial)))
+		shift := -1.0 + 2*rng.Float64()
+		at := -1
+		if trial%2 == 0 {
+			at = 200 + rng.Intn(80)
+		}
+		y := synthSeries(rng, N, 3, 23, 0.05, at, shift, 0.4)
+
+		want, err := Detect(y, x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Status != StatusOK {
+			continue
+		}
+		mon, err := NewMonitor(y[:n], N, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last State
+		for ti := n; ti < N; ti++ {
+			st, err := mon.Push(y[ti])
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = st
+		}
+		if (want.BreakIndex >= 0) != last.BreakDetected {
+			t.Fatalf("trial %d: offline break %d vs streaming detected=%v",
+				trial, want.BreakIndex, last.BreakDetected)
+		}
+		if want.BreakIndex != last.BreakOffset {
+			t.Fatalf("trial %d: break offset %d vs %d", trial, want.BreakIndex, last.BreakOffset)
+		}
+		if math.Abs(want.MosumMean-last.Mean) > 1e-12 {
+			t.Fatalf("trial %d: mean %v vs %v", trial, want.MosumMean, last.Mean)
+		}
+	}
+}
+
+func TestMonitorCUSUMMatchesDetect(t *testing.T) {
+	N, n := 300, 150
+	x, _ := series.MakeDesign(N, 3, 23)
+	opt := defaultTestOpts(n)
+	opt.Process = stats.ProcessCUSUM
+	rng := rand.New(rand.NewSource(3100))
+	y := synthSeries(rng, N, 3, 23, 0.03, 220, -0.5, 0.3)
+	want, err := Detect(y, x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(y[:n], N, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last State
+	for ti := n; ti < N; ti++ {
+		st, err := mon.Push(y[ti])
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = st
+	}
+	if want.BreakIndex != last.BreakOffset {
+		t.Fatalf("CUSUM: offline %d vs streaming %d", want.BreakIndex, last.BreakOffset)
+	}
+}
+
+func TestMonitorEarlyDetection(t *testing.T) {
+	// The monitor must flag the break as soon as the boundary is crossed,
+	// not only at the end of the series.
+	N, n := 300, 150
+	opt := defaultTestOpts(n)
+	rng := rand.New(rand.NewSource(3200))
+	y := synthSeries(rng, N, 3, 23, 0.02, 180, -0.8, 0.2)
+	mon, err := NewMonitor(y[:n], N, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstFlag := -1
+	for ti := n; ti < N; ti++ {
+		st, err := mon.Push(y[ti])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.BreakDetected && firstFlag < 0 {
+			firstFlag = ti
+		}
+	}
+	if firstFlag < 0 {
+		t.Fatal("strong break never flagged")
+	}
+	if firstFlag < 180 || firstFlag > 240 {
+		t.Fatalf("break flagged at date %d, expected shortly after 180", firstFlag)
+	}
+}
+
+func TestMonitorStateFields(t *testing.T) {
+	N, n := 200, 100
+	opt := defaultTestOpts(n)
+	rng := rand.New(rand.NewSource(3300))
+	y := synthSeries(rng, N, 3, 23, 0.05, -1, 0, 0)
+	mon, err := NewMonitor(y[:n], N, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.ValidHistory() != n {
+		t.Fatalf("ValidHistory = %d", mon.ValidHistory())
+	}
+	if mon.Sigma() <= 0 || len(mon.Beta()) != 8 {
+		t.Fatal("accessors broken")
+	}
+	st, err := mon.Push(math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(st.Process) || st.BreakDetected {
+		t.Fatalf("NaN push should be inert: %+v", st)
+	}
+	st, err = mon.Push(y[n+1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(st.Process) || st.Boundary <= 0 {
+		t.Fatalf("valid push must produce process + boundary: %+v", st)
+	}
+}
+
+func TestMonitorExhaustion(t *testing.T) {
+	N, n := 64, 32
+	opt := defaultTestOpts(n)
+	rng := rand.New(rand.NewSource(3400))
+	y := synthSeries(rng, N, 3, 23, 0.05, -1, 0, 0)
+	mon, err := NewMonitor(y[:n], N, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := n; ti < N; ti++ {
+		if _, err := mon.Push(y[ti]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mon.Push(0.5); err == nil {
+		t.Fatal("push past N must fail")
+	}
+}
+
+func TestMonitorConstructionErrors(t *testing.T) {
+	opt := defaultTestOpts(32)
+	if _, err := NewMonitor(make([]float64, 10), 64, opt); err == nil {
+		t.Fatal("short history must fail")
+	}
+	allNaN := make([]float64, 32)
+	for i := range allNaN {
+		allNaN[i] = math.NaN()
+	}
+	if _, err := NewMonitor(allNaN, 64, opt); err == nil {
+		t.Fatal("all-NaN history must fail")
+	}
+	bad := defaultTestOpts(64) // history == seriesLen
+	if _, err := NewMonitor(make([]float64, 64), 64, bad); err == nil {
+		t.Fatal("invalid options must fail")
+	}
+}

@@ -1,0 +1,309 @@
+package cube
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	c, err := New(4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pixels() != 12 || len(c.Values) != 60 {
+		t.Fatal("bad sizes")
+	}
+	if !math.IsNaN(c.At(0, 0, 0)) {
+		t.Fatal("new cube must be all NaN")
+	}
+	c.Set(2, 1, 3, 7.5)
+	if c.At(2, 1, 3) != 7.5 {
+		t.Fatal("Set/At broken")
+	}
+	if c.Series(1*4 + 2)[3] != 7.5 {
+		t.Fatal("Series view wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, 5); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := FromFlat(2, 2, 2, make([]float64, 7)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestDropEmptySlices(t *testing.T) {
+	c, _ := New(2, 2, 6)
+	// Populate dates 1 and 4 only.
+	c.Set(0, 0, 1, 0.5)
+	c.Set(1, 1, 4, 0.7)
+	out, keep, err := c.DropEmptySlices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dates != 2 || len(keep) != 2 || keep[0] != 1 || keep[1] != 4 {
+		t.Fatalf("keep = %v, dates = %d", keep, out.Dates)
+	}
+	if out.At(0, 0, 0) != 0.5 || out.At(1, 1, 1) != 0.7 {
+		t.Fatal("values misplaced after compaction")
+	}
+	if !math.IsNaN(out.At(1, 0, 0)) {
+		t.Fatal("unpopulated pixel must stay NaN")
+	}
+}
+
+func TestDropEmptySlicesAllEmpty(t *testing.T) {
+	c, _ := New(2, 2, 3)
+	if _, _, err := c.DropEmptySlices(); err == nil {
+		t.Fatal("expected error for all-empty cube")
+	}
+}
+
+func TestDropEmptySlicesNoneEmpty(t *testing.T) {
+	c, _ := New(1, 1, 4)
+	for t0 := 0; t0 < 4; t0++ {
+		c.Set(0, 0, t0, float64(t0))
+	}
+	out, keep, err := c.DropEmptySlices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dates != 4 || len(keep) != 4 {
+		t.Fatal("nothing should be dropped")
+	}
+}
+
+func TestChunks(t *testing.T) {
+	c, _ := New(10, 10, 4)
+	chunks := c.Chunks(7)
+	if len(chunks) != 7 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	total := 0
+	prevEnd := 0
+	for _, ch := range chunks {
+		if ch.Start != prevEnd {
+			t.Fatalf("chunk start %d, want %d", ch.Start, prevEnd)
+		}
+		if len(ch.Values) != ch.Pixels*ch.Dates {
+			t.Fatal("chunk view size wrong")
+		}
+		total += ch.Pixels
+		prevEnd = ch.Start + ch.Pixels
+	}
+	if total != 100 {
+		t.Fatalf("chunks cover %d pixels, want 100", total)
+	}
+	// Balanced: sizes differ by at most 1.
+	min, max := chunks[0].Pixels, chunks[0].Pixels
+	for _, ch := range chunks {
+		if ch.Pixels < min {
+			min = ch.Pixels
+		}
+		if ch.Pixels > max {
+			max = ch.Pixels
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("unbalanced chunks: %d..%d", min, max)
+	}
+}
+
+func TestChunksEdgeCases(t *testing.T) {
+	c, _ := New(2, 1, 3)
+	if got := len(c.Chunks(0)); got != 1 {
+		t.Fatalf("Chunks(0) = %d chunks", got)
+	}
+	if got := len(c.Chunks(50)); got != 2 {
+		t.Fatalf("Chunks(50) over 2 pixels = %d chunks", got)
+	}
+}
+
+func TestChunksShareStorage(t *testing.T) {
+	c, _ := New(4, 1, 2)
+	ch := c.Chunks(2)
+	ch[1].Values[0] = 42
+	if c.Series(2)[0] != 42 {
+		t.Fatal("chunks must be views into the cube")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	c, _ := New(5, 4, 7)
+	for i := range c.Values {
+		if rng.Float64() < 0.3 {
+			continue // leave NaN
+		}
+		c.Values[i] = rng.NormFloat64()
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 5 || got.Height != 4 || got.Dates != 7 {
+		t.Fatal("dimensions lost")
+	}
+	for i := range c.Values {
+		w := float64(float32(c.Values[i])) // format stores float32
+		g := got.Values[i]
+		if w != g && !(math.IsNaN(w) && math.IsNaN(g)) {
+			t.Fatalf("value %d: %v vs %v", i, w, g)
+		}
+	}
+}
+
+func TestWriteReadFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.bfc")
+	c, _ := New(3, 3, 2)
+	c.Set(1, 1, 1, 9)
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1, 1, 1) != 9 {
+		t.Fatal("file round trip lost data")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.bfc")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a cube"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected EOF error")
+	}
+	// Valid magic, absurd dimensions.
+	var buf bytes.Buffer
+	buf.Write(cubeMagic[:])
+	for i := 0; i < 3; i++ {
+		buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	// Truncated payload.
+	buf.Reset()
+	buf.Write(cubeMagic[:])
+	buf.Write([]byte{2, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0})
+	buf.Write(make([]byte, 8)) // 2 of 32 payload bytes
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h, d := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(8)
+		c, _ := New(w, h, d)
+		for i := range c.Values {
+			c.Values[i] = float64(float32(rng.NormFloat64()))
+		}
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range c.Values {
+			if got.Values[i] != c.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakMapCounts(t *testing.T) {
+	m := NewBreakMap(2, 2, 10)
+	m.Break[0] = 3
+	m.Magnitude[0] = -0.5
+	m.Break[1] = 7
+	m.Magnitude[1] = +0.2
+	m.Magnitude[2] = 0.0 // processable, no break
+	total, neg := m.CountBreaks()
+	if total != 2 || neg != 1 {
+		t.Fatalf("counts = %d, %d; want 2, 1", total, neg)
+	}
+}
+
+func TestTimingPPMOutput(t *testing.T) {
+	m := NewBreakMap(3, 1, 10)
+	m.Break[0] = 0
+	m.Magnitude[0] = -1 // early negative break: yellow-ish
+	m.Magnitude[1] = 0  // stable: green
+	// pixel 2 stays NaN: gray
+	var buf bytes.Buffer
+	if err := m.WriteTimingPPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "P6\n3 1\n255\n") {
+		t.Fatalf("bad PPM header: %q", s[:12])
+	}
+	body := buf.Bytes()[len("P6\n3 1\n255\n"):]
+	if len(body) != 9 {
+		t.Fatalf("PPM body %d bytes, want 9", len(body))
+	}
+	if body[0] != 255 { // break pixel: red channel saturated
+		t.Fatal("break pixel not rendered on the yellow-red ramp")
+	}
+	if body[3] != 16 || body[4] != 92 { // stable pixel: green
+		t.Fatal("stable pixel not green")
+	}
+	if body[6] != 128 || body[7] != 128 || body[8] != 128 { // masked: gray
+		t.Fatal("masked pixel not gray")
+	}
+}
+
+func TestMagnitudePGMOutput(t *testing.T) {
+	m := NewBreakMap(2, 1, 5)
+	m.Magnitude[0] = -1 // dark
+	m.Magnitude[1] = +1 // light
+	var buf bytes.Buffer
+	if err := m.WriteMagnitudePGM(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()[len("P5\n2 1\n255\n"):]
+	if len(body) != 2 {
+		t.Fatalf("PGM body %d bytes", len(body))
+	}
+	if body[0] >= 128 || body[1] <= 128 {
+		t.Fatalf("magnitude shading wrong: %v", body)
+	}
+}
+
+func TestRenderFiles(t *testing.T) {
+	dir := t.TempDir()
+	m := NewBreakMap(2, 2, 4)
+	if err := m.WriteTimingPPMFile(filepath.Join(dir, "t.ppm")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteMagnitudePGMFile(filepath.Join(dir, "m.pgm"), 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package cube
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// BreakMap is a per-pixel change-detection raster: for each pixel the
+// detected break offset within the monitoring period (-1 = none) and the
+// change magnitude (the MOSUM mean; NaN = pixel not processable). It is
+// the in-memory form of the maps shown in Figs. 3, 9 and 11.
+type BreakMap struct {
+	Width, Height int
+	// MonitorLen is the monitoring-period length the break offsets refer to.
+	MonitorLen int
+	// Break[i] is the break offset of pixel i, or -1.
+	Break []int
+	// Magnitude[i] is the MOSUM mean of pixel i (NaN if unprocessable).
+	Magnitude []float64
+}
+
+// NewBreakMap allocates a map for a W×H scene.
+func NewBreakMap(w, h, monitorLen int) *BreakMap {
+	m := &BreakMap{
+		Width: w, Height: h, MonitorLen: monitorLen,
+		Break:     make([]int, w*h),
+		Magnitude: make([]float64, w*h),
+	}
+	for i := range m.Break {
+		m.Break[i] = -1
+		m.Magnitude[i] = math.NaN()
+	}
+	return m
+}
+
+// CountBreaks returns the number of pixels with a detected break and, of
+// those, how many have negative magnitude (vegetation loss — the red
+// pixels of Fig. 11).
+func (m *BreakMap) CountBreaks() (total, negative int) {
+	for i, b := range m.Break {
+		if b < 0 {
+			continue
+		}
+		total++
+		if m.Magnitude[i] < 0 {
+			negative++
+		}
+	}
+	return
+}
+
+// WriteTimingPPM renders the map as the paper's break-timing figures: gray
+// for unprocessable pixels, dark green for stable forest, and for pixels
+// with a negative-magnitude break a yellow→red ramp encoding *when* in the
+// monitoring period the break occurred (Fig. 9/11 color scheme).
+func (m *BreakMap) WriteTimingPPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P6\n%d %d\n255\n", m.Width, m.Height)
+	px := make([]byte, 3)
+	for i := range m.Break {
+		r, g, b := m.timingColor(i)
+		px[0], px[1], px[2] = r, g, b
+		if _, err := bw.Write(px); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (m *BreakMap) timingColor(i int) (byte, byte, byte) {
+	if math.IsNaN(m.Magnitude[i]) {
+		return 128, 128, 128 // masked / unprocessable
+	}
+	b := m.Break[i]
+	if b < 0 || m.Magnitude[i] >= 0 {
+		return 16, 92, 16 // stable (or greening) forest
+	}
+	// Yellow (early break) → red (late break).
+	frac := 0.0
+	if m.MonitorLen > 1 {
+		frac = float64(b) / float64(m.MonitorLen-1)
+	}
+	return 255, byte(220 * (1 - frac)), 0
+}
+
+// WriteMagnitudePGM renders the magnitude channel as an 8-bit grayscale
+// PGM: 128 = no change, darker = negative magnitude (vegetation loss),
+// lighter = positive. scale maps magnitude 1.0 to the full half-range.
+func (m *BreakMap) WriteMagnitudePGM(w io.Writer, scale float64) error {
+	if scale <= 0 {
+		scale = 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", m.Width, m.Height)
+	for i := range m.Magnitude {
+		v := m.Magnitude[i]
+		var b byte
+		switch {
+		case math.IsNaN(v):
+			b = 0
+		default:
+			g := 128 + v*127*scale
+			if g < 1 {
+				g = 1
+			}
+			if g > 255 {
+				g = 255
+			}
+			b = byte(g)
+		}
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTimingPPMFile writes the timing map to path.
+func (m *BreakMap) WriteTimingPPMFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteTimingPPM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteMagnitudePGMFile writes the magnitude map to path.
+func (m *BreakMap) WriteMagnitudePGMFile(path string, scale float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteMagnitudePGM(f, scale); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

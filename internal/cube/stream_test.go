@@ -1,0 +1,152 @@
+package cube
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestCube(t *testing.T, w, h, d int, seed int64) (string, *Cube) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c, _ := New(w, h, d)
+	for i := range c.Values {
+		if rng.Float64() < 0.3 {
+			continue
+		}
+		c.Values[i] = float64(float32(rng.NormFloat64()))
+	}
+	path := filepath.Join(t.TempDir(), "s.bfc")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, c
+}
+
+func TestReadHeader(t *testing.T) {
+	path, _ := writeTestCube(t, 6, 4, 8, 1)
+	var buf bytes.Buffer
+	c, _ := ReadFile(path)
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Width != 6 || h.Height != 4 || h.Dates != 8 || h.Pixels() != 24 {
+		t.Fatalf("header %+v", h)
+	}
+	if _, err := ReadHeader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}
+
+func TestStreamChunksMatchesFullRead(t *testing.T) {
+	path, want := writeTestCube(t, 10, 7, 9, 2)
+	for _, count := range []int{1, 3, 7, 70, 200} {
+		got := make([]float64, len(want.Values))
+		seen := 0
+		err := StreamChunks(path, count, func(h Header, ch Chunk) error {
+			copy(got[ch.Start*ch.Dates:], ch.Values)
+			seen += ch.Pixels
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("count=%d: %v", count, err)
+		}
+		if seen != 70 {
+			t.Fatalf("count=%d: saw %d pixels", count, seen)
+		}
+		for i := range want.Values {
+			w, g := want.Values[i], got[i]
+			if w != g && !(math.IsNaN(w) && math.IsNaN(g)) {
+				t.Fatalf("count=%d: value %d differs: %v vs %v", count, i, g, w)
+			}
+		}
+	}
+}
+
+func TestStreamChunksCallbackError(t *testing.T) {
+	path, _ := writeTestCube(t, 4, 4, 4, 3)
+	boom := errors.New("boom")
+	calls := 0
+	err := StreamChunks(path, 4, func(Header, Chunk) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times, want 2", calls)
+	}
+}
+
+func TestStreamChunksMissingFile(t *testing.T) {
+	if err := StreamChunks("/nonexistent.bfc", 1, func(Header, Chunk) error { return nil }); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestStreamChunksTruncatedFile(t *testing.T) {
+	path, c := writeTestCube(t, 4, 4, 4, 4)
+	// Truncate the payload.
+	data, err := readAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(t.TempDir(), "short.bfc")
+	if err := writeAll(short, data[:len(data)-8]); err != nil {
+		t.Fatal(err)
+	}
+	err = StreamChunks(short, 2, func(Header, Chunk) error { return nil })
+	if err == nil {
+		t.Fatal("truncated file must fail")
+	}
+	_ = c
+}
+
+func readAll(path string) ([]byte, error)  { return os.ReadFile(path) }
+func writeAll(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }
+
+// TestReadNeverPanicsOnGarbage: random byte soup must produce errors, not
+// panics (format-robustness fuzzing).
+func TestReadNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		data := make([]byte, n)
+		rng.Read(data)
+		if trial%3 == 0 && n >= 4 {
+			copy(data, cubeMagic[:]) // valid magic, garbage rest
+		}
+		_, _ = Read(bytes.NewReader(data)) // must not panic
+	}
+}
+
+// TestStreamChunksNeverPanicsOnGarbage hardens the streaming header path.
+func TestStreamChunksNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	dir := t.TempDir()
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(200)
+		data := make([]byte, n)
+		rng.Read(data)
+		if trial%3 == 0 && n >= 4 {
+			copy(data, cubeMagic[:])
+		}
+		path := dir + "/g.bfc"
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_ = StreamChunks(path, 3, func(Header, Chunk) error { return nil })
+	}
+}

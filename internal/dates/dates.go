@@ -1,0 +1,102 @@
+// Package dates maps real acquisition calendars onto the model's time
+// axis. bfastmonitor works in decimal years (a Landsat acquisition on
+// 2010-07-02 is t ≈ 2010.5, the seasonal frequency is 1 cycle/year); the
+// paper's regular formulation uses integer date indices with f
+// observations per cycle. This package provides the decimal-year
+// conversion, Landsat-like calendar generators, and the translation of
+// "monitor from year Y" into the History index the detector needs — the
+// glue between satellite metadata and the core algorithm.
+package dates
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bfast/internal/series"
+)
+
+// DecimalYear converts a timestamp to a fractional year (2010-07-02 →
+// ≈2010.5), the time coordinate bfastmonitor fits in.
+func DecimalYear(t time.Time) float64 {
+	t = t.UTC()
+	year := t.Year()
+	start := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(year+1, 1, 1, 0, 0, 0, 0, time.UTC)
+	return float64(year) + float64(t.Sub(start))/float64(end.Sub(start))
+}
+
+// Axis is an ordered acquisition calendar.
+type Axis struct {
+	// Times are the acquisition timestamps, strictly increasing.
+	Times []time.Time
+	// Years caches the decimal-year coordinates of Times.
+	Years []float64
+}
+
+// NewAxis validates and wraps an acquisition calendar.
+func NewAxis(times []time.Time) (*Axis, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("dates: empty calendar")
+	}
+	years := make([]float64, len(times))
+	for i, t := range times {
+		if i > 0 && !times[i-1].Before(t) {
+			return nil, fmt.Errorf("dates: calendar not strictly increasing at %d (%v after %v)",
+				i, times[i-1], t)
+		}
+		years[i] = DecimalYear(t)
+	}
+	return &Axis{Times: times, Years: years}, nil
+}
+
+// Landsat16Day generates a 16-day composite calendar from start (inclusive)
+// for n acquisitions — the Landsat revisit cadence behind the paper's
+// f = 23 configuration.
+func Landsat16Day(start time.Time, n int) ([]time.Time, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dates: need n > 0 acquisitions")
+	}
+	out := make([]time.Time, n)
+	for i := range out {
+		out[i] = start.UTC().AddDate(0, 0, 16*i)
+	}
+	return out, nil
+}
+
+// Len returns the number of acquisitions.
+func (a *Axis) Len() int { return len(a.Times) }
+
+// IndexAtOrAfter returns the index of the first acquisition at or after t,
+// or Len() if every acquisition is earlier.
+func (a *Axis) IndexAtOrAfter(t time.Time) int {
+	return sort.Search(len(a.Times), func(i int) bool {
+		return !a.Times[i].Before(t)
+	})
+}
+
+// HistoryLengthFor translates "monitoring starts at monitorStart" into the
+// History parameter of the detector: the number of acquisitions strictly
+// before monitorStart. It errors when that leaves no history or no
+// monitoring data.
+func (a *Axis) HistoryLengthFor(monitorStart time.Time) (int, error) {
+	idx := a.IndexAtOrAfter(monitorStart)
+	if idx == 0 {
+		return 0, fmt.Errorf("dates: no acquisitions before monitoring start %v", monitorStart)
+	}
+	if idx >= len(a.Times) {
+		return 0, fmt.Errorf("dates: no acquisitions in the monitoring period from %v", monitorStart)
+	}
+	return idx, nil
+}
+
+// Design builds the design matrix at the calendar's decimal-year
+// coordinates with an annual seasonal cycle (f = 1): the exact
+// irregular-time formulation bfastmonitor fits. k is the number of
+// harmonics; trend selects the linear-trend regressor.
+func (a *Axis) Design(k int, trend bool) (*series.DesignMatrix, error) {
+	return series.MakeDesignAt(a.Years, k, 1, trend)
+}
+
+// YearOf returns the calendar year of acquisition i.
+func (a *Axis) YearOf(i int) int { return a.Times[i].UTC().Year() }

@@ -1,0 +1,180 @@
+package dates
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bfast/internal/core"
+)
+
+func TestDecimalYear(t *testing.T) {
+	jan1 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	if got := DecimalYear(jan1); got != 2010 {
+		t.Fatalf("DecimalYear(2010-01-01) = %v", got)
+	}
+	jul2 := time.Date(2010, 7, 2, 12, 0, 0, 0, time.UTC)
+	if got := DecimalYear(jul2); math.Abs(got-2010.5) > 0.01 {
+		t.Fatalf("DecimalYear(2010-07-02) = %v, want ≈2010.5", got)
+	}
+	// Leap year: mid-2012 is day 183 of 366.
+	leap := time.Date(2012, 12, 31, 0, 0, 0, 0, time.UTC)
+	if got := DecimalYear(leap); got >= 2013 || got < 2012.99 {
+		t.Fatalf("DecimalYear(2012-12-31) = %v", got)
+	}
+}
+
+func TestLandsat16Day(t *testing.T) {
+	start := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	ts, err := Landsat16Day(start, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 23 {
+		t.Fatalf("got %d acquisitions", len(ts))
+	}
+	if ts[1].Sub(ts[0]) != 16*24*time.Hour {
+		t.Fatal("cadence must be 16 days")
+	}
+	// 23 acquisitions × 16 days ≈ 1 year.
+	span := ts[22].Sub(ts[0])
+	if span < 350*24*time.Hour || span > 360*24*time.Hour {
+		t.Fatalf("23 acquisitions span %v, want ≈1 year", span)
+	}
+	if _, err := Landsat16Day(start, 0); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+}
+
+func TestNewAxisValidation(t *testing.T) {
+	if _, err := NewAxis(nil); err == nil {
+		t.Fatal("empty calendar must fail")
+	}
+	a := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := NewAxis([]time.Time{a, a}); err == nil {
+		t.Fatal("duplicate timestamps must fail")
+	}
+	if _, err := NewAxis([]time.Time{a.AddDate(0, 0, 1), a}); err == nil {
+		t.Fatal("decreasing calendar must fail")
+	}
+}
+
+func TestHistoryLengthFor(t *testing.T) {
+	start := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	ts, _ := Landsat16Day(start, 250) // ~11 years
+	axis, err := NewAxis(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	n, err := axis.HistoryLengthFor(monitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 years of 16-day acquisitions ≈ 228.
+	if n < 225 || n > 232 {
+		t.Fatalf("history length %d, want ≈228", n)
+	}
+	if !axis.Times[n-1].Before(monitor) || axis.Times[n].Before(monitor) {
+		t.Fatal("history boundary misplaced")
+	}
+	if _, err := axis.HistoryLengthFor(start.AddDate(-1, 0, 0)); err == nil {
+		t.Fatal("monitoring before first acquisition must fail")
+	}
+	if _, err := axis.HistoryLengthFor(ts[len(ts)-1].AddDate(0, 0, 1)); err == nil {
+		t.Fatal("monitoring after last acquisition must fail")
+	}
+}
+
+func TestDesignAnnualCycle(t *testing.T) {
+	start := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	ts, _ := Landsat16Day(start, 100)
+	axis, _ := NewAxis(ts)
+	x, err := axis.Design(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.K != 6 || x.N != 100 {
+		t.Fatalf("design shape %dx%d", x.K, x.N)
+	}
+	// The first harmonic must have an annual period: acquisitions one year
+	// apart (≈23 steps) get nearly equal phase.
+	for i := 0; i+23 < 100; i += 10 {
+		dy := axis.Years[i+23] - axis.Years[i]
+		if math.Abs(dy-1.0) > 0.02 {
+			continue
+		}
+		if math.Abs(float64(x.At(2, i)-x.At(2, i+23))) > 0.1 {
+			t.Fatalf("annual harmonic not periodic: %v vs %v", x.At(2, i), x.At(2, i+23))
+		}
+	}
+}
+
+func TestEndToEndWithRealCalendarAndGaps(t *testing.T) {
+	// A realistic irregular calendar: 16-day cadence with 30% of
+	// acquisitions missing entirely (failed downlinks), decimal-year time
+	// axis, break injected mid-monitoring. The detector must work off the
+	// axis-derived design matrix.
+	rng := rand.New(rand.NewSource(11))
+	start := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	all, _ := Landsat16Day(start, 340)
+	var kept []time.Time
+	for _, ts := range all {
+		if rng.Float64() < 0.3 {
+			continue
+		}
+		kept = append(kept, ts)
+	}
+	axis, err := NewAxis(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	n, err := axis.HistoryLengthFor(monitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := axis.Design(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakYear := 2012.0
+	y := make([]float64, axis.Len())
+	for i, yr := range axis.Years {
+		v := 0.5 + 0.3*math.Sin(2*math.Pi*yr) + rng.NormFloat64()*0.02
+		if yr >= breakYear {
+			v -= 0.5
+		}
+		y[i] = v
+	}
+	opt := core.DefaultOptions(n)
+	opt.Frequency = 1 // the axis design uses decimal years
+	res, err := core.Detect(y, x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasBreak() {
+		t.Fatalf("missed the 2012 break: %+v", res)
+	}
+	when := axis.Years[n+resIndexToFiltered(res.BreakIndex)]
+	if when < breakYear || when > breakYear+1 {
+		t.Fatalf("break dated %v, want within a year after %v", when, breakYear)
+	}
+	if res.MosumMean >= 0 {
+		t.Fatal("deforestation must have negative magnitude")
+	}
+}
+
+// resIndexToFiltered: BreakIndex is an offset within the original
+// monitoring period, which here has no NaNs beyond the calendar gaps that
+// were removed up front, so it maps directly.
+func resIndexToFiltered(i int) int { return i }
+
+func TestYearOf(t *testing.T) {
+	ts, _ := Landsat16Day(time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC), 3)
+	axis, _ := NewAxis(ts)
+	if axis.YearOf(0) != 2005 {
+		t.Fatal("YearOf wrong")
+	}
+}

@@ -1,0 +1,84 @@
+// Package flops computes the specification flop counts of §IV-A: the
+// worst-case number of floating-point operations derived algebraically
+// from the high-level specification (Fig. 12), assuming every value is
+// valid and every flop — including sqrt and log — has unit cost. Dividing
+// these counts by runtime yields GFlops^Sp, the normalized-throughput
+// metric the paper reports, which is comparable across differently
+// optimized code versions and across datasets.
+package flops
+
+// Sizes carries the dataset-specific parameters of the formulas.
+type Sizes struct {
+	// M is the number of pixels.
+	M int
+	// N is the time-series length.
+	N int
+	// History is n, the history-period length.
+	History int
+	// K is the number of model coefficients (2k+2).
+	K int
+	// HFrac is the MOSUM window fraction (h = hf·n).
+	HFrac float64
+}
+
+// MaskedMatMul is the Fig. 6 kernel count: 4·M·n·K² (one multiply for
+// a·b, one for the mask factor, one multiply-add for the accumulation,
+// per (pixel, j₁, j₂, date)).
+func (s Sizes) MaskedMatMul() float64 {
+	return 4 * f(s.M) * f(s.History) * f(s.K) * f(s.K)
+}
+
+// MatInv is the Fig. 7 kernel count: 6·M·K³ (K elimination steps over the
+// K×2K adjoined matrix, ~3 flops per element).
+func (s Sizes) MatInv() float64 {
+	return 6 * f(s.M) * f(s.K) * f(s.K) * f(s.K)
+}
+
+// MvMulFilt counts ker 4 (β₀ = X_h·y_h under mask): 3·M·n·K.
+func (s Sizes) MvMulFilt() float64 {
+	return 3 * f(s.M) * f(s.History) * f(s.K)
+}
+
+// MvMul counts ker 5 (K×K matrix–vector): 2·M·K².
+func (s Sizes) MvMul() float64 {
+	return 2 * f(s.M) * f(s.K) * f(s.K)
+}
+
+// Predict counts ker 6 (ŷ = Xᵀβ over all N dates): 2·M·N·K.
+func (s Sizes) Predict() float64 {
+	return 2 * f(s.M) * f(s.N) * f(s.K)
+}
+
+// Filter counts ker 7 (residual map2, validity scan, two scatters): 6·M·N.
+func (s Sizes) Filter() float64 {
+	return 6 * f(s.M) * f(s.N)
+}
+
+// Sigma counts ker 8 (n̄ reduce, squared-residual reduce, σ̂): 3·M·n + 4·M.
+func (s Sizes) Sigma() float64 {
+	return 3*f(s.M)*f(s.History) + 4*f(s.M)
+}
+
+// MosumInit counts ker 9 (first window reduce): M·h.
+func (s Sizes) MosumInit() float64 {
+	h := s.HFrac * f(s.History)
+	if h < 1 {
+		h = 1
+	}
+	return f(s.M) * h
+}
+
+// MosumScan counts ker 10 (difference map, scan, normalization, boundary
+// with sqrt/log, comparison, mean and first-break reduces): 9·M·(N−n).
+func (s Sizes) MosumScan() float64 {
+	return 9 * f(s.M) * f(s.N-s.History)
+}
+
+// App is the whole-application count: the sum of all kernel formulas.
+// This is the denominator normalization of Fig. 8.
+func (s Sizes) App() float64 {
+	return s.MaskedMatMul() + s.MatInv() + s.MvMulFilt() + s.MvMul() +
+		s.Predict() + s.Filter() + s.Sigma() + s.MosumInit() + s.MosumScan()
+}
+
+func f(v int) float64 { return float64(v) }

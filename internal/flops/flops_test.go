@@ -1,0 +1,54 @@
+package flops
+
+import "testing"
+
+func d1() Sizes {
+	return Sizes{M: 16384, N: 1024, History: 512, K: 8, HFrac: 0.25}
+}
+
+func TestMaskedMatMulFormula(t *testing.T) {
+	// 4·M·n·K² for D1 = 4·16384·512·64.
+	if got, want := d1().MaskedMatMul(), 4.0*16384*512*64; got != want {
+		t.Fatalf("MaskedMatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatInvFormula(t *testing.T) {
+	if got, want := d1().MatInv(), 6.0*16384*512; got != want {
+		t.Fatalf("MatInv = %v, want %v", got, want)
+	}
+}
+
+func TestAppIsSumOfKernels(t *testing.T) {
+	s := d1()
+	sum := s.MaskedMatMul() + s.MatInv() + s.MvMulFilt() + s.MvMul() +
+		s.Predict() + s.Filter() + s.Sigma() + s.MosumInit() + s.MosumScan()
+	if s.App() != sum {
+		t.Fatalf("App = %v, want %v", s.App(), sum)
+	}
+}
+
+func TestMaskedMatMulDominatesApp(t *testing.T) {
+	// For the paper's datasets the masked matmul is the largest single
+	// term (that is why it is the headline optimization).
+	s := d1()
+	if s.MaskedMatMul() < 0.5*s.App() {
+		t.Fatalf("matmul %v should dominate app %v", s.MaskedMatMul(), s.App())
+	}
+}
+
+func TestMosumInitFloorsWindow(t *testing.T) {
+	s := Sizes{M: 10, N: 8, History: 4, K: 2, HFrac: 0.01}
+	if s.MosumInit() != 10 {
+		t.Fatalf("window must floor at 1 per pixel, got %v", s.MosumInit())
+	}
+}
+
+func TestFormulasScaleLinearlyInM(t *testing.T) {
+	a := d1()
+	b := a
+	b.M *= 2
+	if b.App() != 2*a.App() {
+		t.Fatalf("App must scale linearly in M: %v vs %v", b.App(), a.App())
+	}
+}

@@ -1,0 +1,103 @@
+package geotiff
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"bfast/internal/cube"
+	"bfast/internal/dates"
+)
+
+// Stack assembles a set of single-date images into a data cube plus the
+// acquisition calendar: the per-scene preparation step of the paper's
+// pipeline ("time series of satellite data", one GeoTIFF per date). The
+// images are ordered by their embedded acquisition dates; every image
+// must have the same dimensions.
+func Stack(images []*Image) (*cube.Cube, *dates.Axis, error) {
+	if len(images) == 0 {
+		return nil, nil, fmt.Errorf("geotiff: empty image stack")
+	}
+	type dated struct {
+		im *Image
+		t  time.Time
+	}
+	ds := make([]dated, len(images))
+	w, h := images[0].Width, images[0].Height
+	for i, im := range images {
+		if im.Width != w || im.Height != h {
+			return nil, nil, fmt.Errorf("geotiff: image %d is %dx%d, stack is %dx%d",
+				i, im.Width, im.Height, w, h)
+		}
+		t, err := im.Date()
+		if err != nil {
+			return nil, nil, fmt.Errorf("geotiff: image %d: %w", i, err)
+		}
+		ds[i] = dated{im, t}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].t.Before(ds[b].t) })
+
+	times := make([]time.Time, len(ds))
+	for i, d := range ds {
+		times[i] = d.t
+	}
+	axis, err := dates.NewAxis(times)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	c, err := cube.New(w, h, len(ds))
+	if err != nil {
+		return nil, nil, err
+	}
+	for t, d := range ds {
+		for p := 0; p < w*h; p++ {
+			c.Values[p*len(ds)+t] = float64(d.im.Pixels[p])
+		}
+	}
+	return c, axis, nil
+}
+
+// Slice extracts date index t of a cube as an image, stamping the given
+// acquisition time — the inverse of Stack, used to export results or
+// round-trip scenes through the TIFF format.
+func Slice(c *cube.Cube, t int, at time.Time) (*Image, error) {
+	if t < 0 || t >= c.Dates {
+		return nil, fmt.Errorf("geotiff: date %d out of range [0,%d)", t, c.Dates)
+	}
+	im, err := NewImage(c.Width, c.Height)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < c.Pixels(); p++ {
+		im.Pixels[p] = float32(c.Values[p*c.Dates+t])
+	}
+	im.SetDate(at)
+	return im, nil
+}
+
+// NaNFraction returns the missing fraction of the image.
+func (im *Image) NaNFraction() float64 {
+	if len(im.Pixels) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range im.Pixels {
+		if v != v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(im.Pixels))
+}
+
+// IsEmpty reports whether every pixel is missing — the §III-D predicate
+// for dropping slices that contain no data.
+func (im *Image) IsEmpty() bool {
+	for _, v := range im.Pixels {
+		if !math.IsNaN(float64(v)) {
+			return false
+		}
+	}
+	return true
+}

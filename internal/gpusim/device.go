@@ -1,0 +1,289 @@
+// Package gpusim models the execution of the paper's GPU kernels on a
+// CUDA-like device. Go has no practical GPU backend, so — per the
+// reproduction plan in DESIGN.md — the kernels in internal/kernels are
+// executed *functionally* on the host (bit-compatible float32 arithmetic,
+// validated against the scalar reference) while this package accounts for
+// the memory traffic and arithmetic they would generate on the device and
+// converts those counts into modeled runtimes with a calibrated cost model.
+//
+// The paper's performance figures compare optimization variants of the
+// same kernel, and §III-C derives the speed-ups directly from ratios of
+// global-memory accesses (register tiling performs R× fewer accesses;
+// shared-memory inversion performs 3K× fewer). The simulator reproduces
+// exactly those ratios from instrumented execution, which preserves the
+// figures' shape: who wins, and by roughly what factor.
+package gpusim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile holds the cost-model parameters of a simulated device.
+type Profile struct {
+	// Name labels the device in reports.
+	Name string
+	// PeakGFlops is the peak single-precision throughput (FMA counted as
+	// two flops), in Gflop/s.
+	PeakGFlops float64
+	// GlobalBWGBs is the peak global-memory bandwidth in GB/s; fully
+	// coalesced accesses are charged against it directly.
+	GlobalBWGBs float64
+	// CachedFactor is the effective bandwidth multiplier for re-read
+	// global data that hits L1/texture cache (broadcasts, short strides).
+	CachedFactor float64
+	// SharedBWGBs is the aggregate shared-memory (scratchpad) bandwidth
+	// in GB/s across all SMs.
+	SharedBWGBs float64
+	// ResidentBlocks is the number of thread blocks the device can keep
+	// in flight; sequential barrier-separated steps of more blocks than
+	// this serialize in waves.
+	ResidentBlocks int
+	// BarrierStepNS is the modeled latency of one barrier-separated step
+	// of a thread block, in nanoseconds.
+	BarrierStepNS float64
+	// LaunchOverheadUS is the per-kernel launch overhead in microseconds.
+	LaunchOverheadUS float64
+	// BWEfficiency is the achieved fraction of peak memory bandwidth
+	// (DRAM and shared); real kernels rarely sustain more than 50–70%.
+	BWEfficiency float64
+	// WarpSize is the SIMT width; divergent per-pixel loops in fused
+	// kernels pad to the warp maximum (footnote 4 of the paper).
+	WarpSize int
+}
+
+// RTX2080Ti approximates the evaluation GPU of §IV-A: 4352 cores at
+// 1.545 GHz (13.4 TFlop/s FMA), 616 GB/s DRAM, 68 SMs.
+func RTX2080Ti() Profile {
+	return Profile{
+		Name:             "RTX 2080 Ti",
+		PeakGFlops:       13450,
+		GlobalBWGBs:      616,
+		CachedFactor:     4,
+		SharedBWGBs:      13400,
+		ResidentBlocks:   544, // 68 SMs × 8 resident blocks
+		BarrierStepNS:    250,
+		LaunchOverheadUS: 5,
+		BWEfficiency:     0.55,
+		WarpSize:         32,
+	}
+}
+
+// TitanZ approximates the GTX TITAN Z (one of its two GK110 dies) used for
+// the large-scale runs of §V-A: 2880 shader units at ~0.88 GHz, 336 GB/s.
+func TitanZ() Profile {
+	return Profile{
+		Name:             "GTX TITAN Z",
+		PeakGFlops:       5046,
+		GlobalBWGBs:      336,
+		CachedFactor:     4,
+		SharedBWGBs:      5500,
+		ResidentBlocks:   240, // 15 SMX × 16 resident blocks
+		BarrierStepNS:    350,
+		LaunchOverheadUS: 8,
+		BWEfficiency:     0.55,
+		WarpSize:         32,
+	}
+}
+
+// Counters accumulates the work a kernel generates, in element/flop units.
+// All memory counts are in 4-byte (float32) elements.
+type Counters struct {
+	// GlobalCoalesced counts fully-coalesced global-memory element
+	// accesses (unit-stride warp accesses, collective copies).
+	GlobalCoalesced uint64
+	// GlobalCached counts global accesses that re-read recently-used or
+	// broadcast data and are served mostly from L1/texture cache.
+	GlobalCached uint64
+	// Shared counts shared-memory (scratchpad) element accesses.
+	Shared uint64
+	// Flops counts floating-point operations (mul+add of an FMA = 2).
+	Flops uint64
+	// Blocks counts launched thread blocks.
+	Blocks uint64
+	// BarrierSteps counts barrier-separated sequential steps summed over
+	// all blocks (each step costs BarrierStepNS once blocks exceed the
+	// resident capacity they serialize in waves).
+	BarrierSteps uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.GlobalCoalesced += o.GlobalCoalesced
+	c.GlobalCached += o.GlobalCached
+	c.Shared += o.Shared
+	c.Flops += o.Flops
+	c.Blocks += o.Blocks
+	c.BarrierSteps += o.BarrierSteps
+}
+
+// Scale multiplies every counter by f (used to extrapolate a sampled
+// sub-batch execution to the full pixel count).
+func (c *Counters) Scale(f float64) {
+	c.GlobalCoalesced = uint64(float64(c.GlobalCoalesced) * f)
+	c.GlobalCached = uint64(float64(c.GlobalCached) * f)
+	c.Shared = uint64(float64(c.Shared) * f)
+	c.Flops = uint64(float64(c.Flops) * f)
+	c.Blocks = uint64(float64(c.Blocks) * f)
+	c.BarrierSteps = uint64(float64(c.BarrierSteps) * f)
+}
+
+// GlobalBytes returns the total DRAM traffic in bytes (coalesced plus
+// cache-filtered re-reads).
+func (c Counters) GlobalBytes() float64 {
+	return 4 * float64(c.GlobalCoalesced+c.GlobalCached)
+}
+
+// Breakdown is the per-resource time decomposition of a kernel execution.
+type Breakdown struct {
+	MemGlobal time.Duration
+	MemShared time.Duration
+	Compute   time.Duration
+	Latency   time.Duration
+	Launch    time.Duration
+}
+
+// KernelTime converts counters into a modeled kernel runtime under the
+// roofline assumption: the kernel is bound by the slowest of its DRAM
+// traffic, shared-memory traffic, arithmetic, and barrier-latency chains,
+// plus the fixed launch overhead.
+func (p Profile) KernelTime(c Counters) (time.Duration, Breakdown) {
+	eff := p.BWEfficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	secGlobal := 4 * float64(c.GlobalCoalesced) / (p.GlobalBWGBs * eff * 1e9)
+	secGlobal += 4 * float64(c.GlobalCached) / (p.GlobalBWGBs * p.CachedFactor * eff * 1e9)
+	secShared := 4 * float64(c.Shared) / (p.SharedBWGBs * eff * 1e9)
+	secFlops := float64(c.Flops) / (p.PeakGFlops * 1e9)
+	waves := 1.0
+	if c.Blocks > uint64(p.ResidentBlocks) && c.Blocks > 0 {
+		waves = float64(c.BarrierSteps) / float64(c.Blocks) * // steps per block
+			(float64(c.Blocks) / float64(p.ResidentBlocks)) // serialized waves
+	} else {
+		waves = float64(c.BarrierSteps) / maxf(1, float64(c.Blocks))
+	}
+	secLatency := waves * p.BarrierStepNS * 1e-9
+	b := Breakdown{
+		MemGlobal: time.Duration(secGlobal * 1e9),
+		MemShared: time.Duration(secShared * 1e9),
+		Compute:   time.Duration(secFlops * 1e9),
+		Latency:   time.Duration(secLatency * 1e9),
+		Launch:    time.Duration(p.LaunchOverheadUS * 1e3),
+	}
+	max := b.MemGlobal
+	if b.MemShared > max {
+		max = b.MemShared
+	}
+	if b.Compute > max {
+		max = b.Compute
+	}
+	if b.Latency > max {
+		max = b.Latency
+	}
+	return max + b.Launch, b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// KernelRun is the record of one simulated kernel execution.
+type KernelRun struct {
+	// Name identifies the kernel and variant ("mmMulFilt/register-tiled").
+	Name string
+	// Counters is the accumulated work (already scaled to the full batch
+	// if the execution was sampled).
+	Counters Counters
+	// Time is the modeled runtime on the device.
+	Time time.Duration
+	// Breakdown decomposes Time by bounding resource.
+	Breakdown Breakdown
+	// Eff is the per-run bandwidth-efficiency multiplier the run was
+	// recorded with (1 for cooperating-block kernels; <1 for fused
+	// sequential kernels). Needed to re-model the run at another scale.
+	Eff float64
+}
+
+// Rescale re-models the run with its counters multiplied by f — the
+// correct way to extrapolate a sampled execution to a larger batch
+// (scaling the *time* would wrongly multiply the fixed launch overhead).
+func (p Profile) Rescale(r KernelRun, f float64) KernelRun {
+	c := r.Counters
+	c.Scale(f)
+	eff := r.Eff
+	if eff > 0 && eff < 1 {
+		if p.BWEfficiency <= 0 || p.BWEfficiency > 1 {
+			p.BWEfficiency = 1
+		}
+		p.BWEfficiency *= eff
+	}
+	t, b := p.KernelTime(c)
+	return KernelRun{Name: r.Name, Counters: c, Time: t, Breakdown: b, Eff: r.Eff}
+}
+
+// GFlopsSp returns the specification-GFlop/s metric of §IV-A: specFlops is
+// the worst-case flop count computed algebraically from the high-level
+// specification (see internal/flops), divided by the modeled runtime.
+func (r KernelRun) GFlopsSp(specFlops float64) float64 {
+	s := r.Time.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return specFlops / s / 1e9
+}
+
+// Device carries a profile and accumulates kernel runs.
+type Device struct {
+	Profile Profile
+	Runs    []KernelRun
+}
+
+// NewDevice returns a device with the given profile.
+func NewDevice(p Profile) *Device { return &Device{Profile: p} }
+
+// Record models the runtime for counters and appends a run.
+func (d *Device) Record(name string, c Counters) KernelRun {
+	return d.RecordEff(name, c, 1)
+}
+
+// RecordEff models the runtime with the device's bandwidth efficiency
+// additionally scaled by eff — used for fused one-thread-per-pixel kernels
+// whose sequential access streams expose less memory-level parallelism
+// than cooperating blocks and therefore sustain a lower fraction of peak
+// bandwidth.
+func (d *Device) RecordEff(name string, c Counters, eff float64) KernelRun {
+	p := d.Profile
+	if eff > 0 && eff < 1 {
+		if p.BWEfficiency <= 0 || p.BWEfficiency > 1 {
+			p.BWEfficiency = 1
+		}
+		p.BWEfficiency *= eff
+	}
+	t, b := p.KernelTime(c)
+	run := KernelRun{Name: name, Counters: c, Time: t, Breakdown: b, Eff: eff}
+	d.Runs = append(d.Runs, run)
+	return run
+}
+
+// TotalTime sums the modeled time of all recorded runs.
+func (d *Device) TotalTime() time.Duration {
+	var t time.Duration
+	for _, r := range d.Runs {
+		t += r.Time
+	}
+	return t
+}
+
+// String renders the device run log.
+func (d *Device) String() string {
+	s := fmt.Sprintf("%s:\n", d.Profile.Name)
+	for _, r := range d.Runs {
+		s += fmt.Sprintf("  %-32s %12v  %8.1f MB DRAM  %10d flops\n",
+			r.Name, r.Time, r.Counters.GlobalBytes()/1e6, r.Counters.Flops)
+	}
+	return s
+}

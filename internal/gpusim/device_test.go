@@ -1,0 +1,183 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []Profile{RTX2080Ti(), TitanZ()} {
+		if p.PeakGFlops <= 0 || p.GlobalBWGBs <= 0 || p.SharedBWGBs <= 0 {
+			t.Fatalf("%s: non-positive rates", p.Name)
+		}
+		if p.SharedBWGBs <= p.GlobalBWGBs {
+			t.Fatalf("%s: shared memory must be faster than global", p.Name)
+		}
+		if p.BWEfficiency <= 0 || p.BWEfficiency > 1 {
+			t.Fatalf("%s: BWEfficiency out of range", p.Name)
+		}
+		if p.WarpSize != 32 {
+			t.Fatalf("%s: warp size %d", p.Name, p.WarpSize)
+		}
+	}
+}
+
+func TestKernelTimeMemoryBound(t *testing.T) {
+	p := RTX2080Ti()
+	// 1 GB of coalesced traffic, negligible flops.
+	c := Counters{GlobalCoalesced: 1 << 28, Blocks: 1}
+	dt, b := p.KernelTime(c)
+	wantSec := float64(4*(1<<28)) / (p.GlobalBWGBs * p.BWEfficiency * 1e9)
+	if got := b.MemGlobal.Seconds(); got < wantSec*0.99 || got > wantSec*1.01 {
+		t.Fatalf("MemGlobal %v, want %v s", got, wantSec)
+	}
+	if dt < b.MemGlobal {
+		t.Fatal("total must be at least the bounding resource")
+	}
+}
+
+func TestKernelTimeComputeBound(t *testing.T) {
+	p := RTX2080Ti()
+	c := Counters{Flops: 1 << 40, Blocks: 1}
+	_, b := p.KernelTime(c)
+	if b.Compute <= b.MemGlobal {
+		t.Fatal("pure-flop kernel must be compute bound")
+	}
+}
+
+func TestKernelTimeCachedCheaperThanCoalesced(t *testing.T) {
+	p := RTX2080Ti()
+	_, bc := p.KernelTime(Counters{GlobalCoalesced: 1 << 26, Blocks: 1})
+	_, bh := p.KernelTime(Counters{GlobalCached: 1 << 26, Blocks: 1})
+	if bh.MemGlobal >= bc.MemGlobal {
+		t.Fatal("cached accesses must be cheaper than DRAM-coalesced ones")
+	}
+}
+
+func TestKernelTimeSharedCheaperThanGlobal(t *testing.T) {
+	p := RTX2080Ti()
+	_, bg := p.KernelTime(Counters{GlobalCoalesced: 1 << 26, Blocks: 1})
+	_, bs := p.KernelTime(Counters{Shared: 1 << 26, Blocks: 1})
+	if bs.MemShared >= bg.MemGlobal {
+		t.Fatal("shared accesses must be cheaper than global ones")
+	}
+}
+
+func TestKernelTimeLaunchOverheadFloor(t *testing.T) {
+	p := RTX2080Ti()
+	dt, _ := p.KernelTime(Counters{})
+	want := time.Duration(p.LaunchOverheadUS * 1e3)
+	if dt < want {
+		t.Fatalf("empty kernel %v must still pay launch overhead %v", dt, want)
+	}
+}
+
+func TestKernelTimeBarrierWaves(t *testing.T) {
+	p := RTX2080Ti()
+	// Fewer blocks than resident capacity: latency = steps-per-block.
+	few := Counters{Blocks: 10, BarrierSteps: 100}
+	_, bf := p.KernelTime(few)
+	wantFew := 10 * p.BarrierStepNS * 1e-9 // 100 steps / 10 blocks
+	if got := bf.Latency.Seconds(); got < wantFew*0.99 || got > wantFew*1.01 {
+		t.Fatalf("few-block latency %v, want %v", got, wantFew)
+	}
+	// More blocks than resident capacity: waves serialize.
+	many := Counters{Blocks: uint64(p.ResidentBlocks * 4), BarrierSteps: uint64(p.ResidentBlocks * 4 * 10)}
+	_, bm := p.KernelTime(many)
+	wantMany := 10.0 * 4 * p.BarrierStepNS * 1e-9
+	if got := bm.Latency.Seconds(); got < wantMany*0.99 || got > wantMany*1.01 {
+		t.Fatalf("many-block latency %v, want %v", got, wantMany)
+	}
+}
+
+func TestCountersAddScale(t *testing.T) {
+	a := Counters{GlobalCoalesced: 1, GlobalCached: 2, Shared: 3, Flops: 4, Blocks: 5, BarrierSteps: 6}
+	b := a
+	a.Add(b)
+	if a.GlobalCoalesced != 2 || a.BarrierSteps != 12 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	a.Scale(0.5)
+	if a.GlobalCoalesced != 1 || a.Flops != 4 {
+		t.Fatalf("Scale wrong: %+v", a)
+	}
+}
+
+func TestGlobalBytes(t *testing.T) {
+	c := Counters{GlobalCoalesced: 10, GlobalCached: 5}
+	if c.GlobalBytes() != 60 {
+		t.Fatalf("GlobalBytes = %v, want 60", c.GlobalBytes())
+	}
+}
+
+func TestDeviceRecordAccumulates(t *testing.T) {
+	d := NewDevice(RTX2080Ti())
+	d.Record("a", Counters{GlobalCoalesced: 1 << 20, Blocks: 1})
+	d.Record("b", Counters{GlobalCoalesced: 1 << 20, Blocks: 1})
+	if len(d.Runs) != 2 {
+		t.Fatalf("expected 2 runs, got %d", len(d.Runs))
+	}
+	if d.TotalTime() <= d.Runs[0].Time {
+		t.Fatal("TotalTime must sum runs")
+	}
+	if !strings.Contains(d.String(), "a") {
+		t.Fatal("String must list run names")
+	}
+}
+
+func TestRecordEffSlowsMemory(t *testing.T) {
+	d := NewDevice(RTX2080Ti())
+	c := Counters{GlobalCoalesced: 1 << 26, Blocks: 1}
+	fast := d.Record("fast", c)
+	slow := d.RecordEff("slow", c, 0.5)
+	if slow.Time <= fast.Time {
+		t.Fatalf("eff=0.5 run (%v) must be slower than eff=1 (%v)", slow.Time, fast.Time)
+	}
+}
+
+func TestGFlopsSp(t *testing.T) {
+	r := KernelRun{Time: time.Second}
+	if got := r.GFlopsSp(2e9); got != 2 {
+		t.Fatalf("GFlopsSp = %v, want 2", got)
+	}
+	r.Time = 0
+	if got := r.GFlopsSp(2e9); got != 0 {
+		t.Fatal("zero-time run must return 0")
+	}
+}
+
+func TestRescaleScalesCountersNotOverhead(t *testing.T) {
+	p := RTX2080Ti()
+	d := NewDevice(p)
+	// A memory-bound run: rescaling by 8 must scale the memory time by 8
+	// but keep the launch overhead fixed.
+	run := d.Record("r", Counters{GlobalCoalesced: 1 << 24, Blocks: 64})
+	scaled := p.Rescale(run, 8)
+	wantMem := 8 * run.Breakdown.MemGlobal.Seconds()
+	if got := scaled.Breakdown.MemGlobal.Seconds(); got < wantMem*0.99 || got > wantMem*1.01 {
+		t.Fatalf("rescaled memory %v, want %v", got, wantMem)
+	}
+	if scaled.Breakdown.Launch != run.Breakdown.Launch {
+		t.Fatal("launch overhead must not scale")
+	}
+	if scaled.Counters.GlobalCoalesced != 8*run.Counters.GlobalCoalesced {
+		t.Fatal("counters must scale")
+	}
+}
+
+func TestRescalePreservesEff(t *testing.T) {
+	p := RTX2080Ti()
+	d := NewDevice(p)
+	c := Counters{GlobalCoalesced: 1 << 24, Blocks: 8}
+	slow := d.RecordEff("s", c, 0.5)
+	fast := d.Record("f", c)
+	sSlow := p.Rescale(slow, 4)
+	sFast := p.Rescale(fast, 4)
+	if sSlow.Time <= sFast.Time {
+		t.Fatal("rescale must preserve the per-run efficiency penalty")
+	}
+	if sSlow.Eff != 0.5 {
+		t.Fatalf("eff lost: %v", sSlow.Eff)
+	}
+}

@@ -1,0 +1,282 @@
+// Package history implements stable-history selection for BFAST-Monitor.
+// The monitoring theory assumes the history period is itself free of
+// structural change; bfastmonitor's default `history = "ROC"` guards this
+// by running a *reverse-ordered CUSUM* test (Pesaran & Timmermann 2002 as
+// used by Verbesselt et al. 2012): recursive residuals are computed on the
+// history in reverse chronological order, and if their cumulative sum
+// leaves the Brown-Durbin-Evans boundary, everything before the last
+// crossing is discarded from the history.
+//
+// This is an extension over the paper's kernel (which takes n as given),
+// provided because real deployments run ROC before monitoring; it composes
+// with the detection pipeline by masking the pre-stable observations.
+package history
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bfast/internal/core"
+	"bfast/internal/linalg"
+	"bfast/internal/series"
+)
+
+// bdeCritical holds the Brown-Durbin-Evans critical values for the
+// Rec-CUSUM linear boundary b(t) = λ·(1+2t), by significance level.
+var bdeCritical = map[float64]float64{
+	0.10: 0.850,
+	0.05: 0.948,
+	0.01: 1.143,
+}
+
+// CriticalValue returns the Rec-CUSUM boundary scale for a significance
+// level ∈ {0.10, 0.05, 0.01}.
+func CriticalValue(level float64) (float64, error) {
+	for lv, lam := range bdeCritical {
+		if math.Abs(lv-level) < 1e-9 {
+			return lam, nil
+		}
+	}
+	return 0, fmt.Errorf("history: no Rec-CUSUM critical value for level %g (have 0.10, 0.05, 0.01)", level)
+}
+
+// ROC determines the start of the stable history for one pixel series.
+// y is the full series (NaN = missing), x the matching design matrix,
+// historyLen the nominal history length n, and level the test level.
+//
+// It returns the 0-based date index at which the stable history begins:
+// observations before it should be excluded from model fitting. If the
+// reverse recursive CUSUM never crosses its boundary (or there are too few
+// valid observations to test), the whole history is stable and 0 is
+// returned.
+func ROC(y []float64, x *series.DesignMatrix, historyLen int, level float64) (int, error) {
+	if historyLen <= 0 || historyLen > len(y) {
+		return 0, fmt.Errorf("history: history length %d out of range [1,%d]", historyLen, len(y))
+	}
+	if x.N != len(y) {
+		return 0, fmt.Errorf("history: design has %d dates, series %d", x.N, len(y))
+	}
+	lambda, err := CriticalValue(level)
+	if err != nil {
+		return 0, err
+	}
+	K := x.K
+
+	// Collect the valid history observations, newest first.
+	var idx []int
+	for t := historyLen - 1; t >= 0; t-- {
+		if !math.IsNaN(y[t]) {
+			idx = append(idx, t)
+		}
+	}
+	m := len(idx)
+	// Initialize the recursion on 2K points: exactly K points make the
+	// initial normal matrix frequently near-singular for harmonic designs
+	// on irregular dates.
+	init := 2 * K
+	if m <= init+2 {
+		return 0, nil // too short to test; keep everything
+	}
+
+	w, ok := recursiveResiduals(y, x, idx, init)
+	if !ok {
+		return 0, nil // degenerate design on this pixel; keep everything
+	}
+	// σ̂ from the recursive residuals themselves (iid N(0,σ²) under
+	// stability), estimated robustly: under the alternative the residuals
+	// of the unstable segment are exactly the large values that would
+	// inflate a plain standard deviation and mask the crossing, so the
+	// scaled median absolute deviation is used instead.
+	if len(w) < 2 {
+		return 0, nil
+	}
+	sigma := madSigma(w)
+	if sigma <= 0 {
+		return 0, nil
+	}
+
+	// Reverse Rec-CUSUM against the BDE boundary. The recursion runs from
+	// the newest observation backwards, so the FIRST boundary crossing
+	// marks the date at which, looking back from the monitoring start,
+	// the history stops being stable (the bfastmonitor convention: the
+	// history is truncated at the first crossing of the reverse process).
+	norm := 1 / (sigma * math.Sqrt(float64(len(w))))
+	var cusum float64
+	for i, v := range w {
+		cusum += v * norm
+		tFrac := float64(i+1) / float64(len(w))
+		bound := lambda * (1 + 2*tFrac)
+		if math.Abs(cusum) > bound {
+			// w[i] belongs to observation idx[init+i] (the first init
+			// points only initialize the recursion): the stable history
+			// starts at that date.
+			return idx[init+i], nil
+		}
+	}
+	return 0, nil
+}
+
+// recursiveResiduals computes the standardized one-step-ahead prediction
+// errors of the regression fitted incrementally over the observations
+// idx[0], idx[1], … (already in the desired order). The first init
+// observations initialize the fit; residuals are returned for the rest.
+func recursiveResiduals(y []float64, x *series.DesignMatrix, idx []int, init int) ([]float64, bool) {
+	n := x.N
+	K := x.K
+	// Initialize on the first init points: P = (XᵀX)⁻¹, β = P·Xᵀy.
+	xtx := linalg.NewMatrix(K, K)
+	xty := make([]float64, K)
+	col := make([]float64, K)
+	for p := 0; p < init; p++ {
+		t := idx[p]
+		for j := 0; j < K; j++ {
+			col[j] = x.Data[j*n+t]
+		}
+		for a := 0; a < K; a++ {
+			for b := 0; b < K; b++ {
+				xtx.Data[a*K+b] += col[a] * col[b]
+			}
+			xty[a] += col[a] * y[t]
+		}
+	}
+	P, err := linalg.InvertPivot(xtx)
+	if err != nil {
+		return nil, false
+	}
+	beta := linalg.MatVec(P, xty)
+
+	w := make([]float64, 0, len(idx)-init)
+	px := make([]float64, K)
+	for p := init; p < len(idx); p++ {
+		t := idx[p]
+		for j := 0; j < K; j++ {
+			col[j] = x.Data[j*n+t]
+		}
+		// f = 1 + xᵀPx and the gain vector Px.
+		f := 1.0
+		for a := 0; a < K; a++ {
+			var acc float64
+			row := P.Data[a*K : (a+1)*K]
+			for b := 0; b < K; b++ {
+				acc += row[b] * col[b]
+			}
+			px[a] = acc
+		}
+		for a := 0; a < K; a++ {
+			f += col[a] * px[a]
+		}
+		if f <= 0 || math.IsNaN(f) {
+			return nil, false
+		}
+		// Prediction error, standardized.
+		pred := 0.0
+		for a := 0; a < K; a++ {
+			pred += col[a] * beta[a]
+		}
+		e := y[t] - pred
+		w = append(w, e/math.Sqrt(f))
+		// Sherman-Morrison update: P ← P − (Px)(Px)ᵀ/f; β ← β + Px·e/f.
+		for a := 0; a < K; a++ {
+			g := px[a] / f
+			beta[a] += g * e
+			for b := 0; b < K; b++ {
+				P.Data[a*K+b] -= g * px[b]
+			}
+		}
+	}
+	return w, true
+}
+
+// MaskUnstable returns a copy of y with every observation before the
+// stable-history start replaced by NaN — the composition point with the
+// standard detection pipeline, which already ignores missing values.
+func MaskUnstable(y []float64, start int) []float64 {
+	out := append([]float64(nil), y...)
+	for t := 0; t < start && t < len(out); t++ {
+		out[t] = math.NaN()
+	}
+	return out
+}
+
+// madSigma estimates the standard deviation of w as 1.4826 times the
+// median absolute deviation from the median — consistent for the normal
+// distribution and robust to a contaminated segment.
+func madSigma(w []float64) float64 {
+	med := median(append([]float64(nil), w...))
+	dev := make([]float64, len(w))
+	for i, v := range w {
+		dev[i] = math.Abs(v - med)
+	}
+	return 1.4826 * median(dev)
+}
+
+// median returns the median of v, modifying it in place.
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return 0.5 * (v[n/2-1] + v[n/2])
+}
+
+// TrimBatch runs ROC over every pixel of the batch in parallel and returns
+// a new batch in which each pixel's pre-stable observations are masked
+// (NaN), plus the per-pixel stable-history starts. Pixels whose test
+// cannot run (too few observations) are passed through untouched.
+func TrimBatch(b *core.Batch, opt core.Options, level float64, workers int) (*core.Batch, []int, error) {
+	x, err := core.DesignFor(opt, b.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := CriticalValue(level); err != nil {
+		return nil, nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]float64, len(b.Y))
+	copy(out, b.Y)
+	starts := make([]int, b.M)
+	var wg sync.WaitGroup
+	chunk := (b.M + workers - 1) / workers
+	errs := make([]error, (b.M+chunk-1)/chunk)
+	for w, lo := 0, 0; lo < b.M; w, lo = w+1, lo+chunk {
+		hi := lo + chunk
+		if hi > b.M {
+			hi = b.M
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				start, err := ROC(b.Row(i), x, opt.History, level)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				starts[i] = start
+				for t := 0; t < start; t++ {
+					out[i*b.N+t] = math.NaN()
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	nb, err := core.NewBatch(b.M, b.N, out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nb, starts, nil
+}

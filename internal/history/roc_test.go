@@ -1,0 +1,222 @@
+package history
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bfast/internal/core"
+	"bfast/internal/series"
+)
+
+// stableSeries builds a noisy seasonal series with an optional level shift
+// at date shiftAt (absolute index; -1 = none), nanFrac missing.
+func stableSeries(rng *rand.Rand, n int, shiftAt int, shift float64, nanFrac float64) []float64 {
+	y := make([]float64, n)
+	for t := range y {
+		v := 0.5 + 0.3*math.Sin(2*math.Pi*float64(t+1)/23) + rng.NormFloat64()*0.03
+		if shiftAt >= 0 && t < shiftAt {
+			// The *early* part is the anomalous regime (pre-stable).
+			v += shift
+		}
+		if rng.Float64() < nanFrac {
+			v = math.NaN()
+		}
+		y[t] = v
+	}
+	return y
+}
+
+func TestROCStableHistoryKeepsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	N, n := 300, 200
+	x, _ := series.MakeDesign(N, 3, 23)
+	falsePos := 0
+	trials := 50
+	for s := 0; s < trials; s++ {
+		y := stableSeries(rng, N, -1, 0, 0.3)
+		start, err := ROC(y, x, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start > 0 {
+			falsePos++
+		}
+	}
+	if falsePos > trials/4 {
+		t.Fatalf("ROC trimmed stable histories in %d/%d trials", falsePos, trials)
+	}
+}
+
+func TestROCDetectsUnstableStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	N, n := 300, 200
+	x, _ := series.MakeDesign(N, 3, 23)
+	hits := 0
+	trials := 30
+	for s := 0; s < trials; s++ {
+		// First 60 dates sit 0.8 higher: a clearly different regime.
+		y := stableSeries(rng, N, 60, 0.8, 0.3)
+		start, err := ROC(y, x, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start > 30 && start <= 110 {
+			hits++
+		}
+	}
+	if hits < trials*2/3 {
+		t.Fatalf("ROC located the regime change in only %d/%d trials", hits, trials)
+	}
+}
+
+func TestROCTooFewObservations(t *testing.T) {
+	x, _ := series.MakeDesign(50, 3, 23)
+	y := make([]float64, 50)
+	for i := range y {
+		y[i] = math.NaN()
+	}
+	y[2], y[10], y[30] = 1, 2, 3
+	start, err := ROC(y, x, 40, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 {
+		t.Fatalf("short history must be kept whole, got start %d", start)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	x, _ := series.MakeDesign(50, 3, 23)
+	y := make([]float64, 50)
+	if _, err := ROC(y, x, 0, 0.05); err == nil {
+		t.Fatal("history 0 must fail")
+	}
+	if _, err := ROC(y, x, 60, 0.05); err == nil {
+		t.Fatal("history > N must fail")
+	}
+	if _, err := ROC(y, x, 40, 0.42); err == nil {
+		t.Fatal("unsupported level must fail")
+	}
+	xShort, _ := series.MakeDesign(49, 3, 23)
+	if _, err := ROC(y, xShort, 40, 0.05); err == nil {
+		t.Fatal("design length mismatch must fail")
+	}
+}
+
+func TestCriticalValues(t *testing.T) {
+	prev := 0.0
+	for _, lv := range []float64{0.10, 0.05, 0.01} {
+		lam, err := CriticalValue(lv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lam <= prev {
+			t.Fatal("λ must grow as the level shrinks")
+		}
+		prev = lam
+	}
+	if _, err := CriticalValue(0.2); err == nil {
+		t.Fatal("unsupported level must fail")
+	}
+}
+
+func TestMaskUnstable(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	m := MaskUnstable(y, 2)
+	if !math.IsNaN(m[0]) || !math.IsNaN(m[1]) || m[2] != 3 || m[3] != 4 {
+		t.Fatalf("mask wrong: %v", m)
+	}
+	if y[0] != 1 {
+		t.Fatal("input must not be modified")
+	}
+	if m2 := MaskUnstable(y, 99); !math.IsNaN(m2[3]) {
+		t.Fatal("start beyond length must mask everything")
+	}
+}
+
+func TestROCImprovesDetectionAfterRegimeChange(t *testing.T) {
+	// End-to-end: a pre-history regime shift biases the fitted model;
+	// trimming it with ROC should keep monitoring calibrated.
+	rng := rand.New(rand.NewSource(93))
+	N, n := 320, 220
+	x, _ := series.MakeDesign(N, 3, 23)
+	opt := core.DefaultOptions(n)
+	rawBreaks, rocBreaks := 0, 0
+	trials := 40
+	for s := 0; s < trials; s++ {
+		// Unstable early history; stable afterwards; NO monitoring break.
+		y := stableSeries(rng, N, 80, 1.0, 0.3)
+		raw, err := core.Detect(y, x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw.HasBreak() {
+			rawBreaks++
+		}
+		start, err := ROC(y, x, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trimmed, err := core.Detect(MaskUnstable(y, start), x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trimmed.HasBreak() {
+			rocBreaks++
+		}
+	}
+	t.Logf("false breaks without ROC: %d/%d, with ROC: %d/%d", rawBreaks, trials, rocBreaks, trials)
+	if rocBreaks >= rawBreaks && rawBreaks > 5 {
+		t.Fatalf("ROC trimming should reduce contamination-induced false breaks (%d -> %d)",
+			rawBreaks, rocBreaks)
+	}
+}
+
+func TestTrimBatchParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	const M, N, n = 40, 300, 200
+	y := make([]float64, M*N)
+	for i := 0; i < M; i++ {
+		shiftAt := -1
+		if i%2 == 0 {
+			shiftAt = 70
+		}
+		copy(y[i*N:(i+1)*N], stableSeries(rng, N, shiftAt, 0.9, 0.3))
+	}
+	b, err := core.NewBatch(M, N, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions(n)
+	trimmed, starts, err := TrimBatch(b, opt, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference: per-pixel ROC must match.
+	x, _ := core.DesignFor(opt, N)
+	contaminatedTrims := 0
+	for i := 0; i < M; i++ {
+		want, err := ROC(b.Row(i), x, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if starts[i] != want {
+			t.Fatalf("pixel %d: batch start %d != serial %d", i, starts[i], want)
+		}
+		for tt := 0; tt < starts[i]; tt++ {
+			if !math.IsNaN(trimmed.Row(i)[tt]) {
+				t.Fatalf("pixel %d: date %d not masked", i, tt)
+			}
+		}
+		if i%2 == 0 && starts[i] > 20 {
+			contaminatedTrims++
+		}
+	}
+	if contaminatedTrims < M/4 {
+		t.Fatalf("only %d/%d contaminated pixels were trimmed", contaminatedTrims, M/2)
+	}
+	if _, _, err := TrimBatch(b, opt, 0.42, 2); err == nil {
+		t.Fatal("unsupported level must fail")
+	}
+}

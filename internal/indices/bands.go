@@ -1,0 +1,99 @@
+package indices
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bfast/internal/cube"
+)
+
+// BandSceneSpec describes a synthetic two-band reflectance scene: the
+// multispectral source data the paper's pipeline starts from. Healthy
+// vegetation has high NIR and low SWIR reflectance; deforestation drops
+// NIR and raises SWIR, moving NDMI down. Clouds mask both bands at once
+// (one acquisition, one cloud), which is exactly the correlated-missing
+// structure the index inherits.
+type BandSceneSpec struct {
+	// Width, Height, Dates give the cube shape.
+	Width, Height, Dates int
+	// History marks the monitoring start (breaks are injected after it).
+	History int
+	// CloudFrac is the per-observation cloud probability.
+	CloudFrac float64
+	// BreakFrac is the fraction of deforested pixels.
+	BreakFrac float64
+	// Noise is the per-band reflectance noise sigma (default 0.01).
+	Noise float64
+	// Seed makes generation deterministic (default 1).
+	Seed int64
+}
+
+// BandScene holds the generated band cubes and the break ground truth.
+type BandScene struct {
+	NIR, SWIR *cube.Cube
+	// TrueBreak[i] is the absolute break date of pixel i, or -1.
+	TrueBreak []int
+}
+
+// GenerateBandScene builds a synthetic two-band Landsat-like scene.
+func GenerateBandScene(spec BandSceneSpec) (*BandScene, error) {
+	if spec.Width <= 0 || spec.Height <= 0 || spec.Dates <= 0 {
+		return nil, fmt.Errorf("indices: invalid scene shape %dx%dx%d", spec.Width, spec.Height, spec.Dates)
+	}
+	if spec.History <= 0 || spec.History >= spec.Dates {
+		return nil, fmt.Errorf("indices: history %d out of range", spec.History)
+	}
+	if spec.Noise == 0 {
+		spec.Noise = 0.01
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nir, err := cube.New(spec.Width, spec.Height, spec.Dates)
+	if err != nil {
+		return nil, err
+	}
+	swir, err := cube.New(spec.Width, spec.Height, spec.Dates)
+	if err != nil {
+		return nil, err
+	}
+	pixels := spec.Width * spec.Height
+	scene := &BandScene{NIR: nir, SWIR: swir, TrueBreak: make([]int, pixels)}
+	monLen := spec.Dates - spec.History
+	for i := 0; i < pixels; i++ {
+		scene.TrueBreak[i] = -1
+		if spec.BreakFrac > 0 && rng.Float64() < spec.BreakFrac {
+			scene.TrueBreak[i] = spec.History + rng.Intn(monLen/2+1)
+		}
+		for t := 0; t < spec.Dates; t++ {
+			if rng.Float64() < spec.CloudFrac {
+				continue // both bands stay NaN: a cloud hides the ground
+			}
+			season := 0.05 * math.Sin(2*math.Pi*float64(t+1)/23)
+			// Healthy forest: NIR ~0.35, SWIR ~0.15 → NDMI ~ +0.4.
+			nirV := 0.35 + season + rng.NormFloat64()*spec.Noise
+			swirV := 0.15 - season/2 + rng.NormFloat64()*spec.Noise
+			if b := scene.TrueBreak[i]; b >= 0 && t >= b {
+				// Cleared ground: NIR drops, SWIR rises → NDMI ~ -0.1.
+				nirV -= 0.12
+				swirV += 0.10
+			}
+			x, y := i%spec.Width, i/spec.Width
+			nir.Set(x, y, t, clamp01(nirV))
+			swir.Set(x, y, t, clamp01(swirV))
+		}
+	}
+	return scene, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+// Package indices implements the vegetation-index preprocessing the paper
+// applies before change detection (§II-A): multi-spectral reflectance
+// bands are reduced to per-pixel index series such as the Normalized
+// Difference Moisture Index (NDMI, used for the paper's forest-cover
+// analyses) or NDVI. Index functions propagate missing values: a NaN in
+// either input band masks the output, which is how cloud masks flow from
+// the band level into the detection pipeline.
+package indices
+
+import (
+	"fmt"
+	"math"
+
+	"bfast/internal/cube"
+)
+
+// normalizedDifference computes (a−b)/(a+b) with NaN propagation; a zero
+// denominator also yields NaN (no radiometric information).
+func normalizedDifference(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	den := a + b
+	if den == 0 {
+		return math.NaN()
+	}
+	return (a - b) / den
+}
+
+// NDMI computes the Normalized Difference Moisture Index from
+// near-infrared and shortwave-infrared reflectances:
+// (NIR − SWIR)/(NIR + SWIR). Wetness-related indices like NDMI are the
+// paper's choice for deforestation monitoring (Schultz et al. 2016).
+func NDMI(nir, swir float64) float64 { return normalizedDifference(nir, swir) }
+
+// NDVI computes the Normalized Difference Vegetation Index from
+// near-infrared and red reflectances: (NIR − Red)/(NIR + Red).
+func NDVI(nir, red float64) float64 { return normalizedDifference(nir, red) }
+
+// SeriesNDMI fills out[i] = NDMI(nir[i], swir[i]); the three slices must
+// have equal length (out may alias an input).
+func SeriesNDMI(nir, swir, out []float64) error {
+	return applySeries(nir, swir, out, NDMI)
+}
+
+// SeriesNDVI fills out[i] = NDVI(nir[i], red[i]).
+func SeriesNDVI(nir, red, out []float64) error {
+	return applySeries(nir, red, out, NDVI)
+}
+
+func applySeries(a, b, out []float64, f func(float64, float64) float64) error {
+	if len(a) != len(b) || len(a) != len(out) {
+		return fmt.Errorf("indices: length mismatch %d/%d/%d", len(a), len(b), len(out))
+	}
+	for i := range a {
+		out[i] = f(a[i], b[i])
+	}
+	return nil
+}
+
+// CubeNDMI builds the NDMI cube from NIR and SWIR band cubes of identical
+// shape — the preprocessing step that turns a two-band image stack into
+// the single-index cube the detector consumes.
+func CubeNDMI(nir, swir *cube.Cube) (*cube.Cube, error) {
+	return applyCube(nir, swir, NDMI)
+}
+
+// CubeNDVI builds the NDVI cube from NIR and red band cubes.
+func CubeNDVI(nir, red *cube.Cube) (*cube.Cube, error) {
+	return applyCube(nir, red, NDVI)
+}
+
+func applyCube(a, b *cube.Cube, f func(float64, float64) float64) (*cube.Cube, error) {
+	if a.Width != b.Width || a.Height != b.Height || a.Dates != b.Dates {
+		return nil, fmt.Errorf("indices: cube shapes differ: %dx%dx%d vs %dx%dx%d",
+			a.Width, a.Height, a.Dates, b.Width, b.Height, b.Dates)
+	}
+	out, err := cube.New(a.Width, a.Height, a.Dates)
+	if err != nil {
+		return nil, err
+	}
+	for i := range a.Values {
+		out.Values[i] = f(a.Values[i], b.Values[i])
+	}
+	return out, nil
+}

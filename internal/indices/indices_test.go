@@ -1,0 +1,145 @@
+package indices
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bfast/internal/baseline"
+	"bfast/internal/core"
+	"bfast/internal/cube"
+)
+
+func TestNDMIKnownValues(t *testing.T) {
+	if got := NDMI(0.3, 0.1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("NDMI(0.3,0.1) = %v, want 0.5", got)
+	}
+	if got := NDMI(0.1, 0.3); math.Abs(got+0.5) > 1e-12 {
+		t.Fatalf("NDMI(0.1,0.3) = %v, want -0.5", got)
+	}
+}
+
+func TestNDVIKnownValues(t *testing.T) {
+	if got := NDVI(0.5, 0.1); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Fatalf("NDVI(0.5,0.1) = %v", got)
+	}
+}
+
+func TestIndicesNaNPropagation(t *testing.T) {
+	nan := math.NaN()
+	for _, f := range []func(float64, float64) float64{NDMI, NDVI} {
+		if !math.IsNaN(f(nan, 0.5)) || !math.IsNaN(f(0.5, nan)) {
+			t.Fatal("NaN input must give NaN output")
+		}
+		if !math.IsNaN(f(0, 0)) {
+			t.Fatal("zero denominator must give NaN")
+		}
+	}
+}
+
+func TestIndicesBoundedProperty(t *testing.T) {
+	// For non-negative reflectances the indices lie in [-1, 1].
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		v := NDMI(a, b)
+		if math.IsNaN(v) {
+			return a+b == 0 || math.IsNaN(a) || math.IsNaN(b)
+		}
+		return v >= -1-1e-12 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesNDMI(t *testing.T) {
+	nir := []float64{0.3, math.NaN(), 0.4}
+	swir := []float64{0.1, 0.2, 0.4}
+	out := make([]float64, 3)
+	if err := SeriesNDMI(nir, swir, out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-0.5) > 1e-12 || !math.IsNaN(out[1]) || out[2] != 0 {
+		t.Fatalf("SeriesNDMI = %v", out)
+	}
+	if err := SeriesNDMI(nir, swir[:2], out); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestCubeNDMIShapeMismatch(t *testing.T) {
+	a, _ := cube.New(2, 2, 3)
+	b, _ := cube.New(2, 2, 4)
+	if _, err := CubeNDMI(a, b); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+}
+
+func TestGenerateBandSceneValidation(t *testing.T) {
+	if _, err := GenerateBandScene(BandSceneSpec{Width: 0, Height: 2, Dates: 10, History: 5}); err == nil {
+		t.Fatal("invalid shape must fail")
+	}
+	if _, err := GenerateBandScene(BandSceneSpec{Width: 2, Height: 2, Dates: 10, History: 10}); err == nil {
+		t.Fatal("invalid history must fail")
+	}
+}
+
+func TestBandSceneToDetectionEndToEnd(t *testing.T) {
+	// Full paper pipeline: bands -> NDMI -> BFAST-Monitor -> breaks.
+	spec := BandSceneSpec{
+		Width: 24, Height: 24, Dates: 184, History: 92,
+		CloudFrac: 0.5, BreakFrac: 0.3, Seed: 5,
+	}
+	scene, err := GenerateBandScene(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndmi, err := CubeNDMI(scene.NIR, scene.SWIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cloud mask must propagate: NaN fraction ≈ CloudFrac.
+	nan := 0
+	for _, v := range ndmi.Values {
+		if math.IsNaN(v) {
+			nan++
+		}
+	}
+	frac := float64(nan) / float64(len(ndmi.Values))
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("NDMI NaN fraction %v, want ≈0.5", frac)
+	}
+
+	b, err := core.NewBatch(ndmi.Pixels(), ndmi.Dates, ndmi.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := baseline.CLike(b, core.DefaultOptions(spec.History), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, fp, fn := 0, 0, 0
+	for i, r := range results {
+		detected := r.HasBreak() && r.MosumMean < 0
+		truth := scene.TrueBreak[i] >= 0
+		switch {
+		case detected && truth:
+			tp++
+		case detected && !truth:
+			fp++
+		case !detected && truth:
+			fn++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("no deforestation detected through the band pipeline")
+	}
+	recall := float64(tp) / float64(tp+fn)
+	if recall < 0.9 {
+		t.Fatalf("recall %.2f too low (tp=%d fn=%d fp=%d)", recall, tp, fn, fp)
+	}
+	precision := float64(tp) / float64(tp+fp)
+	if precision < 0.6 {
+		t.Fatalf("precision %.2f too low (tp=%d fp=%d)", precision, tp, fp)
+	}
+}

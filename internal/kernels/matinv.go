@@ -1,0 +1,134 @@
+package kernels
+
+import (
+	"fmt"
+
+	"bfast/internal/gpusim"
+)
+
+// InvVariant selects the batched matrix-inversion kernel implementation
+// compared in Fig. 7 of the paper.
+type InvVariant int
+
+const (
+	// InvShared is the paper's Fig. 5 kernel: one block per matrix, the
+	// adjoined K×2K matrix lives entirely in shared memory, and the only
+	// global traffic is the initial read and final write.
+	InvShared InvVariant = iota
+	// InvGlobal exploits the same parallelism but keeps the adjoined
+	// matrix in global memory with coalesced accesses — the baseline bar
+	// of Fig. 7.
+	InvGlobal
+)
+
+// String implements fmt.Stringer.
+func (v InvVariant) String() string {
+	switch v {
+	case InvShared:
+		return "shared-mem"
+	case InvGlobal:
+		return "global-mem"
+	default:
+		return fmt.Sprintf("InvVariant(%d)", int(v))
+	}
+}
+
+// BatchInvert inverts a batch of M K×K matrices (flat row-major, M*K*K
+// elements) by the pivot-free Gauss-Jordan scheme of Fig. 5, records the
+// modeled kernel run on dev, and returns the inverses. Singular matrices
+// produce non-finite entries exactly as the GPU kernel would; callers
+// detect them downstream (the paper's pipeline does the same — BFAST
+// normal matrices are SPD whenever the pixel is fittable). scale
+// extrapolates counters for sampled batches.
+func BatchInvert(dev *gpusim.Device, variant InvVariant, mats []float32, k int, scale float64) ([]float32, gpusim.KernelRun, error) {
+	if k <= 0 || len(mats)%(k*k) != 0 {
+		return nil, gpusim.KernelRun{}, fmt.Errorf("kernels: matrix batch length %d not a multiple of K²=%d", len(mats), k*k)
+	}
+	m := len(mats) / (k * k)
+	out := make([]float32, len(mats))
+	sh := make([]float32, k*2*k)
+	tmp := make([]float32, k*2*k)
+	for i := 0; i < m; i++ {
+		invertOne(mats[i*k*k:(i+1)*k*k], out[i*k*k:(i+1)*k*k], sh, tmp, k)
+	}
+
+	var c gpusim.Counters
+	switch variant {
+	case InvShared:
+		c = chargeInvShared(m, k)
+	case InvGlobal:
+		c = chargeInvGlobal(m, k)
+	default:
+		return nil, gpusim.KernelRun{}, fmt.Errorf("kernels: unknown inversion variant %d", int(variant))
+	}
+	c.Scale(scale)
+	run := dev.Record("matInv/"+variant.String(), c)
+	return out, run, nil
+}
+
+// invertOne is the literal Fig. 5 elimination: adjoin the identity, run K
+// rotate-up elimination steps with row 0 as the pivot row, read the
+// inverse from the right half.
+func invertOne(a, out, sh, tmp []float32, k int) {
+	w := 2 * k
+	for k1 := 0; k1 < k; k1++ {
+		for k2 := 0; k2 < w; k2++ {
+			if k2 < k {
+				sh[k1*w+k2] = a[k1*k+k2]
+			} else if k2 == k+k1 {
+				sh[k1*w+k2] = 1
+			} else {
+				sh[k1*w+k2] = 0
+			}
+		}
+	}
+	for q := 0; q < k; q++ {
+		vq := sh[q] // A_sh[0, q]
+		for k1 := 0; k1 < k; k1++ {
+			for k2 := 0; k2 < w; k2++ {
+				var t float32
+				if vq == 0 {
+					t = sh[k1*w+k2]
+				} else {
+					x := sh[k2] / vq
+					if k1 == k-1 {
+						t = x
+					} else {
+						t = sh[(k1+1)*w+k2] - sh[(k1+1)*w+q]*x
+					}
+				}
+				tmp[k1*w+k2] = t
+			}
+		}
+		sh, tmp = tmp, sh
+	}
+	for k1 := 0; k1 < k; k1++ {
+		copy(out[k1*k:(k1+1)*k], sh[k1*w+k:k1*w+w])
+	}
+}
+
+// chargeInvShared models the Fig. 5 kernel: blocks of K×2K threads, the
+// adjoined matrix in shared memory. Global traffic is only the K² read
+// and K² write per matrix; each elimination step touches the shared
+// buffer ~4× per thread and synchronizes twice. This is the 3K×-fewer
+// global accesses argument of §III-C2.
+func chargeInvShared(m, k int) gpusim.Counters {
+	w := 2 * k
+	var c gpusim.Counters
+	c.Blocks = uint64(m)
+	c.GlobalCoalesced = uint64(m * 2 * k * k)
+	c.Shared = uint64(m * (k*w + k*(k*w*4) + k*k)) // init + K steps + final read
+	c.Flops = uint64(m * k * k * w * 2)
+	c.BarrierSteps = uint64(m * (2*k + 2))
+	return c
+}
+
+// chargeInvGlobal models the same parallel elimination with the adjoined
+// matrix kept in global memory: every shared access above becomes a
+// coalesced global access.
+func chargeInvGlobal(m, k int) gpusim.Counters {
+	c := chargeInvShared(m, k)
+	c.GlobalCoalesced += c.Shared
+	c.Shared = 0
+	return c
+}

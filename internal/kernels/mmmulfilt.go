@@ -1,0 +1,244 @@
+package kernels
+
+import (
+	"fmt"
+
+	"bfast/internal/gpusim"
+)
+
+// MatMulVariant selects the batched masked matrix-multiplication kernel
+// implementation compared in Fig. 6 of the paper.
+type MatMulVariant int
+
+const (
+	// MMRegisterTiled is the paper's contribution (Fig. 4b): the batch
+	// dimension is register-tiled with R = 30 pixels per block, Yᵀ slices
+	// are staged through shared memory by collective copies, and one
+	// global load of A/B is amortized over R pixels.
+	MMRegisterTiled MatMulVariant = iota
+	// MMBlockTiled is two-dimensional block tiling of the K₁×K₂ loops
+	// (the Futhark compiler's stock optimization): A and B tiles are
+	// reused from shared memory but Y is re-read from global memory for
+	// every (j₁,j₂) pair.
+	MMBlockTiled
+	// MMNaive is the untiled Fig. 4a loop nest: one thread per
+	// (pixel, j₁, j₂) with all operands read from global memory.
+	MMNaive
+)
+
+// String implements fmt.Stringer.
+func (v MatMulVariant) String() string {
+	switch v {
+	case MMRegisterTiled:
+		return "register-tiled"
+	case MMBlockTiled:
+		return "block-tiled"
+	case MMNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("MatMulVariant(%d)", int(v))
+	}
+}
+
+// RegisterTileR is the paper's register-tile size (Fig. 4b): each CUDA
+// block processes R pixels, keeping R partial accumulators in registers.
+const RegisterTileR = 30
+
+// blockThreads is the flat CUDA block size assumed for the untiled kernel.
+const blockThreads = 256
+
+// BatchNormalMatricesR is BatchNormalMatrices with an explicit register-
+// tile size for the MMRegisterTiled variant — the knob of the R ablation
+// (R = 1 degenerates to one pixel per block; the paper uses R = 30).
+func BatchNormalMatricesR(dev *gpusim.Device, x *Design32, b *Batch32, history, tileR int, scale float64) ([]float32, gpusim.KernelRun, error) {
+	if history <= 0 || history > b.N {
+		return nil, gpusim.KernelRun{}, fmt.Errorf("kernels: history %d out of range (N=%d)", history, b.N)
+	}
+	if tileR < 1 {
+		return nil, gpusim.KernelRun{}, fmt.Errorf("kernels: tile R must be positive, got %d", tileR)
+	}
+	K := x.K
+	out := make([]float32, b.M*K*K)
+	c := mmRegisterTiled(x, b, history, out, tileR)
+	c.Scale(scale)
+	run := dev.Record(fmt.Sprintf("mmMulFilt/register-tiled-R%d", tileR), c)
+	return out, run, nil
+}
+
+// BatchNormalMatrices computes, for every pixel i, the masked cross
+// product M_i = X_h·X_hᵀ under pixel i's NaN mask (Line 2 of Alg. 1 /
+// mmMulFilt of Fig. 12) with the selected kernel variant, records the
+// modeled kernel run on dev, and returns the M×K×K result (row-major).
+//
+// history is n, the history length; only Y[:, :n] masks the product. All
+// variants compute bit-identical results (the accumulation order over
+// dates is the same); they differ in the memory traffic they generate,
+// which is what the returned KernelRun captures. scale extrapolates the
+// counters when b is a sampled sub-batch (use 1 otherwise).
+func BatchNormalMatrices(dev *gpusim.Device, variant MatMulVariant, x *Design32, b *Batch32, history int, scale float64) ([]float32, gpusim.KernelRun, error) {
+	if history <= 0 || history > b.N {
+		return nil, gpusim.KernelRun{}, fmt.Errorf("kernels: history %d out of range (N=%d)", history, b.N)
+	}
+	if x.N < history {
+		return nil, gpusim.KernelRun{}, fmt.Errorf("kernels: design has %d dates < history %d", x.N, history)
+	}
+	K := x.K
+	n := history
+	M := b.M
+	out := make([]float32, M*K*K)
+
+	var c gpusim.Counters
+	switch variant {
+	case MMRegisterTiled:
+		c = mmRegisterTiled(x, b, n, out, RegisterTileR)
+	case MMBlockTiled:
+		c = mmUntiledExec(x, b, n, out)
+		c = chargeBlockTiled(M, n, K)
+	case MMNaive:
+		c = mmUntiledExec(x, b, n, out)
+		c = chargeNaive(M, n, K)
+	default:
+		return nil, gpusim.KernelRun{}, fmt.Errorf("kernels: unknown matmul variant %d", int(variant))
+	}
+	c.Scale(scale)
+	run := dev.Record("mmMulFilt/"+variant.String(), c)
+	return out, run, nil
+}
+
+// mmRegisterTiled executes the Fig. 4b kernel literally: the whole Y is
+// first transposed (the paper transposes all N columns, not just the n
+// history columns — the inefficiency discussed in §IV-B, which it keeps to
+// stay faithful), then blocks of R pixels accumulate in a register tile
+// while Yᵀ[q, ii:ii+R] slices are staged through the shared buffer Ysh.
+func mmRegisterTiled(x *Design32, b *Batch32, n int, out []float32, tileR int) gpusim.Counters {
+	M, N, K := b.M, b.N, x.K
+	var c gpusim.Counters
+
+	// Y transposition kernel (global-to-global, coalesced both ways).
+	yT := make([]float32, N*M)
+	for i := 0; i < M; i++ {
+		row := b.Row(i)
+		for q := 0; q < N; q++ {
+			yT[q*M+i] = row[q]
+		}
+	}
+	c.GlobalCoalesced += uint64(2 * M * N)
+	c.Blocks += uint64((M*N + blockThreads - 1) / blockThreads)
+	c.BarrierSteps += c.Blocks // one staging step per tile block
+
+	ysh := make([]float32, tileR) // the shared-memory Ysh buffer
+	acc := make([]float32, tileR*K*K)
+	for ii := 0; ii < M; ii += tileR {
+		r := tileR
+		if ii+r > M {
+			r = M - ii
+		}
+		for i := range acc {
+			acc[i] = 0
+		}
+		for q := 0; q < n; q++ {
+			// Collective copy: Yᵀ[q, ii:ii+R] global -> shared.
+			copy(ysh[:r], yT[q*M+ii:q*M+ii+r])
+			for j1 := 0; j1 < K; j1++ {
+				a := x.Data[j1*x.N+q]
+				for j2 := 0; j2 < K; j2++ {
+					bb := x.Data[j2*x.N+q] // Bᵀ read: B[q,j2] = X[j2,q]
+					ab := a * bb
+					base := (j1*K + j2) * tileR
+					for i := 0; i < r; i++ {
+						acc[base+i] += ab * (1 - float32(boolToInt(isNaN32(ysh[i]))))
+					}
+				}
+			}
+		}
+		for j1 := 0; j1 < K; j1++ {
+			for j2 := 0; j2 < K; j2++ {
+				base := (j1*K + j2) * tileR
+				for i := 0; i < r; i++ {
+					out[(ii+i)*K*K+j1*K+j2] = acc[base+i]
+				}
+			}
+		}
+		// Traffic per block (Fig. 4b analysis, §III-C1):
+		//   Y: n collective copies of R coalesced elements;
+		//   A/B: one load per (j1,q)/(q,j2), broadcast across the tile
+		//        and amortized over R pixels (cache-served);
+		//   Ysh: R written + K²·R read per date;
+		//   result: R·K² coalesced stores.
+		c.GlobalCoalesced += uint64(n*r + r*K*K)
+		c.GlobalCached += uint64(n * 2 * K)
+		c.Shared += uint64(n*r + n*K*K*r)
+		c.Flops += uint64(n * K * K * (1 + 2*r))
+		c.Blocks++
+		c.BarrierSteps += uint64(2 * n)
+	}
+	return c
+}
+
+// mmUntiledExec executes the Fig. 4a loop nest (used by both the naive and
+// block-tiled variants: they schedule the same arithmetic differently but
+// compute the same thing in the same order).
+func mmUntiledExec(x *Design32, b *Batch32, n int, out []float32) gpusim.Counters {
+	M, K := b.M, x.K
+	for i := 0; i < M; i++ {
+		y := b.Row(i)
+		for j1 := 0; j1 < K; j1++ {
+			for j2 := 0; j2 < K; j2++ {
+				var acc float32
+				for q := 0; q < n; q++ {
+					a := x.Data[j1*x.N+q]
+					bb := x.Data[j2*x.N+q]
+					acc += a * bb * validMask(y[q])
+				}
+				out[i*K*K+j1*K+j2] = acc
+			}
+		}
+	}
+	return gpusim.Counters{}
+}
+
+// chargeNaive models the Fig. 4a kernel: one thread per (i,j1,j2), flat
+// blocks of 256 threads. Every operand comes from global memory; A and B
+// are broadcast/short-stride within a warp (cache-served), Y[i,q] is
+// shared by the K² threads of a pixel but re-read per thread (also
+// cache-served). No shared memory, no barriers.
+func chargeNaive(M, n, K int) gpusim.Counters {
+	var c gpusim.Counters
+	threads := M * K * K
+	c.Blocks = uint64((threads + blockThreads - 1) / blockThreads)
+	c.GlobalCached = uint64(M * n * (K*K + 2*K)) // Y re-reads + A + B
+	// Without the tile-step synchronization of the block-tiled version the
+	// K² re-reads of each Y row are spread in time, so a fraction of them
+	// miss L2 and pay full DRAM cost — the small edge block tiling shows
+	// over the naive version in Fig. 6.
+	c.GlobalCoalesced = uint64(M*n*K*K/8 + M*K*K)
+	c.Flops = uint64(4 * M * n * K * K)
+	return c
+}
+
+// chargeBlockTiled models the stock Futhark 2-D block tiling: one block
+// per pixel covers the K×K result; A/B tiles are staged through shared
+// memory (a barrier per date tile), but Y's temporal locality is not
+// optimized — it is re-read from global memory for every (j1,j2) pair,
+// which is exactly why Fig. 6 shows block tiling barely beating the naive
+// version.
+func chargeBlockTiled(M, n, K int) gpusim.Counters {
+	const tileQ = 16
+	var c gpusim.Counters
+	c.Blocks = uint64(M)
+	// Y re-reads dominate; the A/B tile loads re-fetch a tiny K×n working
+	// set shared by every block, so they are L2-served (cached class).
+	c.GlobalCached = uint64(M*n*K*K + M*n*2*K)
+	c.GlobalCoalesced = uint64(M * K * K)  // result stores
+	c.Shared = uint64(M*n*2*K + M*n*2*K*K) // tile writes + reads
+	c.Flops = uint64(4 * M * n * K * K)
+	c.BarrierSteps = uint64(M * ((n + tileQ - 1) / tileQ) * 2)
+	return c
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

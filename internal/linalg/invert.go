@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a matrix cannot be inverted.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// InvertGaussJordan inverts a square matrix using the pivot-free
+// Gauss-Jordan elimination of the paper (Fig. 5): the matrix is adjoined
+// with the identity and reduced with a fixed "rotate up" scheme — at step q
+// row 0 is the pivot row for column q and rows shift upward. This mirrors
+// the GPU kernel exactly, including its behaviour on zero pivots (rows are
+// rotated unchanged), so the simulator kernels and this host reference can
+// be compared bit-for-bit in float32 tests.
+//
+// For well-conditioned normal matrices (the BFAST use case, K ≤ ~16) this
+// is accurate; for general matrices prefer InvertPivot.
+func InvertGaussJordan(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: InvertGaussJordan requires square matrix")
+	}
+	k := a.Rows
+	w := 2 * k
+	// Adjoin identity: sh is k x 2k.
+	sh := make([]float64, k*w)
+	for i := 0; i < k; i++ {
+		copy(sh[i*w:i*w+k], a.Data[i*k:(i+1)*k])
+		sh[i*w+k+i] = 1
+	}
+	tmp := make([]float64, k*w)
+	for q := 0; q < k; q++ {
+		vq := sh[0*w+q]
+		for k1 := 0; k1 < k; k1++ {
+			for k2 := 0; k2 < w; k2++ {
+				var t float64
+				if vq == 0 {
+					t = sh[k1*w+k2]
+				} else {
+					x := sh[0*w+k2] / vq
+					if k1 == k-1 {
+						t = x
+					} else {
+						t = sh[(k1+1)*w+k2] - sh[(k1+1)*w+q]*x
+					}
+				}
+				tmp[k1*w+k2] = t
+			}
+		}
+		sh, tmp = tmp, sh
+	}
+	out := NewMatrix(k, k)
+	singular := false
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			v := sh[i*w+k+j]
+			out.Set(i, j, v)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				singular = true
+			}
+		}
+	}
+	// The pivot-free scheme signals singularity by leaving the left block
+	// different from the identity (or by producing non-finite values).
+	if singular || !leftBlockIsIdentity(sh, k, w, 1e-6) {
+		return out, ErrSingular
+	}
+	return out, nil
+}
+
+func leftBlockIsIdentity(sh []float64, k, w int, tol float64) bool {
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			v := sh[i*w+j]
+			if math.IsNaN(v) || math.Abs(v-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InvertPivot inverts a square matrix with partially-pivoted Gauss-Jordan
+// elimination. This is the robust library path used when the pixel's normal
+// matrix is poorly conditioned; the paper's GPU kernel omits pivoting
+// because BFAST normal matrices are diagonally dominant in practice.
+func InvertPivot(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: InvertPivot requires square matrix")
+	}
+	k := a.Rows
+	w := 2 * k
+	sh := make([]float64, k*w)
+	for i := 0; i < k; i++ {
+		copy(sh[i*w:i*w+k], a.Data[i*k:(i+1)*k])
+		sh[i*w+k+i] = 1
+	}
+	for col := 0; col < k; col++ {
+		// Find the pivot row.
+		piv, best := -1, 0.0
+		for r := col; r < k; r++ {
+			if v := math.Abs(sh[r*w+col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if piv < 0 || best == 0 || math.IsNaN(best) {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			for j := 0; j < w; j++ {
+				sh[col*w+j], sh[piv*w+j] = sh[piv*w+j], sh[col*w+j]
+			}
+		}
+		pv := sh[col*w+col]
+		inv := 1 / pv
+		for j := 0; j < w; j++ {
+			sh[col*w+j] *= inv
+		}
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			f := sh[r*w+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < w; j++ {
+				sh[r*w+j] -= f * sh[col*w+j]
+			}
+		}
+	}
+	out := NewMatrix(k, k)
+	for i := 0; i < k; i++ {
+		copy(out.Data[i*k:(i+1)*k], sh[i*w+k:i*w+w])
+	}
+	for _, v := range out.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return out, nil
+}
+
+// SolveSPD solves A·x = b for a symmetric positive-definite A via Cholesky
+// decomposition. BFAST normal matrices X_h·X_hᵀ are SPD whenever the pixel
+// has at least K linearly-independent valid history dates, so this is the
+// numerically preferred fitting path offered by the library API.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols || a.Rows != len(b) {
+		return nil, errors.New("linalg: SolveSPD shape mismatch")
+	}
+	k := a.Rows
+	// Cholesky: A = L·Lᵀ with L lower triangular.
+	l := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for p := 0; p < j; p++ {
+				sum -= l[i*k+p] * l[j*k+p]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrSingular
+				}
+				l[i*k+i] = math.Sqrt(sum)
+			} else {
+				l[i*k+j] = sum / l[j*k+j]
+			}
+		}
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, k)
+	for i := 0; i < k; i++ {
+		sum := b[i]
+		for p := 0; p < i; p++ {
+			sum -= l[i*k+p] * y[p]
+		}
+		y[i] = sum / l[i*k+i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		sum := y[i]
+		for p := i + 1; p < k; p++ {
+			sum -= l[p*k+i] * x[p]
+		}
+		x[i] = sum / l[i*k+i]
+	}
+	return x, nil
+}

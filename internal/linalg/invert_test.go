@@ -1,0 +1,181 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// spdMatrix builds a random symmetric positive-definite k×k matrix as
+// A·Aᵀ + k·I, mimicking the conditioning of BFAST normal matrices.
+func spdMatrix(rng *rand.Rand, k int) *Matrix {
+	a := randMatrix(rng, k, k)
+	m := MatMul(a, a.Transpose())
+	for i := 0; i < k; i++ {
+		m.Set(i, i, m.At(i, i)+float64(k))
+	}
+	return m
+}
+
+func TestInvertGaussJordanIdentity(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		inv, err := InvertGaussJordan(identity(k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !inv.Equal(identity(k), 1e-12) {
+			t.Fatalf("k=%d: inverse of I != I:\n%v", k, inv)
+		}
+	}
+}
+
+func TestInvertGaussJordanKnown2x2(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{4, 7, 2, 6})
+	inv, err := InvertGaussJordan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatrixFrom(2, 2, []float64{0.6, -0.7, -0.2, 0.4})
+	if !inv.Equal(want, 1e-12) {
+		t.Fatalf("got\n%v want\n%v", inv, want)
+	}
+}
+
+func TestInvertGaussJordanRoundTripProperty(t *testing.T) {
+	// Property: inv(A)·A ≈ I for SPD matrices of BFAST-like sizes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(12)
+		a := spdMatrix(rng, k)
+		inv, err := InvertGaussJordan(a)
+		if err != nil {
+			return false
+		}
+		return MatMul(inv, a).Equal(identity(k), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertGaussJordanSingular(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, err := InvertGaussJordan(a); err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient matrix")
+	}
+}
+
+func TestInvertGaussJordanZeroMatrix(t *testing.T) {
+	if _, err := InvertGaussJordan(NewMatrix(3, 3)); err == nil {
+		t.Fatal("expected error inverting zero matrix")
+	}
+}
+
+func TestInvertGaussJordanNonSquare(t *testing.T) {
+	if _, err := InvertGaussJordan(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestInvertPivotMatchesGaussJordan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(10)
+		a := spdMatrix(rng, k)
+		gj, err1 := InvertGaussJordan(a)
+		pv, err2 := InvertPivot(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return gj.Equal(pv, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertPivotHandlesZeroLeadingPivot(t *testing.T) {
+	// Needs a row swap; the pivot-free kernel may degrade here but the
+	// library path must succeed.
+	a := NewMatrixFrom(2, 2, []float64{0, 1, 1, 0})
+	inv, err := InvertPivot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MatMul(inv, a).Equal(identity(2), 1e-12) {
+		t.Fatalf("bad inverse:\n%v", inv)
+	}
+}
+
+func TestInvertPivotSingular(t *testing.T) {
+	a := NewMatrixFrom(3, 3, []float64{1, 2, 3, 2, 4, 6, 1, 1, 1})
+	if _, err := InvertPivot(a); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestSolveSPDMatchesInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(10)
+		a := spdMatrix(rng, k)
+		b := make([]float64, k)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		ax := MatVec(a, x)
+		for i := range ax {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSPDRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := SolveSPD(a, []float64{1, 1}); err == nil {
+		t.Fatal("expected failure on indefinite matrix")
+	}
+}
+
+func TestSolveSPDShapeMismatch(t *testing.T) {
+	if _, err := SolveSPD(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func BenchmarkInvertGaussJordanK8(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := spdMatrix(rng, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := InvertGaussJordan(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaskedCrossProductK8N256(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	xh := randMatrix(rng, 8, 256)
+	mask := make([]float64, 256)
+	for i := range mask {
+		if rng.Float64() < 0.5 {
+			mask[i] = math.NaN()
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MaskedCrossProduct(xh, mask)
+	}
+}

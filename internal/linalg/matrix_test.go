@@ -1,0 +1,246 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func identity(k int) *Matrix {
+	m := NewMatrix(k, k)
+	for i := 0; i < k; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+func TestNewMatrixFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	NewMatrixFrom(2, 3, make([]float64, 5))
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 4, 7)
+	got := MatMul(a, identity(7))
+	if !got.Equal(a, 0) {
+		t.Fatalf("A·I != A:\n%v\nvs\n%v", got, a)
+	}
+	got = MatMul(identity(4), a)
+	if !got.Equal(a, 0) {
+		t.Fatalf("I·A != A")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrixFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	want := NewMatrixFrom(2, 2, []float64{58, 64, 139, 154})
+	if got := MatMul(a, b); !got.Equal(want, 0) {
+		t.Fatalf("MatMul wrong:\n%v", got)
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMatVecMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 5, 9)
+	x := make([]float64, 9)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := MatVec(a, x)
+	want := MatMul(a, NewMatrixFrom(9, 1, x))
+	for i, v := range got {
+		if math.Abs(v-want.At(i, 0)) > 1e-12 {
+			t.Fatalf("MatVec[%d]=%v want %v", i, v, want.At(i, 0))
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		m := randMatrix(rng, r, c)
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeMulIdentityProperty(t *testing.T) {
+	// (A·B)ᵀ == Bᵀ·Aᵀ
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		a := randMatrix(rng, r, k)
+		b := randMatrix(rng, k, c)
+		lhs := MatMul(a, b).Transpose()
+		rhs := MatMul(b.Transpose(), a.Transpose())
+		return lhs.Equal(rhs, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskedCrossProductNoMaskEqualsDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xh := randMatrix(rng, 4, 20)
+	mask := make([]float64, 20) // no NaNs
+	got := MaskedCrossProduct(xh, mask)
+	want := MatMul(xh, xh.Transpose())
+	if !got.Equal(want, 1e-10) {
+		t.Fatalf("unmasked cross product differs:\n%v\nvs\n%v", got, want)
+	}
+}
+
+func TestMaskedCrossProductEqualsFilteredDense(t *testing.T) {
+	// Property: the masked cross product equals the dense cross product of
+	// the column-filtered matrix.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(40)
+		xh := randMatrix(rng, k, n)
+		mask := make([]float64, n)
+		var keep []int
+		for q := range mask {
+			if rng.Float64() < 0.5 {
+				mask[q] = math.NaN()
+			} else {
+				mask[q] = rng.NormFloat64()
+				keep = append(keep, q)
+			}
+		}
+		filtered := NewMatrix(k, len(keep))
+		for i := 0; i < k; i++ {
+			for j, q := range keep {
+				filtered.Set(i, j, xh.At(i, q))
+			}
+		}
+		got := MaskedCrossProduct(xh, mask)
+		want := MatMul(filtered, filtered.Transpose())
+		return got.Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskedCrossProductSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xh := randMatrix(rng, 6, 30)
+	mask := make([]float64, 30)
+	for q := range mask {
+		if rng.Float64() < 0.7 {
+			mask[q] = math.NaN()
+		}
+	}
+	m := MaskedCrossProduct(xh, mask)
+	if !m.Equal(m.Transpose(), 0) {
+		t.Fatal("masked cross product must be exactly symmetric")
+	}
+}
+
+func TestMaskedCrossProductAllNaN(t *testing.T) {
+	xh := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mask := []float64{math.NaN(), math.NaN(), math.NaN()}
+	m := MaskedCrossProduct(xh, mask)
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("all-NaN mask should yield zero matrix, got %v", m)
+		}
+	}
+}
+
+func TestMaskedMatVecSkipsNaN(t *testing.T) {
+	xh := NewMatrixFrom(2, 4, []float64{1, 1, 1, 1, 2, 2, 2, 2})
+	y := []float64{1, math.NaN(), 3, math.NaN()}
+	got := MaskedMatVec(xh, y)
+	if got[0] != 4 || got[1] != 8 {
+		t.Fatalf("MaskedMatVec = %v, want [4 8]", got)
+	}
+}
+
+func TestMaskedMatVecMatchesFiltered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(40)
+		xh := randMatrix(rng, k, n)
+		y := make([]float64, n)
+		var keep []int
+		for q := range y {
+			if rng.Float64() < 0.5 {
+				y[q] = math.NaN()
+			} else {
+				y[q] = rng.NormFloat64()
+				keep = append(keep, q)
+			}
+		}
+		got := MaskedMatVec(xh, y)
+		want := make([]float64, k)
+		for i := 0; i < k; i++ {
+			for _, q := range keep {
+				want[i] += xh.At(i, q) * y[q]
+			}
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualNaNAware(t *testing.T) {
+	a := NewMatrixFrom(1, 2, []float64{math.NaN(), 1})
+	b := NewMatrixFrom(1, 2, []float64{math.NaN(), 1})
+	if !a.Equal(b, 0) {
+		t.Fatal("NaN positions should compare equal")
+	}
+	c := NewMatrixFrom(1, 2, []float64{0, 1})
+	if a.Equal(c, 0) {
+		t.Fatal("NaN vs number should differ")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewMatrixFrom(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}

@@ -1,0 +1,50 @@
+package parir
+
+import (
+	"fmt"
+
+	"bfast/internal/gpusim"
+)
+
+// ToCounters converts a per-pixel Plan into device counters for a batch of
+// m pixels, completing the IR → device-model path: programs written in the
+// IR can be cost-compared on a simulated device exactly like the
+// hand-written kernels in internal/kernels.
+//
+// Accesses map to the coalesced class (the lowering already decided what
+// materializes; padded/flattened passes stream arrays with unit stride).
+// Scan passes add barrier-separated steps; the sequential strategy runs
+// one thread per pixel in flat blocks.
+func (p Plan) ToCounters(m int) gpusim.Counters {
+	var c gpusim.Counters
+	mm := uint64(m)
+	c.GlobalCoalesced = uint64(p.GlobalAccesses) * mm
+	c.Flops = uint64(p.Work) * mm
+	switch p.Strategy {
+	case LowerSequential:
+		c.Blocks = (mm + 255) / 256
+	default:
+		c.Blocks = mm * uint64(p.Kernels)
+		// Each scan pass synchronizes log-depth rounds; charge a constant
+		// ~10 barrier steps per scan per pixel-block (block-level scans).
+		c.BarrierSteps = mm * uint64(10*p.ScanPasses)
+	}
+	return c
+}
+
+// ModelTime lowers e for the strategy and models the batched execution
+// time for m pixels with input length n on the device profile.
+func ModelTime(e Expr, n, m int, strat Strategy, profile gpusim.Profile) (gpusim.KernelRun, error) {
+	plan, err := Lower(e, n, strat)
+	if err != nil {
+		return gpusim.KernelRun{}, err
+	}
+	dev := gpusim.NewDevice(profile)
+	eff := 1.0
+	if strat == LowerSequential {
+		// Same sequential-stream penalty the fused kernels use.
+		eff = 0.5
+	}
+	run := dev.RecordEff(fmt.Sprintf("parir/%v", strat), plan.ToCounters(m), eff)
+	return run, nil
+}

@@ -1,0 +1,231 @@
+package parir
+
+import (
+	"fmt"
+)
+
+// Strategy selects the parallelization extreme of §III-B.
+type Strategy int
+
+const (
+	// LowerSequential maps the whole per-pixel program to one thread
+	// (inner parallelism efficiently sequentialized).
+	LowerSequential Strategy = iota
+	// LowerFlattened applies full Blelloch flattening: every combinator
+	// becomes a flat device pass; filters expand into scan + scatter
+	// pairs over padded arrays.
+	LowerFlattened
+	// LowerPadded is the paper's strategy: same-inner-size operations are
+	// grouped into batched kernels and adjacent maps are fused, with
+	// intermediates held in fast memory inside each kernel.
+	LowerPadded
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case LowerSequential:
+		return "sequential"
+	case LowerFlattened:
+		return "flattened"
+	case LowerPadded:
+		return "padded"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Plan is the cost summary of a lowered program, per pixel with input
+// length N (the batch dimension M multiplies everything uniformly, so the
+// per-pixel counts carry all the comparative information).
+type Plan struct {
+	// Strategy that produced the plan.
+	Strategy Strategy
+	// Kernels is the number of device passes (kernel launches per batch).
+	Kernels int
+	// GlobalAccesses counts global-memory element reads+writes per pixel.
+	GlobalAccesses int
+	// ScanPasses counts device-wide scan primitives (each is several
+	// global passes on real hardware and is counted in GlobalAccesses;
+	// tracked separately because the paper singles them out: "introducing
+	// many prefix-sum operations, which are less efficient on GPU than
+	// parallel loops").
+	ScanPasses int
+	// ExtraMemory is the per-pixel auxiliary storage in elements
+	// (flattening's flag/index arrays; footnote 5's 0.4·M·n·K² term in
+	// the matmul case).
+	ExtraMemory int
+	// Work is the per-pixel operation count (must be asymptotically equal
+	// across strategies — flattening is work-preserving).
+	Work int
+}
+
+// Lower computes the cost plan of e for the given strategy with input
+// arrays of length n. Sizes are propagated statically: FilterValid keeps
+// the padded length (per the paper, filtered arrays stay padded because
+// their logical length varies per pixel).
+func Lower(e Expr, n int, strat Strategy) (Plan, error) {
+	l := &lowerer{n: n, strat: strat, seen: map[Expr]int{}}
+	if _, err := l.visit(e); err != nil {
+		return Plan{}, err
+	}
+	p := l.plan
+	p.Strategy = strat
+	switch strat {
+	case LowerSequential:
+		// One fused pass: inputs read once, the result written once.
+		p.Kernels = 1
+	case LowerFlattened, LowerPadded:
+		// Kernel count accumulated during the walk.
+	}
+	return p, nil
+}
+
+type lowerer struct {
+	n     int
+	strat Strategy
+	plan  Plan
+	seen  map[Expr]int // memoized result lengths (DAG nodes visited once)
+}
+
+// visit returns the static length of the node's result and charges costs.
+func (l *lowerer) visit(e Expr) (int, error) {
+	if ln, ok := l.seen[e]; ok {
+		return ln, nil
+	}
+	ln, err := l.cost(e)
+	if err != nil {
+		return 0, err
+	}
+	l.seen[e] = ln
+	return ln, nil
+}
+
+func (l *lowerer) cost(e Expr) (int, error) {
+	switch node := e.(type) {
+	case Input:
+		// Reading an input costs one global access per element in every
+		// strategy (charged at the consumer for fused strategies; charge
+		// here once — the memoization ensures a DAG input is counted one
+		// time, like a register/fast-memory reuse would behave).
+		l.plan.GlobalAccesses += l.n
+		return l.n, nil
+	case ConstA:
+		return l.visit(node.Like)
+	case Map:
+		ln, err := l.visit(node.A)
+		if err != nil {
+			return 0, err
+		}
+		l.plan.Work += ln
+		switch l.strat {
+		case LowerFlattened:
+			// A flat pass: read + write each element.
+			l.plan.Kernels++
+			l.plan.GlobalAccesses += 2 * ln
+		case LowerPadded:
+			// Fused into the surrounding kernel: no materialization.
+		case LowerSequential:
+			// Register-resident.
+		}
+		return ln, nil
+	case Map2:
+		la, err := l.visit(node.A)
+		if err != nil {
+			return 0, err
+		}
+		lb, err := l.visit(node.B)
+		if err != nil {
+			return 0, err
+		}
+		if la != lb {
+			return 0, fmt.Errorf("parir: Map2 static length mismatch %d vs %d", la, lb)
+		}
+		l.plan.Work += la
+		switch l.strat {
+		case LowerFlattened:
+			l.plan.Kernels++
+			l.plan.GlobalAccesses += 3 * la
+		case LowerPadded, LowerSequential:
+		}
+		return la, nil
+	case Reduce:
+		ln, err := l.visit(node.A)
+		if err != nil {
+			return 0, err
+		}
+		l.plan.Work += ln
+		switch l.strat {
+		case LowerFlattened:
+			// A segmented-reduction pass: read all, log-depth tree.
+			l.plan.Kernels++
+			l.plan.GlobalAccesses += ln + 1
+		case LowerPadded:
+			// The reduction ends a fused kernel: the fused producers are
+			// consumed from fast memory; only the scalar is written out.
+			l.plan.Kernels++
+			l.plan.GlobalAccesses++
+		case LowerSequential:
+		}
+		return 1, nil
+	case Scan:
+		ln, err := l.visit(node.A)
+		if err != nil {
+			return 0, err
+		}
+		l.plan.Work += ln
+		l.plan.ScanPasses++
+		switch l.strat {
+		case LowerFlattened:
+			// Blelloch up+down sweep: ~4 global accesses per element
+			// (footnote 5: two scans already cost 4·M·n·K² accesses).
+			l.plan.Kernels += 2
+			l.plan.GlobalAccesses += 4 * ln
+		case LowerPadded:
+			// Block-level scan in shared memory; the result materializes
+			// once for the next kernel.
+			l.plan.Kernels++
+			l.plan.GlobalAccesses += 2 * ln
+		case LowerSequential:
+		}
+		return ln, nil
+	case FilterValid:
+		ln, err := l.visit(node.A)
+		if err != nil {
+			return 0, err
+		}
+		l.plan.Work += 3 * ln // flag map + index arithmetic + scatter
+		switch l.strat {
+		case LowerFlattened:
+			// filterNaNsWKeys of Fig. 12 under flattening: flag map
+			// (2·ln), index scan (4·ln), index fix-up map (2·ln), scatter
+			// (2·ln), plus the flag and index auxiliary arrays.
+			l.plan.Kernels += 4
+			l.plan.ScanPasses++
+			l.plan.GlobalAccesses += 10 * ln
+			l.plan.ExtraMemory += 2 * ln
+		case LowerPadded:
+			// The same composition but flags/indices live in fast memory
+			// within one kernel; only the compacted array materializes.
+			l.plan.Kernels++
+			l.plan.ScanPasses++
+			l.plan.GlobalAccesses += 2 * ln
+			l.plan.ExtraMemory += ln // the padded compacted buffer
+		case LowerSequential:
+			// A sequential compaction loop, output written once.
+			l.plan.GlobalAccesses += ln
+		}
+		// Padded length is preserved (per-pixel logical lengths vary).
+		return ln, nil
+	case SliceExpr:
+		if _, err := l.visit(node.A); err != nil {
+			return 0, err
+		}
+		if node.Lo < 0 || node.Hi < node.Lo || node.Hi > l.n {
+			return 0, fmt.Errorf("parir: slice [%d,%d) out of static range %d", node.Lo, node.Hi, l.n)
+		}
+		return node.Hi - node.Lo, nil
+	default:
+		return 0, fmt.Errorf("parir: unknown node %T", e)
+	}
+}

@@ -1,0 +1,243 @@
+// Package parir is a miniature data-parallel intermediate representation
+// modeling the design space of §III-B: per-pixel programs written as
+// map/reduce/scan/filter combinators (the Futhark vocabulary of Fig. 12)
+// that can be lowered to a parallel device with three strategies —
+//
+//   - LowerSequential: one thread per pixel, inner parallelism
+//     efficiently sequentialized (the first extreme of §III-B1);
+//   - LowerFlattened: full Blelloch flattening — every nested operation
+//     becomes flat scans/maps over padded arrays (the second extreme,
+//     whose cost footnote 5 of the paper quantifies);
+//   - LowerPadded: the paper's midpoint — operations of the same inner
+//     size are grouped into batched kernels with maps fused inside them.
+//
+// Programs are executable (Eval gives reference semantics per pixel), and
+// each lowering produces a Plan whose global-memory access counts expose
+// the trade-offs the paper argues: flattening preserves work
+// asymptotically but multiplies memory traffic and adds scan passes and
+// auxiliary arrays, while the padded grouping fuses maps and keeps
+// intermediates in fast memory.
+package parir
+
+import (
+	"fmt"
+	"math"
+)
+
+// UnOp is a unary elementwise operator.
+type UnOp int
+
+const (
+	OpNeg UnOp = iota
+	OpAbs
+	OpSqrt
+	OpSquare
+	// OpIsValid maps valid values to 1 and NaN to 0 (the paper's
+	// 1 − isnan(y)).
+	OpIsValid
+)
+
+func (o UnOp) apply(v float64) float64 {
+	switch o {
+	case OpNeg:
+		return -v
+	case OpAbs:
+		return math.Abs(v)
+	case OpSqrt:
+		return math.Sqrt(v)
+	case OpSquare:
+		return v * v
+	case OpIsValid:
+		if math.IsNaN(v) {
+			return 0
+		}
+		return 1
+	default:
+		panic(fmt.Sprintf("parir: unknown unary op %d", int(o)))
+	}
+}
+
+// BinOp is a binary elementwise/associative operator.
+type BinOp int
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMax
+)
+
+func (o BinOp) apply(a, b float64) float64 {
+	switch o {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return a / b
+	case OpMax:
+		return math.Max(a, b)
+	default:
+		panic(fmt.Sprintf("parir: unknown binary op %d", int(o)))
+	}
+}
+
+// Expr is a node of the per-pixel program DAG. Arrays are one-dimensional;
+// scalars are represented as length-1 arrays (the result of Reduce).
+type Expr interface {
+	expr()
+}
+
+// Input names a per-pixel input array (e.g. "y" for the pixel series).
+type Input struct{ Name string }
+
+// ConstA broadcasts a scalar constant to the length of its Like operand.
+type ConstA struct {
+	V    float64
+	Like Expr
+}
+
+// Map applies a unary operator elementwise.
+type Map struct {
+	Op UnOp
+	A  Expr
+}
+
+// Map2 applies a binary operator elementwise to two equal-length arrays.
+type Map2 struct {
+	Op   BinOp
+	A, B Expr
+}
+
+// Reduce folds an array with an associative operator into a scalar
+// (length-1 array).
+type Reduce struct {
+	Op   BinOp
+	Init float64
+	A    Expr
+}
+
+// Scan computes the inclusive prefix combination of the array.
+type Scan struct {
+	Op   BinOp
+	Init float64
+	A    Expr
+}
+
+// FilterValid compacts the non-NaN elements to the front, preserving
+// order — the paper's filterNaNsWKeys without the key half.
+type FilterValid struct{ A Expr }
+
+// SliceExpr takes the static subrange [Lo, Hi) of the array.
+type SliceExpr struct {
+	A      Expr
+	Lo, Hi int
+}
+
+func (Input) expr()       {}
+func (ConstA) expr()      {}
+func (Map) expr()         {}
+func (Map2) expr()        {}
+func (Reduce) expr()      {}
+func (Scan) expr()        {}
+func (FilterValid) expr() {}
+func (SliceExpr) expr()   {}
+
+// Eval executes the program for one pixel with the given named inputs,
+// returning the resulting array (length 1 for scalar results). This is
+// the reference semantics every lowering must preserve.
+func Eval(e Expr, env map[string][]float64) ([]float64, error) {
+	switch n := e.(type) {
+	case Input:
+		v, ok := env[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("parir: unbound input %q", n.Name)
+		}
+		return v, nil
+	case ConstA:
+		like, err := Eval(n.Like, env)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(like))
+		for i := range out {
+			out[i] = n.V
+		}
+		return out, nil
+	case Map:
+		a, err := Eval(n.A, env)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(a))
+		for i, v := range a {
+			out[i] = n.Op.apply(v)
+		}
+		return out, nil
+	case Map2:
+		a, err := Eval(n.A, env)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Eval(n.B, env)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("parir: Map2 length mismatch %d vs %d", len(a), len(b))
+		}
+		out := make([]float64, len(a))
+		for i := range a {
+			out[i] = n.Op.apply(a[i], b[i])
+		}
+		return out, nil
+	case Reduce:
+		a, err := Eval(n.A, env)
+		if err != nil {
+			return nil, err
+		}
+		acc := n.Init
+		for _, v := range a {
+			acc = n.Op.apply(acc, v)
+		}
+		return []float64{acc}, nil
+	case Scan:
+		a, err := Eval(n.A, env)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(a))
+		acc := n.Init
+		for i, v := range a {
+			acc = n.Op.apply(acc, v)
+			out[i] = acc
+		}
+		return out, nil
+	case FilterValid:
+		a, err := Eval(n.A, env)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, 0, len(a))
+		for _, v := range a {
+			if !math.IsNaN(v) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	case SliceExpr:
+		a, err := Eval(n.A, env)
+		if err != nil {
+			return nil, err
+		}
+		if n.Lo < 0 || n.Hi > len(a) || n.Lo > n.Hi {
+			return nil, fmt.Errorf("parir: slice [%d,%d) of length %d", n.Lo, n.Hi, len(a))
+		}
+		return a[n.Lo:n.Hi], nil
+	default:
+		return nil, fmt.Errorf("parir: unknown node %T", e)
+	}
+}

@@ -1,0 +1,274 @@
+package parir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bfast/internal/gpusim"
+)
+
+// mosumProgram builds the ker 7-10 fragment of Fig. 12 in the IR:
+// residuals are filtered, squared and reduced to a variance proxy, and
+// the monitoring part is scanned into a cumulative process.
+func mosumProgram() Expr {
+	r := Input{Name: "r"}
+	filtered := FilterValid{A: r}
+	ss := Reduce{Op: OpAdd, A: Map{Op: OpSquare, A: filtered}}
+	cum := Scan{Op: OpAdd, A: filtered}
+	// Combine both results so one DAG carries them (sum of scalar + last).
+	last := Reduce{Op: OpAdd, A: cum}
+	return Map2{Op: OpAdd, A: ss, B: last}
+}
+
+func TestEvalBasics(t *testing.T) {
+	env := map[string][]float64{"y": {1, 2, math.NaN(), 4}}
+	got, err := Eval(Map2{Op: OpMul, A: Input{"y"}, B: Input{"y"}}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 4 || !math.IsNaN(got[2]) || got[3] != 16 {
+		t.Fatalf("square = %v", got)
+	}
+	got, err = Eval(FilterValid{A: Input{"y"}}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 4 {
+		t.Fatalf("filter = %v", got)
+	}
+	got, err = Eval(Reduce{Op: OpAdd, A: FilterValid{A: Input{"y"}}}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("reduce = %v", got)
+	}
+	got, err = Eval(Scan{Op: OpAdd, A: FilterValid{A: Input{"y"}}}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 3 || got[2] != 7 {
+		t.Fatalf("scan = %v", got)
+	}
+	got, err = Eval(SliceExpr{A: Input{"y"}, Lo: 1, Hi: 3}, env)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("slice = %v (%v)", got, err)
+	}
+	got, err = Eval(ConstA{V: 2.5, Like: Input{"y"}}, env)
+	if err != nil || len(got) != 4 || got[0] != 2.5 {
+		t.Fatalf("const = %v (%v)", got, err)
+	}
+	if _, err := Eval(Input{"missing"}, env); err == nil {
+		t.Fatal("unbound input must fail")
+	}
+	if _, err := Eval(Map2{Op: OpAdd, A: Input{"y"}, B: FilterValid{A: Input{"y"}}}, env); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := Eval(SliceExpr{A: Input{"y"}, Lo: 2, Hi: 9}, env); err == nil {
+		t.Fatal("bad slice must fail")
+	}
+}
+
+func TestEvalUnaryOps(t *testing.T) {
+	env := map[string][]float64{"y": {-4, math.NaN()}}
+	cases := []struct {
+		op   UnOp
+		want [2]float64
+	}{
+		{OpNeg, [2]float64{4, math.NaN()}},
+		{OpAbs, [2]float64{4, math.NaN()}},
+		{OpSquare, [2]float64{16, math.NaN()}},
+		{OpIsValid, [2]float64{1, 0}},
+	}
+	for _, c := range cases {
+		got, err := Eval(Map{Op: c.op, A: Input{"y"}}, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if got[i] != c.want[i] && !(math.IsNaN(got[i]) && math.IsNaN(c.want[i])) {
+				t.Fatalf("op %d: %v, want %v", int(c.op), got, c.want)
+			}
+		}
+	}
+}
+
+// TestEvalMatchesDirectComputation: the mosum fragment evaluated through
+// the IR equals the hand-written computation.
+func TestEvalMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		r := make([]float64, n)
+		for i := range r {
+			if rng.Float64() < 0.4 {
+				r[i] = math.NaN()
+			} else {
+				r[i] = rng.NormFloat64()
+			}
+		}
+		got, err := Eval(mosumProgram(), map[string][]float64{"r": r})
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		var ss, sum, cum float64
+		for _, v := range r {
+			if math.IsNaN(v) {
+				continue
+			}
+			ss += v * v
+			sum += v
+			cum += sum
+		}
+		return math.Abs(got[0]-(ss+cum)) < 1e-9*math.Max(1, math.Abs(ss+cum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoweringTradeoffs encodes the §III-B comparison: flattening
+// preserves work but multiplies memory traffic, introduces scan passes
+// and needs auxiliary arrays; the padded grouping sits between the
+// sequential minimum and the flattened maximum.
+func TestLoweringTradeoffs(t *testing.T) {
+	prog := mosumProgram()
+	const n = 512
+	plans := map[Strategy]Plan{}
+	for _, s := range []Strategy{LowerSequential, LowerFlattened, LowerPadded} {
+		p, err := Lower(prog, n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[s] = p
+	}
+	seq, fl, pad := plans[LowerSequential], plans[LowerFlattened], plans[LowerPadded]
+
+	// Work is strategy-invariant (flattening is work-preserving).
+	if seq.Work != fl.Work || fl.Work != pad.Work {
+		t.Fatalf("work must be invariant: seq=%d fl=%d pad=%d", seq.Work, fl.Work, pad.Work)
+	}
+	// Traffic ordering: sequential < padded < flattened.
+	if !(seq.GlobalAccesses < pad.GlobalAccesses && pad.GlobalAccesses < fl.GlobalAccesses) {
+		t.Fatalf("traffic ordering violated: seq=%d pad=%d fl=%d",
+			seq.GlobalAccesses, pad.GlobalAccesses, fl.GlobalAccesses)
+	}
+	// Flattening needs auxiliary memory; the sequential version none
+	// beyond its output.
+	if fl.ExtraMemory <= pad.ExtraMemory {
+		t.Fatalf("flattening must need more auxiliary memory: fl=%d pad=%d",
+			fl.ExtraMemory, pad.ExtraMemory)
+	}
+	// Flattening launches the most kernels; sequential exactly one.
+	if seq.Kernels != 1 || fl.Kernels <= pad.Kernels {
+		t.Fatalf("kernel counts: seq=%d pad=%d fl=%d", seq.Kernels, pad.Kernels, fl.Kernels)
+	}
+	// The paper's footnote-5 magnitude: flattening a filter-heavy program
+	// costs on the order of 1.5x the fused padded traffic or more.
+	if ratio := float64(fl.GlobalAccesses) / float64(pad.GlobalAccesses); ratio < 1.5 {
+		t.Fatalf("flattened/padded traffic ratio %.2f below the footnote-5 regime", ratio)
+	}
+}
+
+func TestLowerFilterFootnote5Shape(t *testing.T) {
+	// A pure filter: flattening spends 10 accesses/element (flag map,
+	// index scan, fix-up, scatter) vs 2 for the padded in-kernel version
+	// — the 4.5 vs 3 /30 contrast of footnote 5 comes exactly from this
+	// kind of blow-up.
+	prog := FilterValid{A: Input{"y"}}
+	const n = 100
+	fl, err := Lower(prog, n, LowerFlattened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad, err := Lower(prog, n, LowerPadded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.GlobalAccesses != n+10*n {
+		t.Fatalf("flattened filter accesses = %d, want %d", fl.GlobalAccesses, 11*n)
+	}
+	if pad.GlobalAccesses != n+2*n {
+		t.Fatalf("padded filter accesses = %d, want %d", pad.GlobalAccesses, 3*n)
+	}
+	if fl.ExtraMemory != 2*n || pad.ExtraMemory != n {
+		t.Fatalf("aux memory fl=%d pad=%d", fl.ExtraMemory, pad.ExtraMemory)
+	}
+}
+
+func TestLowerDAGInputCountedOnce(t *testing.T) {
+	// The same input consumed twice must be charged once (fast-memory
+	// reuse), in every strategy.
+	y := Input{"y"}
+	prog := Map2{Op: OpAdd, A: Map{Op: OpSquare, A: y}, B: Map{Op: OpAbs, A: y}}
+	for _, s := range []Strategy{LowerSequential, LowerFlattened, LowerPadded} {
+		p, err := Lower(prog, 64, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exactly one 64-element input charge must be present.
+		if s == LowerSequential && p.GlobalAccesses != 64 {
+			t.Fatalf("%v: input charged %d, want 64", s, p.GlobalAccesses)
+		}
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	if _, err := Lower(SliceExpr{A: Input{"y"}, Lo: 5, Hi: 999}, 10, LowerPadded); err == nil {
+		t.Fatal("bad static slice must fail")
+	}
+	bad := Map2{Op: OpAdd, A: Input{"y"}, B: Reduce{Op: OpAdd, A: Input{"y"}}}
+	if _, err := Lower(bad, 10, LowerPadded); err == nil {
+		t.Fatal("static length mismatch must fail")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if LowerSequential.String() != "sequential" || LowerFlattened.String() != "flattened" || LowerPadded.String() != "padded" {
+		t.Fatal("Strategy.String broken")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy must render")
+	}
+}
+
+func TestToCountersAndModelTime(t *testing.T) {
+	prog := mosumProgram()
+	const n, m = 512, 16384
+	var prev float64
+	// For a filter/scan-heavy program the modeled time must order:
+	// flattened slowest, sequential in between or fastest (low traffic but
+	// bandwidth-penalized), padded fastest or close.
+	times := map[Strategy]float64{}
+	for _, s := range []Strategy{LowerPadded, LowerSequential, LowerFlattened} {
+		run, err := ModelTime(prog, n, m, s, gpusim.RTX2080Ti())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Time <= 0 {
+			t.Fatalf("%v: non-positive modeled time", s)
+		}
+		times[s] = run.Time.Seconds()
+	}
+	if times[LowerFlattened] <= times[LowerPadded] {
+		t.Fatalf("flattening must model slower than padded grouping: %v", times)
+	}
+	_ = prev
+
+	plan, err := Lower(prog, n, LowerPadded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := plan.ToCounters(100)
+	if c.GlobalCoalesced != uint64(plan.GlobalAccesses)*100 {
+		t.Fatal("counters must scale linearly in M")
+	}
+	if _, err := ModelTime(Input{"missing gets caught at eval, not lower"}, 8, 4, LowerPadded, gpusim.RTX2080Ti()); err != nil {
+		t.Fatal(err) // inputs are legal at lowering time
+	}
+	if _, err := ModelTime(SliceExpr{A: Input{"y"}, Lo: 9, Hi: 99}, 8, 4, LowerPadded, gpusim.RTX2080Ti()); err == nil {
+		t.Fatal("lowering errors must propagate")
+	}
+}

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ClusterConfig models the §V Africa deployment: a fleet of identical
+// GPUs processing a large set of independent images (footnote 14 of the
+// paper: "to obtain the results for Africa, a cluster with 20 GPUs was
+// used"). Images are independent work items, so scheduling is a classic
+// makespan problem; the paper's campaign simply distributes images across
+// devices.
+type ClusterConfig struct {
+	// Devices is the number of GPUs (the paper used 20).
+	Devices int
+	// Schedule selects the assignment policy.
+	Schedule SchedulePolicy
+}
+
+// SchedulePolicy selects how images are assigned to devices.
+type SchedulePolicy int
+
+const (
+	// ScheduleRoundRobin assigns image i to device i mod G — what a
+	// simple campaign script does.
+	ScheduleRoundRobin SchedulePolicy = iota
+	// ScheduleLPT sorts images by decreasing processing time and always
+	// assigns to the least-loaded device (longest-processing-time-first,
+	// a 4/3-approximation of the optimal makespan).
+	ScheduleLPT
+)
+
+// String implements fmt.Stringer.
+func (p SchedulePolicy) String() string {
+	switch p {
+	case ScheduleRoundRobin:
+		return "round-robin"
+	case ScheduleLPT:
+		return "lpt"
+	default:
+		return fmt.Sprintf("SchedulePolicy(%d)", int(p))
+	}
+}
+
+// ClusterResult summarizes a modeled campaign.
+type ClusterResult struct {
+	// Makespan is the modeled wall time of the whole campaign.
+	Makespan time.Duration
+	// TotalWork is the summed per-image time (single-device wall time).
+	TotalWork time.Duration
+	// PerDevice is each device's total assigned work.
+	PerDevice []time.Duration
+	// Efficiency is TotalWork / (Devices · Makespan) — 1.0 means no
+	// load imbalance.
+	Efficiency float64
+}
+
+// ScheduleImages models the campaign wall time for a set of per-image
+// processing times on the configured cluster.
+func ScheduleImages(imageTimes []time.Duration, cfg ClusterConfig) (*ClusterResult, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("pipeline: cluster needs at least one device, got %d", cfg.Devices)
+	}
+	if len(imageTimes) == 0 {
+		return nil, fmt.Errorf("pipeline: no images to schedule")
+	}
+	res := &ClusterResult{PerDevice: make([]time.Duration, cfg.Devices)}
+	switch cfg.Schedule {
+	case ScheduleRoundRobin:
+		for i, t := range imageTimes {
+			res.PerDevice[i%cfg.Devices] += t
+		}
+	case ScheduleLPT:
+		sorted := append([]time.Duration(nil), imageTimes...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+		for _, t := range sorted {
+			min := 0
+			for d := 1; d < cfg.Devices; d++ {
+				if res.PerDevice[d] < res.PerDevice[min] {
+					min = d
+				}
+			}
+			res.PerDevice[min] += t
+		}
+	default:
+		return nil, fmt.Errorf("pipeline: unknown schedule policy %d", int(cfg.Schedule))
+	}
+	for _, t := range imageTimes {
+		res.TotalWork += t
+	}
+	for _, t := range res.PerDevice {
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+	}
+	if res.Makespan > 0 {
+		res.Efficiency = res.TotalWork.Seconds() / (float64(cfg.Devices) * res.Makespan.Seconds())
+	}
+	return res, nil
+}
+
+// AfricaCampaign models the §V-C Africa numbers: images at perImage
+// processing time each, one monitoring period. The paper reports ~8.5 s
+// per image, ~90 hours for one period on a single GPU (38234 images), and
+// the whole scenario (several periods) in about four weeks single-GPU —
+// compressed onto the 20-GPU cluster.
+func AfricaCampaign(images int, perImage time.Duration, periods int, cfg ClusterConfig) (*ClusterResult, error) {
+	if images <= 0 || periods <= 0 {
+		return nil, fmt.Errorf("pipeline: campaign needs positive images and periods")
+	}
+	times := make([]time.Duration, images*periods)
+	for i := range times {
+		times[i] = perImage
+	}
+	return ScheduleImages(times, cfg)
+}

@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestScheduleRoundRobinUniform(t *testing.T) {
+	times := make([]time.Duration, 100)
+	for i := range times {
+		times[i] = time.Second
+	}
+	res, err := ScheduleImages(times, ClusterConfig{Devices: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5*time.Second {
+		t.Fatalf("makespan %v, want 5s", res.Makespan)
+	}
+	if res.Efficiency < 0.999 {
+		t.Fatalf("uniform round robin must be perfectly efficient, got %v", res.Efficiency)
+	}
+	if res.TotalWork != 100*time.Second {
+		t.Fatalf("total work %v", res.TotalWork)
+	}
+}
+
+func TestScheduleLPTBeatsRoundRobinOnSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	times := make([]time.Duration, 200)
+	for i := range times {
+		times[i] = time.Duration(1+rng.Intn(20)) * time.Second
+	}
+	// Adversarial order for round robin: big jobs clustered.
+	for i := 0; i < 20; i++ {
+		times[i*10] = 60 * time.Second
+	}
+	rr, err := ScheduleImages(times, ClusterConfig{Devices: 10, Schedule: ScheduleRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpt, err := ScheduleImages(times, ClusterConfig{Devices: 10, Schedule: ScheduleLPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpt.Makespan > rr.Makespan {
+		t.Fatalf("LPT (%v) must not be worse than round robin (%v)", lpt.Makespan, rr.Makespan)
+	}
+	if lpt.Efficiency < 0.9 {
+		t.Fatalf("LPT efficiency %v too low", lpt.Efficiency)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := ScheduleImages(nil, ClusterConfig{Devices: 2}); err == nil {
+		t.Fatal("empty image set must fail")
+	}
+	if _, err := ScheduleImages([]time.Duration{1}, ClusterConfig{Devices: 0}); err == nil {
+		t.Fatal("zero devices must fail")
+	}
+	if _, err := ScheduleImages([]time.Duration{1}, ClusterConfig{Devices: 1, Schedule: SchedulePolicy(7)}); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+}
+
+func TestAfricaCampaignPaperArithmetic(t *testing.T) {
+	// Paper: 38234 images × ~8.5s ≈ 90h for one monitoring period on one
+	// GPU; a 20-GPU cluster compresses a multi-period campaign ~20x.
+	single, err := AfricaCampaign(38234, 8500*time.Millisecond, 1, ClusterConfig{Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hours := single.Makespan.Hours()
+	if hours < 85 || hours > 95 {
+		t.Fatalf("single-GPU period takes %.1f h, paper says ≈90 h", hours)
+	}
+	// Whole scenario: the paper quotes about four weeks single-GPU, i.e.
+	// ~7-8 yearly periods.
+	scenario, err := AfricaCampaign(38234, 8500*time.Millisecond, 8, ClusterConfig{Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weeks := scenario.Makespan.Hours() / (24 * 7)
+	if weeks < 3.5 || weeks > 5 {
+		t.Fatalf("single-GPU scenario takes %.1f weeks, paper says ≈4", weeks)
+	}
+	cluster, err := AfricaCampaign(38234, 8500*time.Millisecond, 8, ClusterConfig{Devices: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := scenario.Makespan.Seconds() / cluster.Makespan.Seconds()
+	if speedup < 19.5 || speedup > 20.5 {
+		t.Fatalf("20-GPU speed-up %.1f, want ≈20 (uniform images)", speedup)
+	}
+}
+
+func TestAfricaCampaignValidation(t *testing.T) {
+	if _, err := AfricaCampaign(0, time.Second, 1, ClusterConfig{Devices: 1}); err == nil {
+		t.Fatal("zero images must fail")
+	}
+	if _, err := AfricaCampaign(1, time.Second, 0, ClusterConfig{Devices: 1}); err == nil {
+		t.Fatal("zero periods must fail")
+	}
+}
+
+func TestSchedulePolicyString(t *testing.T) {
+	if ScheduleRoundRobin.String() != "round-robin" || ScheduleLPT.String() != "lpt" {
+		t.Fatal("SchedulePolicy.String broken")
+	}
+	if SchedulePolicy(9).String() == "" {
+		t.Fatal("unknown policy must render")
+	}
+}

@@ -1,0 +1,190 @@
+// Package series provides the time-series primitives of BFAST-Monitor:
+// construction of the harmonic season-trend design matrix (Eq. 3 of the
+// paper, function mkX of Fig. 12), missing-value filtering with index
+// bookkeeping (Alg. 1 line 1 / filterNaNsWKeys), and the index remapping
+// that translates positions in the filtered series back to the original
+// date axis (Alg. 1 line 13).
+package series
+
+import (
+	"fmt"
+	"math"
+)
+
+// NaN is the missing-value marker used throughout the library.
+var NaN = math.NaN()
+
+// IsMissing reports whether v is a missing observation.
+func IsMissing(v float64) bool { return math.IsNaN(v) }
+
+// DesignMatrix holds the K×N design matrix X of Eq. (3): row 0 is the
+// intercept, row 1 the linear trend, and rows 2..K-1 alternate
+// sin/cos harmonic pairs. Data is row-major, so row j is the time profile
+// of regressor j — the layout the batched kernels stream over.
+type DesignMatrix struct {
+	K, N int
+	// Data is row-major: Data[j*N+t] is regressor j at date index t.
+	Data []float64
+}
+
+// At returns regressor j at date t.
+func (d *DesignMatrix) At(j, t int) float64 { return d.Data[j*d.N+t] }
+
+// Column fills out (length K) with the pattern x_t of Eq. (3) for date t.
+func (d *DesignMatrix) Column(t int, out []float64) {
+	for j := 0; j < d.K; j++ {
+		out[j] = d.Data[j*d.N+t]
+	}
+}
+
+// MakeDesign builds the design matrix for N dates with k harmonic terms and
+// observation frequency f (Eq. 3):
+//
+//	x_t = (1, t, sin(2πt/f), cos(2πt/f), ..., sin(2πkt/f), cos(2πkt/f))ᵀ
+//
+// Dates are t = 1..N as in the paper (1-based time index). K = 2k+2.
+func MakeDesign(n, k int, f float64) (*DesignMatrix, error) {
+	times := make([]float64, n)
+	for t := range times {
+		times[t] = float64(t + 1)
+	}
+	return MakeDesignAt(times, k, f, true)
+}
+
+// MakeDesignTrendless builds the design without the linear trend row
+// (bfastmonitor's `response ~ harmon` formula): K = 2k+1. The season-only
+// model is preferred for short or trend-free histories.
+func MakeDesignTrendless(n, k int, f float64) (*DesignMatrix, error) {
+	times := make([]float64, n)
+	for t := range times {
+		times[t] = float64(t + 1)
+	}
+	return MakeDesignAt(times, k, f, false)
+}
+
+// MakeDesignAt builds the design matrix for arbitrary time coordinates:
+// times[i] is the (real-valued) acquisition time of observation i, in the
+// same unit as one step of f (e.g. decimal years with f = 1, or date
+// indices with f = 23). This is the irregular-calendar generalization of
+// Eq. 3 used when acquisitions are not equally spaced. trend selects
+// whether the linear-trend regressor is included.
+func MakeDesignAt(times []float64, k int, f float64, trend bool) (*DesignMatrix, error) {
+	n := len(times)
+	if n <= 0 {
+		return nil, fmt.Errorf("series: design needs N > 0, got %d", n)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("series: negative harmonic order %d", k)
+	}
+	if f <= 0 {
+		return nil, fmt.Errorf("series: frequency must be positive, got %g", f)
+	}
+	K := 2*k + 1
+	if trend {
+		K++
+	}
+	d := &DesignMatrix{K: K, N: n, Data: make([]float64, K*n)}
+	for t := 0; t < n; t++ {
+		tt := times[t]
+		row := 0
+		d.Data[row*n+t] = 1
+		row++
+		if trend {
+			d.Data[row*n+t] = tt
+			row++
+		}
+		for j := 1; j <= k; j++ {
+			ang := 2 * math.Pi * float64(j) * tt / f
+			d.Data[row*n+t] = math.Sin(ang)
+			d.Data[(row+1)*n+t] = math.Cos(ang)
+			row += 2
+		}
+	}
+	return d, nil
+}
+
+// Filtered is the result of removing the missing values from one pixel's
+// series: the compacted values, their original indices, and the valid
+// counts for the history prefix and the whole series.
+type Filtered struct {
+	// Values holds the NValid valid observations in original order,
+	// followed by NaN padding up to the original length (the padding
+	// convention of Fig. 12, which keeps per-pixel buffers regular).
+	Values []float64
+	// Index[i] is the original 0-based date index of Values[i]
+	// (only the first NValid entries are meaningful; the padding is -1).
+	Index []int
+	// NValidHist is n̄: the number of valid observations among the first
+	// n dates (the stable history period).
+	NValidHist int
+	// NValid is N̄: the number of valid observations over all N dates.
+	NValid int
+}
+
+// FilterMissing compacts the valid entries of y to the front, recording
+// their original indices, and counts how many fall in the history period
+// [0, n). It implements Alg. 1 line 1 / filterNaNsWKeys of Fig. 12; the
+// output buffers keep the original length with NaN/-1 padding.
+func FilterMissing(y []float64, n int) Filtered {
+	if n < 0 || n > len(y) {
+		panic(fmt.Sprintf("series: history length %d out of range [0,%d]", n, len(y)))
+	}
+	out := Filtered{
+		Values: make([]float64, len(y)),
+		Index:  make([]int, len(y)),
+	}
+	for i := range out.Values {
+		out.Values[i] = NaN
+		out.Index[i] = -1
+	}
+	w := 0
+	for i, v := range y {
+		if IsMissing(v) {
+			continue
+		}
+		out.Values[w] = v
+		out.Index[w] = i
+		if i < n {
+			out.NValidHist++
+		}
+		w++
+	}
+	out.NValid = w
+	return out
+}
+
+// RemapIndex translates a 0-based position t̄ in the filtered monitoring
+// period (i.e. filtered position n̄ + t̄) to the 0-based offset within the
+// original monitoring period [n, N). It implements remapIndices of Fig. 12.
+// It returns -1 if the position is out of range or maps before the
+// monitoring start (which cannot happen for well-formed inputs).
+func RemapIndex(f Filtered, tBar, n int) int {
+	pos := f.NValidHist + tBar
+	if tBar < 0 || pos >= f.NValid {
+		return -1
+	}
+	orig := f.Index[pos]
+	if orig < n {
+		return -1
+	}
+	return orig - n
+}
+
+// CountValid returns the number of non-missing entries of y.
+func CountValid(y []float64) int {
+	c := 0
+	for _, v := range y {
+		if !IsMissing(v) {
+			c++
+		}
+	}
+	return c
+}
+
+// NaNFraction returns the fraction of missing entries in y (0 for empty y).
+func NaNFraction(y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	return 1 - float64(CountValid(y))/float64(len(y))
+}

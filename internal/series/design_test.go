@@ -1,0 +1,265 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeDesignShape(t *testing.T) {
+	d, err := MakeDesign(100, 3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K != 8 || d.N != 100 {
+		t.Fatalf("shape %dx%d, want 8x100", d.K, d.N)
+	}
+}
+
+func TestMakeDesignInterceptAndTrend(t *testing.T) {
+	d, _ := MakeDesign(10, 2, 23)
+	for tt := 0; tt < 10; tt++ {
+		if d.At(0, tt) != 1 {
+			t.Fatalf("intercept row must be 1, got %v", d.At(0, tt))
+		}
+		if d.At(1, tt) != float64(tt+1) {
+			t.Fatalf("trend row must be t+1, got %v at %d", d.At(1, tt), tt)
+		}
+	}
+}
+
+func TestMakeDesignHarmonics(t *testing.T) {
+	f := 23.0
+	d, _ := MakeDesign(46, 3, f)
+	for tt := 0; tt < 46; tt++ {
+		for j := 1; j <= 3; j++ {
+			ang := 2 * math.Pi * float64(j) * float64(tt+1) / f
+			if math.Abs(d.At(2*j, tt)-math.Sin(ang)) > 1e-12 {
+				t.Fatalf("sin harmonic j=%d t=%d wrong", j, tt)
+			}
+			if math.Abs(d.At(2*j+1, tt)-math.Cos(ang)) > 1e-12 {
+				t.Fatalf("cos harmonic j=%d t=%d wrong", j, tt)
+			}
+		}
+	}
+}
+
+func TestMakeDesignPeriodicity(t *testing.T) {
+	// Harmonic rows must repeat with period f when f divides the range.
+	f := 23.0
+	d, _ := MakeDesign(92, 2, f)
+	for tt := 0; tt < 92-23; tt++ {
+		for j := 2; j < d.K; j++ {
+			if math.Abs(d.At(j, tt)-d.At(j, tt+23)) > 1e-9 {
+				t.Fatalf("row %d not periodic at t=%d", j, tt)
+			}
+		}
+	}
+}
+
+func TestMakeDesignSinCosIdentity(t *testing.T) {
+	// sin² + cos² == 1 for each harmonic pair.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := rng.Intn(5)
+		freq := 1 + rng.Float64()*400
+		d, err := MakeDesign(n, k, freq)
+		if err != nil {
+			return false
+		}
+		for tt := 0; tt < n; tt++ {
+			for j := 1; j <= k; j++ {
+				s, c := d.At(2*j, tt), d.At(2*j+1, tt)
+				if math.Abs(s*s+c*c-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeDesignErrors(t *testing.T) {
+	if _, err := MakeDesign(0, 3, 23); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+	if _, err := MakeDesign(10, -1, 23); err == nil {
+		t.Fatal("expected error for k<0")
+	}
+	if _, err := MakeDesign(10, 3, 0); err == nil {
+		t.Fatal("expected error for f=0")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	d, _ := MakeDesign(5, 1, 23)
+	col := make([]float64, d.K)
+	d.Column(2, col)
+	for j := 0; j < d.K; j++ {
+		if col[j] != d.At(j, 2) {
+			t.Fatalf("Column mismatch at j=%d", j)
+		}
+	}
+}
+
+func TestFilterMissingBasic(t *testing.T) {
+	y := []float64{1, NaN, 3, NaN, 5, 6}
+	f := FilterMissing(y, 4)
+	if f.NValid != 4 {
+		t.Fatalf("NValid = %d, want 4", f.NValid)
+	}
+	if f.NValidHist != 2 {
+		t.Fatalf("NValidHist = %d, want 2", f.NValidHist)
+	}
+	wantV := []float64{1, 3, 5, 6}
+	wantI := []int{0, 2, 4, 5}
+	for i := 0; i < 4; i++ {
+		if f.Values[i] != wantV[i] || f.Index[i] != wantI[i] {
+			t.Fatalf("filtered[%d] = (%v,%d), want (%v,%d)",
+				i, f.Values[i], f.Index[i], wantV[i], wantI[i])
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if !math.IsNaN(f.Values[i]) || f.Index[i] != -1 {
+			t.Fatalf("padding[%d] = (%v,%d), want (NaN,-1)", i, f.Values[i], f.Index[i])
+		}
+	}
+}
+
+func TestFilterMissingAllValid(t *testing.T) {
+	y := []float64{1, 2, 3}
+	f := FilterMissing(y, 2)
+	if f.NValid != 3 || f.NValidHist != 2 {
+		t.Fatalf("got NValid=%d NValidHist=%d", f.NValid, f.NValidHist)
+	}
+}
+
+func TestFilterMissingAllMissing(t *testing.T) {
+	y := []float64{NaN, NaN}
+	f := FilterMissing(y, 1)
+	if f.NValid != 0 || f.NValidHist != 0 {
+		t.Fatalf("got NValid=%d NValidHist=%d", f.NValid, f.NValidHist)
+	}
+}
+
+func TestFilterMissingEmpty(t *testing.T) {
+	f := FilterMissing(nil, 0)
+	if f.NValid != 0 || f.NValidHist != 0 || len(f.Values) != 0 {
+		t.Fatal("empty input must give empty output")
+	}
+}
+
+func TestFilterMissingPanicsOnBadHistory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n out of range")
+		}
+	}()
+	FilterMissing([]float64{1}, 2)
+}
+
+func TestFilterMissingProperties(t *testing.T) {
+	// Properties: valid values preserved in order; indices strictly
+	// increasing; NValidHist consistent with the history prefix.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		N := rng.Intn(300)
+		n := 0
+		if N > 0 {
+			n = rng.Intn(N + 1)
+		}
+		y := make([]float64, N)
+		for i := range y {
+			if rng.Float64() < 0.6 {
+				y[i] = NaN
+			} else {
+				y[i] = rng.NormFloat64()
+			}
+		}
+		fl := FilterMissing(y, n)
+		// Order and value preservation.
+		j := 0
+		histCount := 0
+		for i, v := range y {
+			if IsMissing(v) {
+				continue
+			}
+			if fl.Values[j] != v || fl.Index[j] != i {
+				return false
+			}
+			if i < n {
+				histCount++
+			}
+			j++
+		}
+		if j != fl.NValid || histCount != fl.NValidHist {
+			return false
+		}
+		// Indices strictly increasing.
+		for i := 1; i < fl.NValid; i++ {
+			if fl.Index[i] <= fl.Index[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapIndex(t *testing.T) {
+	y := []float64{1, NaN, 3, NaN, 5, NaN, 7}
+	n := 4 // history [0,4): valid at 0,2 -> n̄=2; monitoring valid at 4,6
+	f := FilterMissing(y, n)
+	if got := RemapIndex(f, 0, n); got != 0 { // filtered pos 2 -> orig 4 -> offset 0
+		t.Fatalf("RemapIndex(0) = %d, want 0", got)
+	}
+	if got := RemapIndex(f, 1, n); got != 2 { // orig 6 -> offset 2
+		t.Fatalf("RemapIndex(1) = %d, want 2", got)
+	}
+	if got := RemapIndex(f, 2, n); got != -1 {
+		t.Fatalf("RemapIndex out of range = %d, want -1", got)
+	}
+	if got := RemapIndex(f, -1, n); got != -1 {
+		t.Fatalf("RemapIndex(-1) = %d, want -1", got)
+	}
+}
+
+func TestCountValidAndNaNFraction(t *testing.T) {
+	y := []float64{1, NaN, 2, NaN}
+	if CountValid(y) != 2 {
+		t.Fatal("CountValid wrong")
+	}
+	if NaNFraction(y) != 0.5 {
+		t.Fatal("NaNFraction wrong")
+	}
+	if NaNFraction(nil) != 0 {
+		t.Fatal("NaNFraction(nil) should be 0")
+	}
+}
+
+func TestMakeDesignTrendless(t *testing.T) {
+	d, err := MakeDesignTrendless(50, 2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K != 5 {
+		t.Fatalf("trend-less K = %d, want 5", d.K)
+	}
+	// Row 0 intercept, row 1 first sin harmonic (no trend row).
+	for tt := 0; tt < 50; tt++ {
+		if d.At(0, tt) != 1 {
+			t.Fatal("intercept missing")
+		}
+		want := math.Sin(2 * math.Pi * float64(tt+1) / 23)
+		if math.Abs(d.At(1, tt)-want) > 1e-12 {
+			t.Fatalf("row 1 should be the first harmonic, got %v want %v", d.At(1, tt), want)
+		}
+	}
+}

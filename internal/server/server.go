@@ -1,0 +1,244 @@
+// Package server exposes BFAST-Monitor as a small HTTP service — the
+// deployment shape a monitoring system actually runs as (the paper's
+// "trigger countermeasures" use case implies something is watching):
+//
+//	POST /v1/detect  {"series": [...], "history": 113, ...}  -> Result JSON
+//	POST /v1/trace   same body                               -> process trajectory
+//	POST /v1/batch   {"pixels": [[...],[...]], "history": …} -> one Result per pixel
+//	GET  /v1/healthz                                         -> ok
+//
+// NaN cannot be represented in JSON; missing observations are sent as
+// null (the natural encoding for "no measurement").
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"bfast/internal/baseline"
+	"bfast/internal/core"
+	"bfast/internal/stats"
+)
+
+// DetectRequest is the request body of /v1/detect and /v1/trace; /v1/batch
+// uses the same options with Pixels instead of Series.
+type DetectRequest struct {
+	// Series is the pixel time series; null = missing observation.
+	Series []*float64 `json:"series,omitempty"`
+	// Pixels carries many series for /v1/batch.
+	Pixels [][]*float64 `json:"pixels,omitempty"`
+	// History is n, the history length in dates (required).
+	History int `json:"history"`
+	// Harmonics is k (default 3).
+	Harmonics *int `json:"harmonics,omitempty"`
+	// Frequency is f (default 23).
+	Frequency *float64 `json:"frequency,omitempty"`
+	// HFrac is the MOSUM window fraction (default 0.25).
+	HFrac *float64 `json:"hfrac,omitempty"`
+	// Level is the significance level (default 0.05).
+	Level *float64 `json:"level,omitempty"`
+	// Process is "mosum" (default) or "cusum".
+	Process string `json:"process,omitempty"`
+	// NoTrend drops the linear-trend regressor.
+	NoTrend bool `json:"noTrend,omitempty"`
+}
+
+// DetectResponse is the per-pixel result.
+type DetectResponse struct {
+	Status       string   `json:"status"`
+	BreakIndex   int      `json:"breakIndex"`
+	Magnitude    *float64 `json:"magnitude,omitempty"`
+	Sigma        *float64 `json:"sigma,omitempty"`
+	ValidHistory int      `json:"validHistory"`
+	Valid        int      `json:"valid"`
+}
+
+// TraceResponse is the /v1/trace body.
+type TraceResponse struct {
+	Status   string    `json:"status"`
+	Dates    []int     `json:"dates,omitempty"`
+	Process  []float64 `json:"process,omitempty"`
+	Boundary []float64 `json:"boundary,omitempty"`
+	BreakAt  int       `json:"breakAt"`
+}
+
+// New returns the service handler.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/detect", handleDetect)
+	mux.HandleFunc("/v1/trace", handleTrace)
+	mux.HandleFunc("/v1/batch", handleBatch)
+	return mux
+}
+
+func (r *DetectRequest) options() core.Options {
+	opt := core.DefaultOptions(r.History)
+	if r.Harmonics != nil {
+		opt.Harmonics = *r.Harmonics
+	}
+	if r.Frequency != nil {
+		opt.Frequency = *r.Frequency
+	}
+	if r.HFrac != nil {
+		opt.HFrac = *r.HFrac
+	}
+	if r.Level != nil {
+		opt.Level = *r.Level
+	}
+	if r.Process == "cusum" {
+		opt.Process = stats.ProcessCUSUM
+	}
+	opt.NoTrend = r.NoTrend
+	return opt
+}
+
+// toFloats converts the null-for-missing JSON encoding to NaN.
+func toFloats(in []*float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		if v == nil {
+			out[i] = math.NaN()
+		} else {
+			out[i] = *v
+		}
+	}
+	return out
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*DetectRequest, bool) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return nil, false
+	}
+	var req DetectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, false
+	}
+	return &req, true
+}
+
+func resultJSON(res core.Result) DetectResponse {
+	out := DetectResponse{
+		Status:       res.Status.String(),
+		BreakIndex:   res.BreakIndex,
+		ValidHistory: res.ValidHistory,
+		Valid:        res.Valid,
+	}
+	if res.Status == core.StatusOK {
+		m, s := res.MosumMean, res.Sigma
+		out.Magnitude, out.Sigma = &m, &s
+	}
+	return out
+}
+
+func handleDetect(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	if len(req.Series) == 0 {
+		httpError(w, http.StatusBadRequest, "series is required")
+		return
+	}
+	y := toFloats(req.Series)
+	opt := req.options()
+	x, err := core.DesignFor(opt, len(y))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := core.Detect(y, x, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, resultJSON(res))
+}
+
+func handleTrace(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	if len(req.Series) == 0 {
+		httpError(w, http.StatusBadRequest, "series is required")
+		return
+	}
+	y := toFloats(req.Series)
+	opt := req.options()
+	x, err := core.DesignFor(opt, len(y))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tr, err := core.Trace(y, x, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, TraceResponse{
+		Status:   tr.Status.String(),
+		Dates:    tr.Dates,
+		Process:  tr.Process,
+		Boundary: tr.Boundary,
+		BreakAt:  tr.BreakAt,
+	})
+}
+
+func handleBatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	if len(req.Pixels) == 0 {
+		httpError(w, http.StatusBadRequest, "pixels is required")
+		return
+	}
+	n := len(req.Pixels[0])
+	flat := make([]float64, 0, len(req.Pixels)*n)
+	for i, p := range req.Pixels {
+		if len(p) != n {
+			httpError(w, http.StatusBadRequest, "pixel %d has %d dates, expected %d", i, len(p), n)
+			return
+		}
+		flat = append(flat, toFloats(p)...)
+	}
+	b, err := core.NewBatch(len(req.Pixels), n, flat)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results, err := baseline.CLike(b, req.options(), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]DetectResponse, len(results))
+	for i, res := range results {
+		out[i] = resultJSON(res)
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,81 @@
+package workload
+
+import "fmt"
+
+// Table I of the paper: the synthetic benchmark datasets D1–D6 and the
+// small real-world scenes. M, N, n and f^NaN are copied verbatim; the
+// scene-generation knobs are chosen to make the data realistic (clouds for
+// the real-world scenes, iid drops for the controlled synthetic ones).
+//
+// Scale is a benchmark-harness knob, not part of the presets: benches that
+// cannot afford a full-size dataset generate a pixel subsample and scale
+// measured work analytically (see internal/benchutil).
+
+// TableI returns the eight dataset specs of Table I, in paper order.
+func TableI() []Spec {
+	return []Spec{
+		{Name: "D1", M: 16384, N: 1024, History: 512, NaNFrac: 0.50},
+		{Name: "D2", M: 16384, N: 512, History: 256, NaNFrac: 0.50},
+		{Name: "D3", M: 32768, N: 512, History: 256, NaNFrac: 0.50},
+		{Name: "D4", M: 32768, N: 256, History: 128, NaNFrac: 0.50},
+		{Name: "D5", M: 65536, N: 256, History: 128, NaNFrac: 0.50},
+		{Name: "D6", M: 16384, N: 1024, History: 256, NaNFrac: 0.75},
+		{Name: "Peru (Small)", M: 111556, N: 235, History: 113, NaNFrac: 0.69,
+			Mask: MaskClouds, Width: 334, BreakFrac: 0.08},
+		{Name: "Africa (Small)", M: 589824, N: 327, History: 160, NaNFrac: 0.92,
+			Mask: MaskClouds, Width: 768, BreakFrac: 0.03},
+	}
+}
+
+// Preset returns the named Table I or Section V dataset spec.
+func Preset(name string) (Spec, error) {
+	for _, s := range TableI() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range SectionV() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown preset %q", name)
+}
+
+// PresetNames lists every available preset in display order.
+func PresetNames() []string {
+	var names []string
+	for _, s := range TableI() {
+		names = append(names, s.Name)
+	}
+	for _, s := range SectionV() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// SectionV returns the large-scale scenario specs of Section V. The pixel
+// counts of the paper's Peru (Large) (16.4M pixels, 16 GB) and Africa
+// (170M pixels/image) exceed what a unit-test/bench environment should
+// allocate, so the presets reproduce the *geometry* that drives the
+// pipeline behaviour — chunk count, dates-per-series, NaN regime, swath
+// padding — at a reduced pixel count; the benchmark harness reports
+// per-pixel throughput so results extrapolate linearly in M (the
+// computation is embarrassingly parallel across pixels, §III-B).
+func SectionV() []Spec {
+	return []Spec{
+		// 10×10 km Loreto scene: full size (it is small enough).
+		{Name: "PeruSmallScene", M: 334 * 334, N: 216, History: 113, NaNFrac: 0.69,
+			Mask: MaskClouds, Width: 334, BreakFrac: 0.10, BreakShift: -0.5, Seed: 7},
+		// Padre Abad province: paper is 4458×3678 pixels, N=488; scaled to
+		// 1/64 of the pixels (557×459) keeping N, n, NaN regime and the
+		// 50-chunk split of §V-B.
+		{Name: "PeruLargeScene", M: 557 * 459, N: 488, History: 244, NaNFrac: 0.69,
+			Mask: MaskClouds, Width: 557, BreakFrac: 0.06, BreakShift: -0.5, Seed: 8},
+		// One continental-Africa image: paper is 221768×768? — the paper
+		// reports M = 221·768 pixels per processed slice-set with N≈350
+		// valid slices and 92% NaN; we reproduce that geometry directly.
+		{Name: "AfricaImageScene", M: 221 * 768, N: 350, History: 175, NaNFrac: 0.92,
+			Mask: MaskSwath, Width: 768, BreakFrac: 0.02, BreakShift: -0.4, Seed: 9},
+	}
+}

@@ -1,0 +1,307 @@
+// Package workload generates the synthetic datasets used to reproduce the
+// paper's evaluation. A Spec captures exactly the knobs of Table I — number
+// of pixels M, series length N, history length n, and NaN frequency — plus
+// scene-generation parameters (noise, break injection, cloud-mask model)
+// that control the ground truth for the qualitative map experiments
+// (Figs. 3/9/11). Presets reproduce D1–D6, Peru (Small) and Africa (Small),
+// and scaled versions of the Section V scenarios.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MaskModel selects how missing values are placed in a scene.
+type MaskModel int
+
+const (
+	// MaskIID drops each observation independently with probability f^NaN.
+	MaskIID MaskModel = iota
+	// MaskClouds drops observations in temporally-correlated runs
+	// ("cloudy spells") that are also spatially correlated across
+	// neighbouring pixels, calibrated to hit f^NaN on average. This is the
+	// realistic regime: clouds occlude whole areas for whole acquisitions.
+	MaskClouds
+	// MaskSwath additionally blanks periodic whole-image stretches,
+	// mimicking the adjacent-Landsat-swath NaN padding described in §V-A
+	// (footnote 12 of the paper).
+	MaskSwath
+)
+
+// String implements fmt.Stringer.
+func (m MaskModel) String() string {
+	switch m {
+	case MaskIID:
+		return "iid"
+	case MaskClouds:
+		return "clouds"
+	case MaskSwath:
+		return "swath"
+	default:
+		return fmt.Sprintf("MaskModel(%d)", int(m))
+	}
+}
+
+// Spec describes a synthetic dataset. The first four fields are the Table I
+// parameters; the rest control scene realism and ground truth.
+type Spec struct {
+	// Name labels the dataset in benchmark output ("D1", "Peru (Small)"…).
+	Name string
+	// M is the number of pixels.
+	M int
+	// N is the series length (number of dates).
+	N int
+	// History is n, the history-period length in dates.
+	History int
+	// NaNFrac is f^NaN, the target frequency of missing values.
+	NaNFrac float64
+	// Mask selects the missing-value placement model (default MaskIID,
+	// which is what controlled synthetic benchmarks use).
+	Mask MaskModel
+	// Noise is the observation noise standard deviation (default 0.05).
+	Noise float64
+	// BreakFrac is the fraction of pixels that receive an injected level
+	// shift during the monitoring period (default 0: pure benchmark data).
+	BreakFrac float64
+	// BreakShift is the injected shift size (negative = vegetation loss;
+	// default -0.5 when BreakFrac > 0).
+	BreakShift float64
+	// Frequency is the seasonal frequency f (default 23).
+	Frequency float64
+	// Harmonics is the number of harmonic pairs in the generating signal
+	// (default 3 — matching the paper's k so the model is well specified).
+	Harmonics int
+	// Width, when non-zero, arranges the M pixels as a Width×(M/Width)
+	// raster so scene masks and output maps have 2-D structure.
+	Width int
+	// Seed makes generation deterministic (default 1).
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Noise == 0 {
+		s.Noise = 0.05
+	}
+	if s.Frequency == 0 {
+		s.Frequency = 23
+	}
+	if s.Harmonics == 0 {
+		s.Harmonics = 3
+	}
+	if s.BreakFrac > 0 && s.BreakShift == 0 {
+		s.BreakShift = -0.5
+	}
+	if s.Width <= 0 {
+		s.Width = int(math.Sqrt(float64(s.M)))
+		if s.Width < 1 {
+			s.Width = 1
+		}
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Validate reports the first invalid field of the spec.
+func (s Spec) Validate() error {
+	if s.M <= 0 {
+		return fmt.Errorf("workload: M must be positive, got %d", s.M)
+	}
+	if s.N <= 0 {
+		return fmt.Errorf("workload: N must be positive, got %d", s.N)
+	}
+	if s.History <= 0 || s.History >= s.N {
+		return fmt.Errorf("workload: History must be in (0,N), got %d (N=%d)", s.History, s.N)
+	}
+	if s.NaNFrac < 0 || s.NaNFrac >= 1 {
+		return fmt.Errorf("workload: NaNFrac must be in [0,1), got %g", s.NaNFrac)
+	}
+	if s.BreakFrac < 0 || s.BreakFrac > 1 {
+		return fmt.Errorf("workload: BreakFrac must be in [0,1], got %g", s.BreakFrac)
+	}
+	return nil
+}
+
+// Dataset is a generated scene: the flat M×N pixel matrix plus the ground
+// truth of the injected breaks.
+type Dataset struct {
+	Spec Spec
+	// Y is the M×N row-major pixel matrix; NaN marks missing values.
+	Y []float64
+	// TrueBreak[i] is the absolute date index at which pixel i's injected
+	// shift starts, or -1 if pixel i is stable.
+	TrueBreak []int
+}
+
+// NaNFraction returns the realized fraction of missing values.
+func (d *Dataset) NaNFraction() float64 {
+	miss := 0
+	for _, v := range d.Y {
+		if math.IsNaN(v) {
+			miss++
+		}
+	}
+	if len(d.Y) == 0 {
+		return 0
+	}
+	return float64(miss) / float64(len(d.Y))
+}
+
+// Generate builds the dataset for the spec. Generation is deterministic in
+// Spec.Seed and independent of iteration order.
+func Generate(spec Spec) (*Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	d := &Dataset{
+		Spec:      spec,
+		Y:         make([]float64, spec.M*spec.N),
+		TrueBreak: make([]int, spec.M),
+	}
+
+	// Per-pixel signal parameters drawn once: base level, trend, harmonic
+	// amplitudes and phases vary smoothly pixel-to-pixel via low-frequency
+	// spatial fields so neighbouring pixels resemble each other.
+	height := (spec.M + spec.Width - 1) / spec.Width
+	baseField := newSmoothField(rng, spec.Width, height, 0.25)
+	ampField := newSmoothField(rng, spec.Width, height, 0.35)
+
+	mask := buildMask(rng, spec)
+
+	for i := 0; i < spec.M; i++ {
+		px, py := i%spec.Width, i/spec.Width
+		base := 0.4 + 0.3*baseField.at(px, py)
+		trend := 0.0002 * (baseField.at(px, py) - 0.5)
+		amp := 0.15 + 0.2*ampField.at(px, py)
+		phase := 2 * math.Pi * ampField.at(px, py)
+
+		d.TrueBreak[i] = -1
+		if spec.BreakFrac > 0 && rng.Float64() < spec.BreakFrac {
+			// Inject the shift somewhere in the monitoring period,
+			// leaving room for the detector's lag.
+			monLen := spec.N - spec.History
+			at := spec.History + monLen/8 + rng.Intn(monLen/2+1)
+			d.TrueBreak[i] = at
+		}
+
+		row := d.Y[i*spec.N : (i+1)*spec.N]
+		for t := 0; t < spec.N; t++ {
+			if mask[i*spec.N+t] {
+				row[t] = math.NaN()
+				continue
+			}
+			tt := float64(t + 1)
+			v := base + trend*tt
+			for j := 1; j <= spec.Harmonics; j++ {
+				v += amp / float64(j) * math.Sin(2*math.Pi*float64(j)*tt/spec.Frequency+phase*float64(j))
+			}
+			v += rng.NormFloat64() * spec.Noise
+			if b := d.TrueBreak[i]; b >= 0 && t >= b {
+				v += spec.BreakShift
+			}
+			row[t] = v
+		}
+	}
+	return d, nil
+}
+
+// buildMask returns the missing-value mask (true = missing) for the spec.
+func buildMask(rng *rand.Rand, spec Spec) []bool {
+	mask := make([]bool, spec.M*spec.N)
+	switch spec.Mask {
+	case MaskClouds:
+		buildCloudMask(rng, spec, mask)
+	case MaskSwath:
+		buildCloudMask(rng, spec, mask)
+		// Blank whole-scene stretches with period ~16 dates, width chosen
+		// to contribute ~20% of the target NaN fraction.
+		stride := 16
+		width := int(math.Round(float64(stride) * spec.NaNFrac * 0.2))
+		for t := 0; t < spec.N; t++ {
+			if width > 0 && t%stride < width {
+				for i := 0; i < spec.M; i++ {
+					mask[i*spec.N+t] = true
+				}
+			}
+		}
+	default: // MaskIID
+		for i := range mask {
+			if rng.Float64() < spec.NaNFrac {
+				mask[i] = true
+			}
+		}
+	}
+	return mask
+}
+
+// buildCloudMask drops temporally-correlated spells per pixel, with spell
+// starts shared across spatial blocks so clouds have extent. Calibrated so
+// the expected missing fraction equals spec.NaNFrac.
+func buildCloudMask(rng *rand.Rand, spec Spec, mask []bool) {
+	const spellRange = 6  // spell length ~ 1 + Uniform{0..spellRange-1}
+	const meanSpell = 3.5 // mean spell length: 1 + (spellRange-1)/2
+	// Per-date spell-start probability p such that the stationary covered
+	// fraction 1-(1-p)^meanSpell (spells overlap independently) matches
+	// the target NaN fraction.
+	f := spec.NaNFrac
+	p := 1 - math.Pow(1-f, 1/meanSpell)
+	height := (spec.M + spec.Width - 1) / spec.Width
+	const block = 8 // pixels per cloud-cell edge
+	bw := (spec.Width + block - 1) / block
+	bh := (height + block - 1) / block
+	for t := 0; t < spec.N; t++ {
+		// Each block draws whether a new cloud spell starts at date t and
+		// its length; pixels inherit their block's spells.
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				if rng.Float64() >= p {
+					continue
+				}
+				length := 1 + rng.Intn(spellRange)
+				for dy := 0; dy < block; dy++ {
+					for dx := 0; dx < block; dx++ {
+						x, y := bx*block+dx, by*block+dy
+						if x >= spec.Width || y >= height {
+							continue
+						}
+						i := y*spec.Width + x
+						if i >= spec.M {
+							continue
+						}
+						for dt := 0; dt < length && t+dt < spec.N; dt++ {
+							mask[i*spec.N+t+dt] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// smoothField is a low-frequency random field in [0,1] used to vary signal
+// parameters smoothly across a scene.
+type smoothField struct {
+	w, h              int
+	freq              float64
+	ax, ay, bx, by, c float64
+}
+
+func newSmoothField(rng *rand.Rand, w, h int, freq float64) *smoothField {
+	return &smoothField{
+		w: w, h: h, freq: freq,
+		ax: rng.Float64() * freq, ay: rng.Float64() * freq,
+		bx: rng.Float64() * freq, by: rng.Float64() * freq,
+		c: rng.Float64() * 2 * math.Pi,
+	}
+}
+
+func (f *smoothField) at(x, y int) float64 {
+	v := math.Sin(f.ax*float64(x)+f.ay*float64(y)+f.c) +
+		math.Cos(f.bx*float64(x)-f.by*float64(y))
+	return (v + 2) / 4 // into [0,1]
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	spec := Spec{Name: "t", M: 100, N: 64, History: 32, NaNFrac: 0.5, Seed: 3}
+	d1, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Y) != 100*64 || len(d1.TrueBreak) != 100 {
+		t.Fatalf("bad shapes: %d, %d", len(d1.Y), len(d1.TrueBreak))
+	}
+	d2, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Y {
+		a, b := d1.Y[i], d2.Y[i]
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			t.Fatalf("generation not deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestGenerateSeedChangesData(t *testing.T) {
+	s1 := Spec{M: 50, N: 64, History: 32, NaNFrac: 0.2, Seed: 1}
+	s2 := s1
+	s2.Seed = 2
+	d1, _ := Generate(s1)
+	d2, _ := Generate(s2)
+	same := true
+	for i := range d1.Y {
+		a, b := d1.Y[i], d2.Y[i]
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must give different data")
+	}
+}
+
+func TestGenerateNaNFractionIID(t *testing.T) {
+	spec := Spec{M: 200, N: 256, History: 128, NaNFrac: 0.5, Seed: 4}
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.NaNFraction()
+	if math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("realized NaN fraction %v, want ≈0.5", got)
+	}
+}
+
+func TestGenerateNaNFractionClouds(t *testing.T) {
+	spec := Spec{M: 64 * 64, N: 256, History: 128, NaNFrac: 0.69,
+		Mask: MaskClouds, Width: 64, Seed: 5}
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.NaNFraction()
+	if math.Abs(got-0.69) > 0.08 {
+		t.Fatalf("cloud-mask NaN fraction %v, want ≈0.69", got)
+	}
+}
+
+func TestGenerateNaNFractionSwath(t *testing.T) {
+	spec := Spec{M: 64 * 64, N: 256, History: 128, NaNFrac: 0.9,
+		Mask: MaskSwath, Width: 64, Seed: 6}
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.NaNFraction()
+	if got < 0.8 || got > 0.99 {
+		t.Fatalf("swath-mask NaN fraction %v, want high", got)
+	}
+}
+
+func TestGenerateBreakInjection(t *testing.T) {
+	spec := Spec{M: 500, N: 128, History: 64, NaNFrac: 0.3,
+		BreakFrac: 0.5, BreakShift: -0.7, Seed: 7}
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breaks := 0
+	for i, b := range d.TrueBreak {
+		if b < 0 {
+			continue
+		}
+		breaks++
+		if b < spec.History || b >= spec.N {
+			t.Fatalf("pixel %d: injected break %d outside monitoring [%d,%d)",
+				i, b, spec.History, spec.N)
+		}
+	}
+	frac := float64(breaks) / float64(spec.M)
+	if math.Abs(frac-0.5) > 0.08 {
+		t.Fatalf("break fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestGenerateBreakShiftsLevel(t *testing.T) {
+	// Means before/after the injected break must differ by ≈ BreakShift.
+	spec := Spec{M: 200, N: 256, History: 128, NaNFrac: 0,
+		BreakFrac: 1.0, BreakShift: -0.8, Noise: 0.01, Seed: 8}
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b := d.TrueBreak[i]
+		row := d.Y[i*spec.N : (i+1)*spec.N]
+		// Compare one season before vs after the break to cancel seasonality.
+		if b < spec.History+23 || b+23 > spec.N {
+			continue
+		}
+		var pre, post float64
+		for t0 := 0; t0 < 23; t0++ {
+			pre += row[b-23+t0]
+			post += row[b+t0]
+		}
+		diff := (post - pre) / 23
+		if math.Abs(diff-(-0.8)) > 0.15 {
+			t.Fatalf("pixel %d: level shift %v, want ≈ -0.8", i, diff)
+		}
+	}
+}
+
+func TestGenerateValidateErrors(t *testing.T) {
+	bad := []Spec{
+		{M: 0, N: 10, History: 5},
+		{M: 10, N: 0, History: 5},
+		{M: 10, N: 10, History: 0},
+		{M: 10, N: 10, History: 10},
+		{M: 10, N: 10, History: 5, NaNFrac: 1.0},
+		{M: 10, N: 10, History: 5, NaNFrac: -0.1},
+		{M: 10, N: 10, History: 5, BreakFrac: 1.5},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, s)
+		}
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	specs := TableI()
+	if len(specs) != 8 {
+		t.Fatalf("Table I has 8 datasets, got %d", len(specs))
+	}
+	want := []struct {
+		name    string
+		m, n, h int
+		nan     float64
+	}{
+		{"D1", 16384, 1024, 512, 0.50},
+		{"D2", 16384, 512, 256, 0.50},
+		{"D3", 32768, 512, 256, 0.50},
+		{"D4", 32768, 256, 128, 0.50},
+		{"D5", 65536, 256, 128, 0.50},
+		{"D6", 16384, 1024, 256, 0.75},
+		{"Peru (Small)", 111556, 235, 113, 0.69},
+		{"Africa (Small)", 589824, 327, 160, 0.92},
+	}
+	for i, w := range want {
+		s := specs[i]
+		if s.Name != w.name || s.M != w.m || s.N != w.n || s.History != w.h || s.NaNFrac != w.nan {
+			t.Errorf("Table I row %d: got %+v, want %+v", i, s, w)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSectionVValid(t *testing.T) {
+	for _, s := range SectionV() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestPresetLookup(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != name {
+			t.Fatalf("Preset(%q).Name = %q", name, s.Name)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestGenerateSubsampledSpecProperty(t *testing.T) {
+	// Property: for any reduced M the realized NaN fraction stays within
+	// a few points of the target under the iid mask.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := Spec{
+			M: 64 + rng.Intn(512), N: 32 + rng.Intn(128),
+			NaNFrac: rng.Float64() * 0.9,
+			Seed:    seed + 1,
+		}
+		spec.History = spec.N / 2
+		d, err := Generate(spec)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d.NaNFraction()-spec.NaNFrac) < 0.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskModelStrings(t *testing.T) {
+	if MaskIID.String() != "iid" || MaskClouds.String() != "clouds" || MaskSwath.String() != "swath" {
+		t.Fatal("MaskModel.String broken")
+	}
+	if MaskModel(9).String() == "" {
+		t.Fatal("unknown mask model must render")
+	}
+}
+
+func TestDatasetNaNFractionEmpty(t *testing.T) {
+	d := &Dataset{}
+	if d.NaNFraction() != 0 {
+		t.Fatal("empty dataset NaN fraction should be 0")
+	}
+}
