@@ -1,0 +1,24 @@
+# Tier-1 verification targets. `make ci` is the full gate; `make race`
+# exercises the concurrent hot paths (scheduler, batched detection,
+# C-like baseline, ROC trimming) under the race detector.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/baseline/... ./internal/history/...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -8,9 +8,11 @@
 //
 //	bfast-bench -exp all
 //	bfast-bench -exp fig6 -sample 8192 -datasets D1,D6
+//	bfast-bench -exp masks -json > bench.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,7 @@ func main() {
 		device   = flag.String("device", "rtx2080ti", "simulated device: rtx2080ti or titanz")
 		workers  = flag.Int("workers", 0, "host workers for measured baselines (0 = all cores)")
 		mapsDir  = flag.String("maps-dir", "", "write PPM/PGM maps here (maps experiment)")
+		asJSON   = flag.Bool("json", false, "emit structured rows as JSON on stdout instead of tables")
 	)
 	flag.Parse()
 
@@ -48,6 +51,27 @@ func main() {
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *asJSON {
+		rows, err := benchutil.RunJSON(*exp, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfast-bench:", err)
+			os.Exit(1)
+		}
+		report := struct {
+			Experiment string         `json:"experiment"`
+			SampleM    int            `json:"sample_m"`
+			Device     string         `json:"device"`
+			Workers    int            `json:"workers"`
+			Results    map[string]any `json:"results"`
+		}{*exp, *sample, cfg.Profile.Name, *workers, rows}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "bfast-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := benchutil.Run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bfast-bench:", err)

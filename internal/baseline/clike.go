@@ -26,13 +26,52 @@ import (
 	"sync"
 
 	"bfast/internal/core"
+	"bfast/internal/sched"
 	"bfast/internal/series"
 )
 
 // CLike runs BFAST-Monitor over the batch with the optimized fused CPU
 // implementation using the given number of workers (0 = GOMAXPROCS).
 // Results are bit-identical to core.Detect on every pixel.
+//
+// Execution: each pixel's validity bitset is computed once for the
+// batch; the fused per-pixel pass then walks the bitset-derived valid
+// index list instead of re-testing every element with math.IsNaN in the
+// K(K+1)/2 normal-matrix loops. Pixels are dispatched block-cyclically
+// on the shared work-stealing scheduler with per-worker scratch, so
+// NaN-skewed scenes cannot strand a worker with an oversized chunk.
 func CLike(b *core.Batch, opt core.Options, workers int) ([]core.Result, error) {
+	if err := opt.Validate(b.N); err != nil {
+		return nil, err
+	}
+	lambda, err := opt.ResolveLambda()
+	if err != nil {
+		return nil, err
+	}
+	x, err := core.DesignFor(opt, b.N)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Result, b.M)
+	if b.M == 0 {
+		return out, nil
+	}
+	mask := b.Mask(workers)
+	sched.ForEachScratch(sched.Shared(), b.M, workers, sched.DefaultGrain,
+		func() *scratch { return newScratch(opt.K(), b.N) },
+		func(s *scratch, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				detectScratchMasked(b.Row(i), mask.Row(i), x, opt, lambda, s, &out[i])
+			}
+		})
+	return out, nil
+}
+
+// CLikeStatic is the pre-ValidMask seed implementation: static
+// contiguous chunk partitioning and per-element NaN tests. Retained as
+// the "before" side of the bitset/work-stealing benchmarks; results are
+// bit-identical to CLike.
+func CLikeStatic(b *core.Batch, opt core.Options, workers int) ([]core.Result, error) {
 	if err := opt.Validate(b.N); err != nil {
 		return nil, err
 	}
@@ -48,6 +87,12 @@ func CLike(b *core.Batch, opt core.Options, workers int) ([]core.Result, error) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([]core.Result, b.M)
+	if b.M == 0 {
+		return out, nil
+	}
+	if workers > b.M {
+		workers = b.M
+	}
 
 	var wg sync.WaitGroup
 	chunk := (b.M + workers - 1) / workers
@@ -99,6 +144,86 @@ func newScratch(k, n int) *scratch {
 		iBar:    make([]int, n),
 		cholL:   make([]float64, k*k),
 		cholTmp: make([]float64, k),
+	}
+}
+
+// detectScratchMasked is the bitset-driven fused per-pixel pass. The
+// valid-date index list is rebuilt once per pixel from the precomputed
+// validity words (word-granular, dense on all-valid words) into the
+// iBar scratch; the normal-matrix, right-hand-side and residual loops
+// then gather through it with no data-dependent branches. The
+// accumulation order over valid dates is identical to detectScratch, so
+// the two agree bit for bit.
+func detectScratchMasked(y []float64, words []uint64, x *series.DesignMatrix, opt core.Options, lambda float64, s *scratch, res *core.Result) {
+	n := opt.History
+	K := opt.K()
+	N := x.N
+
+	// Valid counts from the bitset (Alg. 1 line 1 via popcount).
+	nBar := series.CountBits(words, n)
+	nVal := series.CountBits(words, N)
+	*res = core.Result{Status: core.StatusOK, BreakIndex: -1, ValidHistory: nBar, Valid: nVal}
+	minHist := opt.MinValidHistory
+	if minHist < K {
+		minHist = K
+	}
+	if nBar < minHist {
+		res.Status = core.StatusInsufficientHistory
+		return
+	}
+
+	// Valid index list, once per pixel; its first nBar entries are the
+	// valid history dates.
+	idx := series.AppendValidIndices(s.iBar[:0], words, N)
+
+	// Normal matrix and right-hand side, gathered through the index list
+	// (same accumulation order as the element-wise masked kernels).
+	hist := idx[:nBar]
+	for j1 := 0; j1 < K; j1++ {
+		r1 := x.Data[j1*N : j1*N+n]
+		for j2 := j1; j2 < K; j2++ {
+			r2 := x.Data[j2*N : j2*N+n]
+			var acc float64
+			for _, q := range hist {
+				acc += r1[q] * r2[q]
+			}
+			s.normal[j1*K+j2] = acc
+			s.normal[j2*K+j1] = acc
+		}
+	}
+	for j := 0; j < K; j++ {
+		row := x.Data[j*N : j*N+n]
+		var acc float64
+		for _, q := range hist {
+			acc += row[q] * y[q]
+		}
+		s.rhs[j] = acc
+	}
+
+	if !s.solve(opt) {
+		res.Status = core.StatusSingular
+		return
+	}
+	res.Beta = append([]float64(nil), s.beta...)
+
+	// Residuals on valid observations, compacted through the index list.
+	for w, t := range idx {
+		var pred float64
+		for j := 0; j < K; j++ {
+			pred += x.Data[j*N+t] * s.beta[j]
+		}
+		s.rBar[w] = y[t] - pred
+	}
+	nMon := nVal - nBar
+	mo := core.MonitorSeries(s.rBar[:nVal], nBar, nMon, opt, lambda)
+	res.Status = mo.Status
+	res.Sigma = mo.Sigma
+	res.MosumMean = mo.Mean
+	if mo.Break >= 0 {
+		orig := idx[nBar+mo.Break]
+		if orig >= n {
+			res.BreakIndex = orig - n
+		}
 	}
 }
 

@@ -62,7 +62,7 @@ func (c Config) withDefaults() Config {
 
 // Experiments lists the experiment names accepted by Run, in order.
 func Experiments() []string {
-	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "speedups", "sweep", "ablations", "claims"}
+	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "masks", "speedups", "sweep", "ablations", "claims"}
 }
 
 // Run dispatches one experiment by name ("all" runs every one).
@@ -76,40 +76,59 @@ func Run(name string, cfg Config) error {
 		}
 		return nil
 	}
+	_, err := runOne(name, cfg)
+	return err
+}
+
+// runOne dispatches a single experiment and returns its structured rows.
+func runOne(name string, cfg Config) (any, error) {
 	switch name {
 	case "table1":
-		_, err := Table1(cfg)
-		return err
+		return Table1(cfg)
 	case "fig6":
-		_, err := Fig6(cfg)
-		return err
+		return Fig6(cfg)
 	case "fig7":
-		_, err := Fig7(cfg)
-		return err
+		return Fig7(cfg)
 	case "fig8":
-		_, err := Fig8(cfg)
-		return err
+		return Fig8(cfg)
 	case "fig10":
-		_, err := Fig10(cfg)
-		return err
+		return Fig10(cfg)
 	case "maps":
-		_, err := Maps(cfg)
-		return err
+		return Maps(cfg)
+	case "masks":
+		return Masks(cfg)
 	case "speedups":
-		_, err := Speedups(cfg)
-		return err
+		return Speedups(cfg)
 	case "sweep":
-		_, err := Sweep(cfg)
-		return err
+		return Sweep(cfg)
 	case "ablations":
-		_, err := Ablations(cfg)
-		return err
+		return Ablations(cfg)
 	case "claims":
-		_, err := Claims(cfg)
-		return err
+		return Claims(cfg)
 	default:
-		return fmt.Errorf("benchutil: unknown experiment %q (have %v)", name, Experiments())
+		return nil, fmt.Errorf("benchutil: unknown experiment %q (have %v)", name, Experiments())
 	}
+}
+
+// RunJSON runs one experiment ("all" for every one) with the textual
+// report suppressed and returns the structured rows keyed by experiment
+// name, ready for JSON encoding (cmd/bfast-bench -json).
+func RunJSON(name string, cfg Config) (map[string]any, error) {
+	cfg = cfg.withDefaults()
+	cfg.Out = io.Discard
+	names := []string{name}
+	if name == "all" {
+		names = Experiments()
+	}
+	out := make(map[string]any, len(names))
+	for _, n := range names {
+		rows, err := runOne(n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = rows
+	}
+	return out, nil
 }
 
 // sampledSpec returns the spec with M capped at cap (cfg.SampleM), plus

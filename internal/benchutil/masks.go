@@ -1,0 +1,151 @@
+package benchutil
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bfast/internal/baseline"
+	"bfast/internal/core"
+	"bfast/internal/workload"
+)
+
+// MasksRow is one before/after measurement of the PR-1 hot-path rework:
+// the seed implementation (per-element NaN tests, static contiguous
+// chunks) against the bitset-mask + work-stealing path, on the same
+// skewed cloud-masked scene, with bit-identical results verified.
+type MasksRow struct {
+	// Path names the rewired code path ("batch-staged", "batch-fused",
+	// "clike-baseline").
+	Path string
+	// M, N, History, NaNFrac describe the workload.
+	M, N, History int
+	NaNFrac       float64
+	// Seed and Masked are best-of-reps wall times for the seed and the
+	// bitset/work-stealing implementations.
+	Seed, Masked time.Duration
+	// Speedup is Seed/Masked.
+	Speedup float64
+	// Identical reports whether the two paths returned bit-identical
+	// results on this run.
+	Identical bool
+}
+
+// masksReps is the number of timed repetitions per path (best is kept, so
+// scheduling noise inflates neither side).
+const masksReps = 3
+
+// Masks measures the bitset-mask + work-stealing batched hot path against
+// the retained seed implementations on a 50%-NaN spatially-correlated
+// (MaskClouds) scene — the skewed regime where static chunking leaves
+// workers idle and per-element NaN tests dominate the inner loops.
+func Masks(cfg Config) ([]MasksRow, error) {
+	cfg = cfg.withDefaults()
+	spec := workload.Spec{
+		Name: "skew50", M: cfg.SampleM, N: 412, History: 206,
+		NaNFrac: 0.5, Mask: workload.MaskClouds, BreakFrac: 0.3, Seed: 7,
+	}
+	spec, _ = sampledSpec(spec, cfg)
+	ds, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.NewBatch(spec.M, spec.N, ds.Y)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.DefaultOptions(spec.History)
+
+	fmt.Fprintf(cfg.Out, "MASKS — bitset validity masks + work stealing vs seed path (50%% NaN clouds, M=%d N=%d)\n", spec.M, spec.N)
+	fmt.Fprintf(cfg.Out, "%-16s %10s %10s %8s %10s\n", "path", "seed", "masked", "speedup", "identical")
+
+	type pair struct {
+		path   string
+		seed   func() ([]core.Result, error)
+		masked func() ([]core.Result, error)
+	}
+	stagedCfg := core.BatchConfig{Strategy: core.StrategyOurs, Workers: cfg.Workers}
+	fusedCfg := core.BatchConfig{Strategy: core.StrategyFullEfSeq, Workers: cfg.Workers}
+	pairs := []pair{
+		{"batch-staged",
+			func() ([]core.Result, error) { return core.DetectBatchReference(b, opt, stagedCfg) },
+			func() ([]core.Result, error) { return core.DetectBatch(b, opt, stagedCfg) }},
+		{"batch-fused",
+			func() ([]core.Result, error) { return core.DetectBatchReference(b, opt, fusedCfg) },
+			func() ([]core.Result, error) { return core.DetectBatch(b, opt, fusedCfg) }},
+		{"clike-baseline",
+			func() ([]core.Result, error) { return baseline.CLikeStatic(b, opt, cfg.Workers) },
+			func() ([]core.Result, error) { return baseline.CLike(b, opt, cfg.Workers) }},
+	}
+
+	var rows []MasksRow
+	for _, p := range pairs {
+		seedRes, seedT, err := bestOf(masksReps, p.seed)
+		if err != nil {
+			return nil, err
+		}
+		maskRes, maskT, err := bestOf(masksReps, p.masked)
+		if err != nil {
+			return nil, err
+		}
+		row := MasksRow{
+			Path: p.path, M: spec.M, N: spec.N, History: spec.History,
+			NaNFrac: spec.NaNFrac, Seed: seedT, Masked: maskT,
+			Speedup:   seedT.Seconds() / maskT.Seconds(),
+			Identical: resultsIdentical(seedRes, maskRes),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(cfg.Out, "%-16s %10s %10s %7.2fx %10v\n",
+			row.Path, shortDur(row.Seed), shortDur(row.Masked), row.Speedup, row.Identical)
+	}
+	return rows, nil
+}
+
+// bestOf runs fn reps times and returns the last result with the minimum
+// wall time observed.
+func bestOf(reps int, fn func() ([]core.Result, error)) ([]core.Result, time.Duration, error) {
+	var (
+		best time.Duration = 1<<63 - 1
+		out  []core.Result
+	)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		res, err := fn()
+		d := time.Since(start)
+		if err != nil {
+			return nil, 0, err
+		}
+		if d < best {
+			best = d
+		}
+		out = res
+	}
+	return out, best, nil
+}
+
+// resultsIdentical compares two result sets with exact float equality
+// (NaN pairs count as equal) — the bit-identical contract between the
+// seed and the masked paths.
+func resultsIdentical(a, b []core.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	eq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	for i := range a {
+		p, q := a[i], b[i]
+		if p.Status != q.Status || p.BreakIndex != q.BreakIndex ||
+			p.ValidHistory != q.ValidHistory || p.Valid != q.Valid ||
+			!eq(p.Sigma, q.Sigma) || !eq(p.MosumMean, q.MosumMean) ||
+			len(p.Beta) != len(q.Beta) {
+			return false
+		}
+		for j := range p.Beta {
+			if !eq(p.Beta[j], q.Beta[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

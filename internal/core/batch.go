@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 	"runtime"
-	"sync"
 
 	"bfast/internal/linalg"
+	"bfast/internal/sched"
 	"bfast/internal/series"
 )
 
@@ -80,9 +80,33 @@ func NewBatch(m, n int, y []float64) (*Batch, error) {
 // Row returns pixel i's series (a view, not a copy).
 func (b *Batch) Row(i int) []float64 { return b.Y[i*b.N : (i+1)*b.N] }
 
+// Mask computes the batch's validity bitsets (bit t of pixel i set iff
+// observation t is valid), in parallel over pixels. Every kernel pass of
+// the batched strategies iterates these words instead of re-testing
+// elements with math.IsNaN — the paper's "discover the NaN structure
+// once" principle (§III-C) applied to the host path.
+func (b *Batch) Mask(workers int) *series.BatchMask {
+	bm := &series.BatchMask{M: b.M, N: b.N, WordsPerRow: series.MaskWords(b.N)}
+	bm.Words = make([]uint64, b.M*bm.WordsPerRow)
+	sched.Shared().ForEach(b.M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			series.FillMask(b.Row(i), bm.Row(i))
+		}
+	})
+	return bm
+}
+
 // DetectBatch runs BFAST-Monitor over every pixel of the batch using the
 // shared design matrix implied by opt (built internally) and the given
-// execution strategy. All strategies return identical results.
+// execution strategy. All strategies return identical results, and all
+// are bit-identical to the scalar Detect reference (and to
+// DetectBatchReference, the pre-bitset seed path).
+//
+// Execution: each pixel's validity bitset is computed once (Mask), then
+// every kernel pass runs on the shared work-stealing scheduler in
+// block-cyclic ranges, so pixels with very different NaN loads (the
+// spatially-correlated cloud masks of real scenes) cannot strand a
+// worker with an oversized static chunk.
 func DetectBatch(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
 	if err := opt.Validate(b.N); err != nil {
 		return nil, err
@@ -96,67 +120,167 @@ func DetectBatch(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
 		return nil, err
 	}
 	switch cfg.Strategy {
-	case StrategyFullEfSeq:
-		return batchFused(b, x, opt, lambda, cfg.workers()), nil
-	case StrategyRgTlEfSeq:
-		return batchStagedFit(b, x, opt, lambda, cfg.workers(), false), nil
-	case StrategyOurs:
-		return batchStagedFit(b, x, opt, lambda, cfg.workers(), true), nil
+	case StrategyFullEfSeq, StrategyRgTlEfSeq, StrategyOurs:
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %d", int(cfg.Strategy))
 	}
+	if b.M == 0 {
+		return []Result{}, nil
+	}
+	mask := b.Mask(cfg.Workers)
+	if cfg.Strategy == StrategyFullEfSeq {
+		return batchFusedMasked(b, mask, x, opt, lambda, cfg.Workers), nil
+	}
+	return batchStagedFitMasked(b, mask, x, opt, lambda, cfg.Workers, cfg.Strategy == StrategyOurs), nil
 }
 
-// parallelFor runs fn(i) for i in [0,m) across w workers in contiguous
-// chunks (pixels of a chunk share cache lines of the staged arrays).
-func parallelFor(m, w int, fn func(lo, hi int)) {
-	if w > m {
-		w = m
+// maskScratch is the per-worker working memory of the mask-driven
+// fused passes: the normal matrix and right-hand side of the fit, and
+// the compacted residual/index buffers of the monitoring phase.
+type maskScratch struct {
+	normal []float64 // K×K
+	rhs    []float64 // K
+	rBar   []float64 // compacted residuals (length N)
+	iBar   []int     // original indices (length N)
+}
+
+func newMaskScratch(k, n int) *maskScratch {
+	return &maskScratch{
+		normal: make([]float64, k*k),
+		rhs:    make([]float64, k),
+		rBar:   make([]float64, n),
+		iBar:   make([]int, n),
 	}
-	if w <= 1 {
-		fn(0, m)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (m + w - 1) / w
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
+}
+
+// solveNormal computes β from the K×K normal matrix and right-hand side
+// with the configured solver. Shared by every batched path so the
+// floating-point sequence (and singularity behavior) is identical.
+func solveNormal(m *linalg.Matrix, rhs []float64, opt Options) ([]float64, bool) {
+	switch opt.Solver {
+	case SolverCholesky:
+		v, err := linalg.SolveSPD(m, rhs)
+		return v, err == nil
+	case SolverPivot:
+		inv, err := linalg.InvertPivot(m)
+		if err != nil {
+			return nil, false
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		return linalg.MatVec(inv, rhs), true
+	default:
+		inv, err := linalg.InvertGaussJordan(m)
+		if err != nil {
+			return nil, false
+		}
+		return linalg.MatVec(inv, rhs), true
 	}
-	wg.Wait()
 }
 
-// batchFused is Full-EfSeq: one fused per-pixel pass, parallel over pixels.
-func batchFused(b *Batch, x *series.DesignMatrix, opt Options, lambda float64, workers int) []Result {
+// residualsMasked writes the compacted residuals r̄ = y − X̄ᵀβ and their
+// original date indices for every valid observation, iterating the
+// validity words (dense inner loop on all-valid words) instead of
+// testing each element. Returns the number of residuals written. The
+// arithmetic per observation matches the element-wise path exactly.
+func residualsMasked(y []float64, words []uint64, x *series.DesignMatrix, beta []float64, r []float64, ix []int) int {
+	N := x.N
+	K := len(beta)
+	w := 0
+	emit := func(t int) {
+		var pred float64
+		for j := 0; j < K; j++ {
+			pred += x.Data[j*N+t] * beta[j]
+		}
+		r[w] = y[t] - pred
+		ix[w] = t
+		w++
+	}
+	full := N / 64
+	for wi := 0; wi < full; wi++ {
+		wd := words[wi]
+		base := wi * 64
+		if wd == series.AllValidWord {
+			for t := base; t < base+64; t++ {
+				emit(t)
+			}
+			continue
+		}
+		for ; wd != 0; wd &= wd - 1 {
+			emit(base + bits.TrailingZeros64(wd))
+		}
+	}
+	if tail := N % 64; tail != 0 {
+		wd := words[full] & (1<<uint(tail) - 1)
+		base := full * 64
+		for ; wd != 0; wd &= wd - 1 {
+			emit(base + bits.TrailingZeros64(wd))
+		}
+	}
+	return w
+}
+
+// batchFusedMasked is Full-EfSeq on the bitset path: one fused per-pixel
+// pass with per-worker scratch, scheduled block-cyclically.
+func batchFusedMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, workers int) []Result {
 	out := make([]Result, b.M)
-	parallelFor(b.M, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = detectResolved(b.Row(i), x, opt, lambda)
-		}
-	})
+	n := opt.History
+	xh := historySlice(x, n)
+	sched.ForEachScratch(sched.Shared(), b.M, workers, sched.DefaultGrain,
+		func() *maskScratch { return newMaskScratch(opt.K(), b.N) },
+		func(s *maskScratch, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				detectMasked(b.Row(i), mask.Row(i), x, xh, opt, lambda, s, &out[i])
+			}
+		})
 	return out
 }
 
-// batchStagedFit implements the staged strategies. The model-fitting
-// kernels (ker 1–5 of Fig. 12: masked cross product, inversion, masked
-// matrix-vector, β) sweep the whole batch stage by stage with padded
-// per-pixel buffers — the host analogue of the paper's batched GPU kernels.
-// When fullStaging is true ("Ours") the monitoring part (ker 6–10) is also
-// staged across the batch; otherwise ("RgTl-EfSeq") it runs fused per pixel.
-func batchStagedFit(b *Batch, x *series.DesignMatrix, opt Options, lambda float64, workers int, fullStaging bool) []Result {
+// detectMasked is the fused per-pixel pass driven by the validity
+// bitset; bit-identical to detectResolved.
+func detectMasked(y []float64, words []uint64, x *series.DesignMatrix, xh *linalg.Matrix, opt Options, lambda float64, s *maskScratch, res *Result) {
+	n := opt.History
+	nBar := series.CountBits(words, n)
+	nVal := series.CountBits(words, len(y))
+	*res = Result{Status: StatusOK, BreakIndex: -1, ValidHistory: nBar, Valid: nVal}
+	if nBar < opt.minHist() {
+		res.Status = StatusInsufficientHistory
+		return
+	}
+	linalg.MaskedCrossProductBits(xh, words, s.normal)
+	linalg.MaskedMatVecBits(xh, y[:n], words, s.rhs)
+	K := opt.K()
+	beta, ok := solveNormal(linalg.NewMatrixFrom(K, K, s.normal), s.rhs, opt)
+	if !ok {
+		res.Status = StatusSingular
+		return
+	}
+	res.Beta = beta
+	w := residualsMasked(y, words, x, beta, s.rBar, s.iBar)
+	nMon := w - nBar
+	mo := monitorSeries(s.rBar[:w], nBar, nMon, opt, lambda)
+	res.Status = mo.status
+	res.Sigma = mo.sigma
+	res.MosumMean = mo.mean
+	if mo.brk >= 0 {
+		if orig := s.iBar[nBar+mo.brk]; orig >= n {
+			res.BreakIndex = orig - n
+		}
+	}
+}
+
+// batchStagedFitMasked implements the staged strategies on the bitset
+// path. Structure mirrors the seed implementation (see batch_seed.go),
+// with three differences: per-pixel NaN patterns come from the batch
+// mask instead of per-element IsNaN tests, the padding writes of the
+// residual stage are skipped (the monitoring loop only reads the
+// compacted prefix), and every sweep runs block-cyclically on the
+// shared scheduler.
+func batchStagedFitMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, workers int, fullStaging bool) []Result {
 	M, N := b.M, b.N
 	n := opt.History
 	K := opt.K()
 	out := make([]Result, M)
+	pool := sched.Shared()
 
-	// Shared slice of X restricted to the history period.
 	xh := historySlice(x, n)
 
 	// Stage arrays (padded to uniform sizes, like the GPU buffers).
@@ -164,122 +288,83 @@ func batchStagedFit(b *Batch, x *series.DesignMatrix, opt Options, lambda float6
 	beta := make([]float64, M*K)     // ker 3-5: fitted coefficients
 	fitted := make([]bool, M)
 
-	// ker 1-2: batched masked cross product.
-	parallelFor(M, workers, func(lo, hi int) {
+	// ker 1-2: batched masked cross product over validity words.
+	pool.ForEach(M, workers, sched.DefaultGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			y := b.Row(i)
-			f := series.FilterMissing(y, n)
+			words := mask.Row(i)
 			out[i] = Result{
 				Status:       StatusOK,
 				BreakIndex:   -1,
-				ValidHistory: f.NValidHist,
-				Valid:        f.NValid,
+				ValidHistory: series.CountBits(words, n),
+				Valid:        series.CountBits(words, N),
 			}
-			if f.NValidHist < opt.minHist() {
+			if out[i].ValidHistory < opt.minHist() {
 				out[i].Status = StatusInsufficientHistory
 				continue
 			}
-			m := linalg.MaskedCrossProduct(xh, y[:n])
-			copy(normal[i*K*K:(i+1)*K*K], m.Data)
+			linalg.MaskedCrossProductBits(xh, words, normal[i*K*K:(i+1)*K*K])
 			fitted[i] = true
 		}
 	})
 
-	// ker 3-5: batched inversion + β. (Separate sweep: same-inner-size
-	// group of operations, as in the paper's kernel decomposition.)
-	parallelFor(M, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if !fitted[i] {
-				continue
-			}
-			m := linalg.NewMatrixFrom(K, K, normal[i*K*K:(i+1)*K*K])
-			rhs := linalg.MaskedMatVec(xh, b.Row(i)[:n])
-			var bta []float64
-			var ok bool
-			switch opt.Solver {
-			case SolverCholesky:
-				v, err := linalg.SolveSPD(m, rhs)
-				bta, ok = v, err == nil
-			case SolverPivot:
-				inv, err := linalg.InvertPivot(m)
-				if err == nil {
-					bta, ok = linalg.MatVec(inv, rhs), true
-				}
-			default:
-				inv, err := linalg.InvertGaussJordan(m)
-				if err == nil {
-					bta, ok = linalg.MatVec(inv, rhs), true
-				}
-			}
-			if !ok {
-				out[i].Status = StatusSingular
-				fitted[i] = false
-				continue
-			}
-			copy(beta[i*K:(i+1)*K], bta)
-			out[i].Beta = beta[i*K : (i+1)*K : (i+1)*K]
-		}
-	})
-
-	if !fullStaging {
-		// RgTl-EfSeq: fused monitoring per pixel.
-		parallelFor(M, workers, func(lo, hi int) {
+	// ker 3-5: batched inversion + β, right-hand side via mask words.
+	sched.ForEachScratch(pool, M, workers, sched.DefaultGrain,
+		func() []float64 { return make([]float64, K) },
+		func(rhs []float64, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if !fitted[i] {
 					continue
 				}
-				monitorPixel(b.Row(i), x, opt, lambda, beta[i*K:(i+1)*K], &out[i])
+				m := linalg.NewMatrixFrom(K, K, normal[i*K*K:(i+1)*K*K])
+				linalg.MaskedMatVecBits(xh, b.Row(i)[:n], mask.Row(i), rhs)
+				bta, ok := solveNormal(m, rhs, opt)
+				if !ok {
+					out[i].Status = StatusSingular
+					fitted[i] = false
+					continue
+				}
+				copy(beta[i*K:(i+1)*K], bta)
+				out[i].Beta = beta[i*K : (i+1)*K : (i+1)*K]
 			}
 		})
+
+	if !fullStaging {
+		// RgTl-EfSeq: fused monitoring per pixel, per-worker scratch.
+		sched.ForEachScratch(pool, M, workers, sched.DefaultGrain,
+			func() *maskScratch { return newMaskScratch(K, N) },
+			func(s *maskScratch, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if !fitted[i] {
+						continue
+					}
+					monitorPixelMasked(b.Row(i), mask.Row(i), x, opt, lambda, beta[i*K:(i+1)*K], s, &out[i])
+				}
+			})
 		return out
 	}
 
 	// "Ours": stage the monitoring kernels too, with padded buffers.
-	residual := make([]float64, M*N) // ker 6-7: compacted residuals, NaN-padded
+	residual := make([]float64, M*N) // ker 6-7: compacted residuals
 	index := make([]int, M*N)        // ker 7: original date index per residual
 	nBarArr := make([]int, M)
 	nValArr := make([]int, M)
 
-	// ker 6-7: predictions, residuals, NaN filtering with keys.
-	parallelFor(M, workers, func(lo, hi int) {
+	// ker 6-7: predictions, residuals, compaction via validity words.
+	pool.ForEach(M, workers, sched.DefaultGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if !fitted[i] {
 				continue
 			}
-			y := b.Row(i)
-			bta := beta[i*K : (i+1)*K]
-			r := residual[i*N : (i+1)*N]
-			ix := index[i*N : (i+1)*N]
-			w := 0
-			nb := 0
-			for t := 0; t < N; t++ {
-				v := y[t]
-				if math.IsNaN(v) {
-					continue
-				}
-				var pred float64
-				for j := 0; j < K; j++ {
-					pred += x.Data[j*N+t] * bta[j]
-				}
-				r[w] = v - pred
-				ix[w] = t
-				if t < n {
-					nb++
-				}
-				w++
-			}
-			for p := w; p < N; p++ {
-				r[p] = math.NaN()
-				ix[p] = -1
-			}
-			nBarArr[i] = nb
+			w := residualsMasked(b.Row(i), mask.Row(i), x, beta[i*K:(i+1)*K],
+				residual[i*N:(i+1)*N], index[i*N:(i+1)*N])
+			nBarArr[i] = out[i].ValidHistory
 			nValArr[i] = w
 		}
 	})
 
 	// ker 8-10: σ̂, fluctuation process, boundary test, remap — staged
 	// sweep through the shared monitoring loop.
-	parallelFor(M, workers, func(lo, hi int) {
+	pool.ForEach(M, workers, sched.DefaultGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if !fitted[i] {
 				continue
@@ -303,8 +388,28 @@ func batchStagedFit(b *Batch, x *series.DesignMatrix, opt Options, lambda float6
 	return out
 }
 
+// monitorPixelMasked runs the fused monitoring phase (ker 6–10) for one
+// pixel with a pre-fitted β, driven by the validity words; bit-identical
+// to monitorPixel. res must already carry the pixel's valid counts.
+func monitorPixelMasked(y []float64, words []uint64, x *series.DesignMatrix, opt Options, lambda float64, beta []float64, s *maskScratch, res *Result) {
+	n := opt.History
+	w := residualsMasked(y, words, x, beta, s.rBar, s.iBar)
+	nBar := res.ValidHistory
+	nMon := w - nBar
+	mo := monitorSeries(s.rBar[:w], nBar, nMon, opt, lambda)
+	res.Status = mo.status
+	res.Sigma = mo.sigma
+	res.MosumMean = mo.mean
+	if mo.brk >= 0 {
+		if orig := s.iBar[nBar+mo.brk]; orig >= n {
+			res.BreakIndex = orig - n
+		}
+	}
+}
+
 // monitorPixel runs the fused monitoring phase (ker 6–10) for one pixel
-// with a pre-fitted β, writing into res.
+// with a pre-fitted β, writing into res. Element-wise variant used by
+// the seed reference path.
 func monitorPixel(y []float64, x *series.DesignMatrix, opt Options, lambda float64, beta []float64, res *Result) {
 	n := opt.History
 	K := opt.K()

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bfast/internal/series"
+)
+
+// assertBitIdentical compares two result sets with exact float equality
+// — the contract between the bitset path and the seed path.
+func assertBitIdentical(t *testing.T, want, got []Result, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Status != g.Status || w.BreakIndex != g.BreakIndex ||
+			w.ValidHistory != g.ValidHistory || w.Valid != g.Valid {
+			t.Fatalf("%s pixel %d: %+v vs %+v", label, i, w, g)
+		}
+		if w.Sigma != g.Sigma && !(math.IsNaN(w.Sigma) && math.IsNaN(g.Sigma)) {
+			t.Fatalf("%s pixel %d: σ̂ %v vs %v", label, i, w.Sigma, g.Sigma)
+		}
+		if w.MosumMean != g.MosumMean && !(math.IsNaN(w.MosumMean) && math.IsNaN(g.MosumMean)) {
+			t.Fatalf("%s pixel %d: mean %v vs %v", label, i, w.MosumMean, g.MosumMean)
+		}
+		if len(w.Beta) != len(g.Beta) {
+			t.Fatalf("%s pixel %d: β length %d vs %d", label, i, len(w.Beta), len(g.Beta))
+		}
+		for j := range w.Beta {
+			if w.Beta[j] != g.Beta[j] {
+				t.Fatalf("%s pixel %d: β[%d] %v vs %v", label, i, j, w.Beta[j], g.Beta[j])
+			}
+		}
+	}
+}
+
+// TestDetectBatchBitIdenticalToSeedReference pins the bitset/work-stealing
+// path to the seed implementation bit for bit, on randomized high-NaN
+// batches, for every strategy and solver.
+func TestDetectBatchBitIdenticalToSeedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, nanFrac := range []float64{0.5, 0.8} {
+		M, N, n := 48, 300, 150
+		b := randomBatch(rng, M, N, nanFrac)
+		for _, solver := range []Solver{SolverGaussJordan, SolverPivot, SolverCholesky} {
+			opt := defaultTestOpts(n)
+			opt.Solver = solver
+			for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq, StrategyFullEfSeq} {
+				cfg := BatchConfig{Strategy: st, Workers: 3}
+				want, err := DetectBatchReference(b, opt, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := DetectBatch(b, opt, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertBitIdentical(t, want, got, st.String()+"/"+solver.String())
+			}
+		}
+	}
+}
+
+// TestDetectBatchMaskEdgePixels covers the bitset edge cases inside the
+// batch path: an all-NaN pixel, an all-valid pixel (fast-path words), a
+// pixel whose only NaNs sit in the tail word, with N not a multiple
+// of 64.
+func TestDetectBatchMaskEdgePixels(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const M, N, n = 4, 230, 115 // N % 64 = 38: tail word in play
+	y := make([]float64, M*N)
+	// Pixel 0: all NaN.
+	for t2 := 0; t2 < N; t2++ {
+		y[0*N+t2] = math.NaN()
+	}
+	// Pixel 1: all valid (every mask word fully set except the tail).
+	copy(y[1*N:2*N], synthSeries(rng, N, 3, 23, 0.03, 180, -0.6, 0))
+	// Pixel 2: valid except the last 10 dates (NaNs only in the tail word).
+	copy(y[2*N:3*N], synthSeries(rng, N, 3, 23, 0.03, -1, 0, 0))
+	for t2 := N - 10; t2 < N; t2++ {
+		y[2*N+t2] = math.NaN()
+	}
+	// Pixel 3: heavy random missing.
+	copy(y[3*N:4*N], synthSeries(rng, N, 3, 23, 0.03, -1, 0, 0.85))
+	b, err := NewBatch(M, N, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := defaultTestOpts(n)
+	x, _ := series.MakeDesign(N, opt.Harmonics, opt.Frequency)
+	want := make([]Result, M)
+	for i := 0; i < M; i++ {
+		r, err := Detect(b.Row(i), x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	if want[0].Status != StatusInsufficientHistory {
+		t.Fatal("all-NaN pixel must be unfittable")
+	}
+	if want[1].Status != StatusOK || want[1].Valid != N {
+		t.Fatal("all-valid pixel must fit with full count")
+	}
+	for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq, StrategyFullEfSeq} {
+		got, err := DetectBatch(b, opt, BatchConfig{Strategy: st, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, want, got, "edge/"+st.String())
+	}
+}
+
+// TestDetectBatchWorkersExceedPixels: worker counts far beyond M must
+// not spawn zero-width goroutines or change results, on both paths.
+func TestDetectBatchWorkersExceedPixels(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	b := randomBatch(rng, 3, 200, 0.5)
+	opt := defaultTestOpts(100)
+	want, err := DetectBatch(b, opt, BatchConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfgW := range []int{64, 1000} {
+		got, err := DetectBatch(b, opt, BatchConfig{Workers: cfgW})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, want, got, "many-workers")
+		ref, err := DetectBatchReference(b, opt, BatchConfig{Workers: cfgW})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, want, ref, "many-workers-reference")
+	}
+}
+
+// TestDetectBatchReferenceEmptyAndInvalid mirrors the M == 0 and
+// validation guards on the seed path.
+func TestDetectBatchReferenceEmptyAndInvalid(t *testing.T) {
+	b, _ := NewBatch(0, 100, nil)
+	res, err := DetectBatchReference(b, defaultTestOpts(50), BatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatal("empty batch must give empty results")
+	}
+	b2, _ := NewBatch(1, 40, make([]float64, 40))
+	if _, err := DetectBatchReference(b2, defaultTestOpts(20), BatchConfig{Strategy: Strategy(9)}); err == nil {
+		t.Fatal("expected unknown-strategy error")
+	}
+}
+
+// TestBatchMaskMatchesRows: Batch.Mask must agree with per-row masks for
+// any worker count.
+func TestBatchMaskMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	b := randomBatch(rng, 20, 130, 0.6)
+	for _, w := range []int{0, 1, 7} {
+		bm := b.Mask(w)
+		for i := 0; i < b.M; i++ {
+			want := series.MaskOf(b.Row(i))
+			row := bm.Row(i)
+			for wi := range row {
+				if row[wi] != want.Words[wi] {
+					t.Fatalf("workers=%d pixel %d word %d differs", w, i, wi)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"bfast/internal/linalg"
+	"bfast/internal/series"
+)
+
+// This file preserves the pre-ValidMask execution path: static
+// contiguous chunk partitioning and per-element math.IsNaN masking in
+// every kernel pass. It is retained (not dead code) as the "before"
+// side of the bitset/work-stealing optimization — the equivalence tests
+// pin the optimized path to it bit for bit, and the skewed-NaN
+// before/after benchmarks (bench_test.go, benchutil's masks experiment)
+// measure the speedup against it.
+
+// DetectBatchReference runs DetectBatch's strategies with the original
+// seed implementation: static chunk partitioning (one contiguous range
+// per worker) and per-element NaN tests in the masked kernels. Results
+// are bit-identical to DetectBatch; only the execution organization
+// differs.
+func DetectBatchReference(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
+	if err := opt.Validate(b.N); err != nil {
+		return nil, err
+	}
+	lambda, err := opt.ResolveLambda()
+	if err != nil {
+		return nil, err
+	}
+	x, err := DesignFor(opt, b.N)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Strategy {
+	case StrategyFullEfSeq:
+		return seedBatchFused(b, x, opt, lambda, cfg.workers()), nil
+	case StrategyRgTlEfSeq:
+		return seedBatchStagedFit(b, x, opt, lambda, cfg.workers(), false), nil
+	case StrategyOurs:
+		return seedBatchStagedFit(b, x, opt, lambda, cfg.workers(), true), nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", int(cfg.Strategy))
+	}
+}
+
+// seedParallelFor runs fn over [0,m) across w workers in static
+// contiguous chunks — the seed partitioning whose load imbalance on
+// NaN-skewed scenes the work-stealing scheduler replaces.
+func seedParallelFor(m, w int, fn func(lo, hi int)) {
+	if w > m {
+		w = m
+	}
+	if w <= 1 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + w - 1) / w
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// seedBatchFused is the seed Full-EfSeq: one fused per-pixel pass.
+func seedBatchFused(b *Batch, x *series.DesignMatrix, opt Options, lambda float64, workers int) []Result {
+	out := make([]Result, b.M)
+	seedParallelFor(b.M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = detectResolved(b.Row(i), x, opt, lambda)
+		}
+	})
+	return out
+}
+
+// seedBatchStagedFit is the seed staged implementation: every kernel
+// pass re-discovers each pixel's NaN pattern element by element.
+func seedBatchStagedFit(b *Batch, x *series.DesignMatrix, opt Options, lambda float64, workers int, fullStaging bool) []Result {
+	M, N := b.M, b.N
+	n := opt.History
+	K := opt.K()
+	out := make([]Result, M)
+
+	xh := historySlice(x, n)
+
+	normal := make([]float64, M*K*K)
+	beta := make([]float64, M*K)
+	fitted := make([]bool, M)
+
+	// ker 1-2: batched masked cross product, element-wise NaN tests.
+	seedParallelFor(M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y := b.Row(i)
+			f := series.FilterMissing(y, n)
+			out[i] = Result{
+				Status:       StatusOK,
+				BreakIndex:   -1,
+				ValidHistory: f.NValidHist,
+				Valid:        f.NValid,
+			}
+			if f.NValidHist < opt.minHist() {
+				out[i].Status = StatusInsufficientHistory
+				continue
+			}
+			m := linalg.MaskedCrossProduct(xh, y[:n])
+			copy(normal[i*K*K:(i+1)*K*K], m.Data)
+			fitted[i] = true
+		}
+	})
+
+	// ker 3-5: batched inversion + β.
+	seedParallelFor(M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !fitted[i] {
+				continue
+			}
+			m := linalg.NewMatrixFrom(K, K, normal[i*K*K:(i+1)*K*K])
+			rhs := linalg.MaskedMatVec(xh, b.Row(i)[:n])
+			bta, ok := solveNormal(m, rhs, opt)
+			if !ok {
+				out[i].Status = StatusSingular
+				fitted[i] = false
+				continue
+			}
+			copy(beta[i*K:(i+1)*K], bta)
+			out[i].Beta = beta[i*K : (i+1)*K : (i+1)*K]
+		}
+	})
+
+	if !fullStaging {
+		// RgTl-EfSeq: fused monitoring per pixel.
+		seedParallelFor(M, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !fitted[i] {
+					continue
+				}
+				monitorPixel(b.Row(i), x, opt, lambda, beta[i*K:(i+1)*K], &out[i])
+			}
+		})
+		return out
+	}
+
+	// "Ours": staged monitoring with padded buffers.
+	residual := make([]float64, M*N)
+	index := make([]int, M*N)
+	nBarArr := make([]int, M)
+	nValArr := make([]int, M)
+
+	// ker 6-7: predictions, residuals, NaN filtering with keys.
+	seedParallelFor(M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !fitted[i] {
+				continue
+			}
+			y := b.Row(i)
+			bta := beta[i*K : (i+1)*K]
+			r := residual[i*N : (i+1)*N]
+			ix := index[i*N : (i+1)*N]
+			w := 0
+			nb := 0
+			for t := 0; t < N; t++ {
+				v := y[t]
+				if math.IsNaN(v) {
+					continue
+				}
+				var pred float64
+				for j := 0; j < K; j++ {
+					pred += x.Data[j*N+t] * bta[j]
+				}
+				r[w] = v - pred
+				ix[w] = t
+				if t < n {
+					nb++
+				}
+				w++
+			}
+			for p := w; p < N; p++ {
+				r[p] = math.NaN()
+				ix[p] = -1
+			}
+			nBarArr[i] = nb
+			nValArr[i] = w
+		}
+	})
+
+	// ker 8-10: σ̂, fluctuation process, boundary test, remap.
+	seedParallelFor(M, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !fitted[i] {
+				continue
+			}
+			res := &out[i]
+			nBar := nBarArr[i]
+			nMon := nValArr[i] - nBar
+			r := residual[i*N : (i+1)*N]
+			mo := monitorSeries(r, nBar, nMon, opt, lambda)
+			res.Status = mo.status
+			res.Sigma = mo.sigma
+			res.MosumMean = mo.mean
+			if mo.brk >= 0 {
+				orig := index[i*N+nBar+mo.brk]
+				if orig >= n {
+					res.BreakIndex = orig - n
+				}
+			}
+		}
+	})
+	return out
+}

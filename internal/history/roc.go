@@ -15,12 +15,12 @@ package history
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
 	"bfast/internal/core"
 	"bfast/internal/linalg"
+	"bfast/internal/sched"
 	"bfast/internal/series"
 )
 
@@ -230,6 +230,12 @@ func median(v []float64) float64 {
 // a new batch in which each pixel's pre-stable observations are masked
 // (NaN), plus the per-pixel stable-history starts. Pixels whose test
 // cannot run (too few observations) are passed through untouched.
+//
+// Pixels are dispatched block-cyclically on the shared work-stealing
+// scheduler: per-pixel ROC cost varies with the NaN pattern (the
+// recursion length is the valid history count), so static chunks leave
+// workers idle on skewed scenes. The first ROC error (by pixel order)
+// is returned; remaining pixels still run.
 func TrimBatch(b *core.Batch, opt core.Options, level float64, workers int) (*core.Batch, []int, error) {
 	x, err := core.DesignFor(opt, b.N)
 	if err != nil {
@@ -238,41 +244,33 @@ func TrimBatch(b *core.Batch, opt core.Options, level float64, workers int) (*co
 	if _, err := CriticalValue(level); err != nil {
 		return nil, nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	out := make([]float64, len(b.Y))
 	copy(out, b.Y)
 	starts := make([]int, b.M)
-	var wg sync.WaitGroup
-	chunk := (b.M + workers - 1) / workers
-	errs := make([]error, (b.M+chunk-1)/chunk)
-	for w, lo := 0, 0; lo < b.M; w, lo = w+1, lo+chunk {
-		hi := lo + chunk
-		if hi > b.M {
-			hi = b.M
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				start, err := ROC(b.Row(i), x, opt.History, level)
-				if err != nil {
-					errs[w] = err
-					return
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errPixel int
+	)
+	sched.Shared().ForEach(b.M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			start, err := ROC(b.Row(i), x, opt.History, level)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil || i < errPixel {
+					firstErr, errPixel = err, i
 				}
-				starts[i] = start
-				for t := 0; t < start; t++ {
-					out[i*b.N+t] = math.NaN()
-				}
+				mu.Unlock()
+				continue
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+			starts[i] = start
+			for t := 0; t < start; t++ {
+				out[i*b.N+t] = math.NaN()
+			}
 		}
+	})
+	if firstErr != nil {
+		return nil, nil, firstErr
 	}
 	nb, err := core.NewBatch(b.M, b.N, out)
 	if err != nil {

@@ -220,3 +220,44 @@ func TestTrimBatchParallel(t *testing.T) {
 		t.Fatal("unsupported level must fail")
 	}
 }
+
+func TestTrimBatchEmptyAndManyWorkers(t *testing.T) {
+	// M == 0: the seed chunk math divided by zero here; the scheduler
+	// path must return an empty batch cleanly.
+	b, err := core.NewBatch(0, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions(200)
+	trimmed, starts, err := TrimBatch(b, opt, 0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.M != 0 || len(starts) != 0 {
+		t.Fatal("empty batch must trim to empty")
+	}
+	// workers far beyond M must agree with the single-worker run.
+	rng := rand.New(rand.NewSource(95))
+	const M, N, n = 3, 300, 200
+	y := make([]float64, M*N)
+	for i := 0; i < M; i++ {
+		copy(y[i*N:(i+1)*N], stableSeries(rng, N, 70, 0.9, 0.3))
+	}
+	b2, err := core.NewBatch(M, N, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1, err := TrimBatch(b2, opt, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s64, err := TrimBatch(b2, opt, 0.05, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i] != s64[i] {
+			t.Fatalf("pixel %d: starts differ across worker counts", i)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package linalg
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file holds the bitset-driven variants of the masked kernels
+// (mmMulFilt / mvMulFilt of Fig. 4): instead of re-testing every element
+// with math.IsNaN, they walk a precomputed validity bitset (bit q set =
+// date q valid) word by word, skipping invalid dates by bit arithmetic
+// and taking a dense fast path on fully-set words. The iteration order
+// over valid dates is increasing q — exactly the order of the
+// element-wise masked kernels — so the floating-point accumulation, and
+// hence the result, is bit-identical.
+
+const allOnes = ^uint64(0)
+
+// MaskedCrossProductBits computes M = X_h · X_hᵀ over the dates whose
+// validity bit is set, writing the K×K result into out (length K²).
+// X_h is K×n; words must cover at least n bits. Bit-identical to
+// MaskedCrossProduct with a NaN mask of the same validity pattern.
+func MaskedCrossProductBits(xh *Matrix, words []uint64, out []float64) {
+	k := xh.Rows
+	n := xh.Cols
+	if len(out) != k*k {
+		panic(fmt.Sprintf("linalg: MaskedCrossProductBits out length %d != %d", len(out), k*k))
+	}
+	if len(words) < (n+63)/64 {
+		panic(fmt.Sprintf("linalg: MaskedCrossProductBits mask has %d words for %d dates", len(words), n))
+	}
+	for j1 := 0; j1 < k; j1++ {
+		r1 := xh.Data[j1*n : (j1+1)*n]
+		for j2 := j1; j2 < k; j2++ {
+			r2 := xh.Data[j2*n : (j2+1)*n]
+			acc := maskedDot(r1, r2, words, n)
+			out[j1*k+j2] = acc
+			out[j2*k+j1] = acc
+		}
+	}
+}
+
+// MaskedMatVecBits computes X_h · y over the dates whose validity bit is
+// set, writing into out (length K). Bit-identical to MaskedMatVec.
+func MaskedMatVecBits(xh *Matrix, y []float64, words []uint64, out []float64) {
+	k := xh.Rows
+	n := xh.Cols
+	if len(y) != n {
+		panic(fmt.Sprintf("linalg: MaskedMatVecBits length %d != %d cols", len(y), n))
+	}
+	if len(out) != k {
+		panic(fmt.Sprintf("linalg: MaskedMatVecBits out length %d != %d", len(out), k))
+	}
+	if len(words) < (n+63)/64 {
+		panic(fmt.Sprintf("linalg: MaskedMatVecBits mask has %d words for %d dates", len(words), n))
+	}
+	for j := 0; j < k; j++ {
+		out[j] = maskedDot(xh.Data[j*n:(j+1)*n], y, words, n)
+	}
+}
+
+// maskedDot accumulates sum_q a[q]*b[q] over the set bits q < n of
+// words, in increasing q. Fully-set words take the dense inner loop.
+func maskedDot(a, b []float64, words []uint64, n int) float64 {
+	var acc float64
+	full := n / 64
+	for wi := 0; wi < full; wi++ {
+		w := words[wi]
+		base := wi * 64
+		switch w {
+		case allOnes:
+			for q := base; q < base+64; q++ {
+				acc += a[q] * b[q]
+			}
+		case 0:
+		default:
+			for ; w != 0; w &= w - 1 {
+				q := base + bits.TrailingZeros64(w)
+				acc += a[q] * b[q]
+			}
+		}
+	}
+	if tail := n % 64; tail != 0 {
+		w := words[full] & (1<<uint(tail) - 1)
+		base := full * 64
+		for ; w != 0; w &= w - 1 {
+			q := base + bits.TrailingZeros64(w)
+			acc += a[q] * b[q]
+		}
+	}
+	return acc
+}

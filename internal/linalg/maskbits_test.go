@@ -1,0 +1,87 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildMaskWords mirrors series.FillMask locally (linalg must not import
+// series): bit q set iff mask[q] is not NaN.
+func buildMaskWords(mask []float64) []uint64 {
+	words := make([]uint64, (len(mask)+63)/64)
+	for q, v := range mask {
+		if !math.IsNaN(v) {
+			words[q/64] |= 1 << uint(q%64)
+		}
+	}
+	return words
+}
+
+func randMaskedSeries(rng *rand.Rand, n int, nanFrac float64) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		if rng.Float64() < nanFrac {
+			y[i] = math.NaN()
+		} else {
+			y[i] = rng.NormFloat64()
+		}
+	}
+	return y
+}
+
+// TestMaskedBitsKernelsBitIdentical: the bitset kernels must reproduce
+// the element-wise masked kernels bit for bit across NaN densities,
+// including the all-valid fast path and tail words (n % 64 != 0).
+func TestMaskedBitsKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{5, 63, 64, 65, 128, 190, 256} {
+		for _, frac := range []float64{0, 0.3, 0.5, 0.95, 1} {
+			k := 8
+			xh := NewMatrix(k, n)
+			for i := range xh.Data {
+				xh.Data[i] = rng.NormFloat64()
+			}
+			y := randMaskedSeries(rng, n, frac)
+			words := buildMaskWords(y)
+
+			want := MaskedCrossProduct(xh, y)
+			got := make([]float64, k*k)
+			MaskedCrossProductBits(xh, words, got)
+			for i := range got {
+				w := want.Data[i]
+				if got[i] != w && !(math.IsNaN(got[i]) && math.IsNaN(w)) {
+					t.Fatalf("n=%d frac=%g: cross product [%d] = %v, want %v (bit-identical)",
+						n, frac, i, got[i], w)
+				}
+			}
+
+			wantV := MaskedMatVec(xh, y)
+			gotV := make([]float64, k)
+			MaskedMatVecBits(xh, y, words, gotV)
+			for i := range gotV {
+				if gotV[i] != wantV[i] && !(math.IsNaN(gotV[i]) && math.IsNaN(wantV[i])) {
+					t.Fatalf("n=%d frac=%g: matvec [%d] = %v, want %v (bit-identical)",
+						n, frac, i, gotV[i], wantV[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMaskedBitsPanicsOnShapeMismatch(t *testing.T) {
+	xh := NewMatrix(2, 10)
+	words := make([]uint64, 1)
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("cross/out", func() { MaskedCrossProductBits(xh, words, make([]float64, 3)) })
+	assertPanics("cross/words", func() { MaskedCrossProductBits(NewMatrix(2, 80), words, make([]float64, 4)) })
+	assertPanics("matvec/y", func() { MaskedMatVecBits(xh, make([]float64, 9), words, make([]float64, 2)) })
+	assertPanics("matvec/out", func() { MaskedMatVecBits(xh, make([]float64, 10), words, make([]float64, 3)) })
+}

@@ -1,0 +1,204 @@
+// Package sched provides the shared bounded worker pool behind every
+// host-parallel fan-out in the repository (the batched detection
+// strategies, the CLike baseline, stable-history trimming and the
+// pipeline's phase overlap).
+//
+// The irregular per-pixel workload of the paper — every pixel has a
+// different NaN pattern, hence a different effective problem size —
+// makes static contiguous partitioning a poor fit: with the
+// spatially-correlated cloud masks of internal/workload, adjacent pixels
+// share their missing-value structure, so equally-sized chunks carry very
+// unequal work and workers go idle (the load imbalance §III-C of the
+// paper designs its same-size kernel batches around). The pool instead
+// hands out small block-cyclic ranges from a single atomic counter:
+// every worker "steals" the next block the moment it finishes its
+// current one, so the imbalance is bounded by one block rather than by
+// a whole chunk.
+//
+// The pool is bounded: at most `bound` helper goroutines run at any
+// moment across all concurrent ForEach/Go calls, and the caller of a
+// parallel loop always participates as worker 0. That guarantees
+// progress (and freedom from pool-exhaustion deadlock) even when loops
+// nest or the pool is saturated by background tasks.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the default number of items per block-cyclic block.
+// Small enough to balance NaN-skewed per-pixel costs, large enough that
+// pixels of a block still share cache lines of the staged batch arrays
+// and the atomic counter is not contended.
+const DefaultGrain = 16
+
+// Pool is a bounded worker pool. The zero value is not usable;
+// construct with New or use the process-wide Shared pool.
+type Pool struct {
+	bound int
+	sem   chan struct{}
+}
+
+// New returns a pool allowing at most bound concurrent helper
+// goroutines (<= 0 means GOMAXPROCS).
+func New(bound int) *Pool {
+	if bound <= 0 {
+		bound = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{bound: bound, sem: make(chan struct{}, bound)}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Pool
+)
+
+// Shared returns the process-wide pool, sized to GOMAXPROCS at first
+// use. All library fan-outs run on it by default, so total helper
+// concurrency stays bounded no matter how many batches are in flight.
+func Shared() *Pool {
+	sharedOnce.Do(func() { shared = New(0) })
+	return shared
+}
+
+// Bound returns the pool's helper-goroutine bound.
+func (p *Pool) Bound() int { return p.bound }
+
+// Workers returns the effective worker count for a loop over m items
+// when the caller requested `requested` workers (<= 0 means the pool
+// bound +1 for the participating caller, mirroring the old
+// GOMAXPROCS default). The result is clamped to [1, m] for m > 0 and
+// is 0 for m <= 0. Callers sizing per-worker scratch should allocate
+// exactly this many slots.
+func (p *Pool) Workers(requested, m int) int {
+	if m <= 0 {
+		return 0
+	}
+	w := requested
+	if w <= 0 {
+		w = p.bound
+	}
+	if w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs body over [0, m) split into block-cyclic ranges of
+// `grain` items (<= 0 means DefaultGrain), dispatched to at most
+// `workers` workers (see Workers for the <= 0 default) from a shared
+// atomic counter. body is called with the worker id in [0, Workers())
+// — stable per goroutine, so it can index per-worker scratch — and a
+// half-open range [lo, hi).
+//
+// The calling goroutine always executes as worker 0; helpers are
+// spawned only while the pool has capacity, so nested or concurrent
+// loops degrade to fewer workers instead of deadlocking.
+func (p *Pool) ForEach(m, workers, grain int, body func(worker, lo, hi int)) {
+	if m <= 0 {
+		return
+	}
+	w := p.Workers(workers, m)
+	g := grain
+	if g <= 0 {
+		g = DefaultGrain
+	}
+	blocks := (m + g - 1) / g
+	if w > blocks {
+		w = blocks
+	}
+	if w <= 1 {
+		body(0, 0, m)
+		return
+	}
+	var next atomic.Int64
+	run := func(id int) {
+		for {
+			b := int(next.Add(1)) - 1
+			if b >= blocks {
+				return
+			}
+			lo := b * g
+			hi := lo + g
+			if hi > m {
+				hi = m
+			}
+			body(id, lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	for id := 1; id < w; id++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				run(id)
+			}(id)
+		default:
+			// Pool saturated: proceed with the helpers we got; the
+			// caller below still drains every block.
+		}
+	}
+	run(0)
+	wg.Wait()
+}
+
+// ForEachScratch is ForEach with a per-worker scratch lifecycle: mk is
+// invoked once per participating worker (lazily, on its first block) and
+// the same scratch value is passed to every body call of that worker —
+// the pattern the paper's C baseline uses per OpenMP thread (footnote
+// 10) to keep the hot loop allocation-free.
+func ForEachScratch[S any](p *Pool, m, workers, grain int, mk func() S, body func(s S, lo, hi int)) {
+	if m <= 0 {
+		return
+	}
+	w := p.Workers(workers, m)
+	scratch := make([]S, w)
+	made := make([]bool, w)
+	p.ForEach(m, w, grain, func(id, lo, hi int) {
+		if !made[id] {
+			scratch[id] = mk()
+			made[id] = true
+		}
+		body(scratch[id], lo, hi)
+	})
+}
+
+// Task is a handle to an asynchronous function started with Go.
+type Task struct {
+	done chan struct{}
+	err  error
+}
+
+// Go runs fn asynchronously. If the pool has no capacity the function
+// runs synchronously in the caller (the bounded-pool equivalent of
+// "go fn()"), so Go never blocks waiting for a slot. The returned
+// Task's Wait blocks until fn has finished and returns its error.
+func (p *Pool) Go(fn func() error) *Task {
+	t := &Task{done: make(chan struct{})}
+	select {
+	case p.sem <- struct{}{}:
+		go func() {
+			defer close(t.done)
+			defer func() { <-p.sem }()
+			t.err = fn()
+		}()
+	default:
+		t.err = fn()
+		close(t.done)
+	}
+	return t
+}
+
+// Wait blocks until the task completes and returns its error.
+func (t *Task) Wait() error {
+	<-t.done
+	return t.err
+}

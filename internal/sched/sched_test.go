@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndicesOnce checks that every index of [0, m) is
+// visited exactly once for a spread of sizes, worker counts and grains.
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	p := New(8)
+	for _, m := range []int{0, 1, 2, 15, 16, 17, 64, 1000, 4097} {
+		for _, w := range []int{0, 1, 2, 7, 64} {
+			for _, g := range []int{0, 1, 3, 64} {
+				seen := make([]int32, m)
+				p.ForEach(m, w, g, func(_, lo, hi int) {
+					if lo < 0 || hi > m || lo >= hi {
+						t.Errorf("m=%d w=%d g=%d: bad range [%d,%d)", m, w, g, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&seen[i], 1)
+					}
+				})
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("m=%d w=%d g=%d: index %d visited %d times", m, w, g, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachWorkerIDsInRange checks the scratch-indexing contract:
+// ids are within [0, Workers(requested, m)) and stable per goroutine.
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	p := New(4)
+	const m = 500
+	w := p.Workers(0, m)
+	var mu sync.Mutex
+	used := map[int]bool{}
+	p.ForEach(m, 0, 4, func(id, lo, hi int) {
+		if id < 0 || id >= w {
+			t.Errorf("worker id %d out of range [0,%d)", id, w)
+		}
+		mu.Lock()
+		used[id] = true
+		mu.Unlock()
+	})
+	if len(used) == 0 {
+		t.Fatal("no workers ran")
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	p := New(6)
+	cases := []struct{ req, m, want int }{
+		{0, 100, 6},  // default = bound
+		{3, 100, 3},  // explicit request
+		{12, 4, 4},   // workers > m clamps to m
+		{5, 0, 0},    // empty loop
+		{0, -3, 0},   // negative m
+		{1, 1, 1},    // minimum
+		{-2, 10, 6},  // negative request = default
+		{100, 1, 1},  // single item
+	}
+	for _, c := range cases {
+		if got := p.Workers(c.req, c.m); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.req, c.m, got, c.want)
+		}
+	}
+}
+
+// TestForEachEmptyAndTiny: m == 0 must not call body; m smaller than any
+// worker/grain combination must still cover everything.
+func TestForEachEmptyAndTiny(t *testing.T) {
+	p := New(8)
+	called := false
+	p.ForEach(0, 8, 16, func(_, _, _ int) { called = true })
+	if called {
+		t.Fatal("body called for m == 0")
+	}
+	var n int32
+	p.ForEach(1, 64, 1024, func(_, lo, hi int) { atomic.AddInt32(&n, int32(hi-lo)) })
+	if n != 1 {
+		t.Fatalf("tiny loop covered %d items, want 1", n)
+	}
+}
+
+// TestForEachScratchLifecycle checks that scratch is created once per
+// participating worker and reused across its blocks.
+func TestForEachScratchLifecycle(t *testing.T) {
+	p := New(4)
+	const m = 1000
+	var created int32
+	type scratch struct{ sum int }
+	var mu sync.Mutex
+	total := 0
+	ForEachScratch(p, m, 0, 8, func() *scratch {
+		atomic.AddInt32(&created, 1)
+		return &scratch{}
+	}, func(s *scratch, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.sum += i
+		}
+		mu.Lock()
+		total += hi - lo
+		mu.Unlock()
+	})
+	if total != m {
+		t.Fatalf("covered %d items, want %d", total, m)
+	}
+	if c := int(created); c < 1 || c > p.Workers(0, m) {
+		t.Fatalf("created %d scratches, want between 1 and %d", c, p.Workers(0, m))
+	}
+}
+
+// TestForEachNested: a parallel loop inside a parallel loop must not
+// deadlock even when the pool is fully saturated, because callers
+// always participate.
+func TestForEachNested(t *testing.T) {
+	p := New(2)
+	var n int64
+	p.ForEach(8, 8, 1, func(_, lo, hi int) {
+		p.ForEach(100, 8, 4, func(_, l, h int) {
+			atomic.AddInt64(&n, int64(h-l))
+		})
+	})
+	if n != 800 {
+		t.Fatalf("nested loops covered %d, want 800", n)
+	}
+}
+
+func TestGoRunsAndPropagatesError(t *testing.T) {
+	p := New(2)
+	boom := errors.New("boom")
+	tk1 := p.Go(func() error { return nil })
+	tk2 := p.Go(func() error { return boom })
+	if err := tk1.Wait(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := tk2.Wait(); err != boom {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+// TestGoSaturatedRunsInline: with a zero-capacity... the bound is at
+// least 1, so saturate it with a blocked task and verify Go still
+// completes synchronously rather than blocking.
+func TestGoSaturatedRunsInline(t *testing.T) {
+	p := New(1)
+	release := make(chan struct{})
+	bg := p.Go(func() error { <-release; return nil })
+	ran := false
+	tk := p.Go(func() error { ran = true; return nil })
+	if err := tk.Wait(); err != nil || !ran {
+		t.Fatal("saturated Go must run inline")
+	}
+	close(release)
+	if err := bg.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedIsSingletonAndBounded(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared must return the same pool")
+	}
+	if Shared().Bound() < 1 {
+		t.Fatal("shared pool must have positive bound")
+	}
+}

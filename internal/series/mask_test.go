@@ -1,0 +1,186 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSeries(rng *rand.Rand, n int, nanFrac float64) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		if rng.Float64() < nanFrac {
+			y[i] = math.NaN()
+		} else {
+			y[i] = rng.NormFloat64()
+		}
+	}
+	return y
+}
+
+func TestMaskAllNaNPixel(t *testing.T) {
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = math.NaN()
+	}
+	m := MaskOf(y)
+	if m.CountValid() != 0 || m.CountValidPrefix(50) != 0 {
+		t.Fatal("all-NaN pixel must count zero valid")
+	}
+	if m.AllValid(1) || m.AllValid(100) {
+		t.Fatal("all-NaN pixel cannot be all-valid")
+	}
+	if NthValid(m.Words, 100, 0) != -1 {
+		t.Fatal("NthValid on empty mask must be -1")
+	}
+	for _, w := range m.Words {
+		if w != 0 {
+			t.Fatal("all-NaN pixel must have zero words")
+		}
+	}
+}
+
+func TestMaskAllValidFastPathWord(t *testing.T) {
+	// 128 valid observations: both words must be the fast-path value.
+	y := make([]float64, 128)
+	for i := range y {
+		y[i] = float64(i)
+	}
+	m := MaskOf(y)
+	for wi, w := range m.Words {
+		if w != AllValidWord {
+			t.Fatalf("word %d = %#x, want all-ones fast-path word", wi, w)
+		}
+	}
+	if !m.AllValid(128) || !m.AllValid(64) || !m.AllValid(1) {
+		t.Fatal("AllValid must hold on an all-valid pixel")
+	}
+	if m.CountValid() != 128 || m.CountValidPrefix(70) != 70 {
+		t.Fatal("popcount counts wrong on all-valid pixel")
+	}
+	for k := 0; k < 128; k++ {
+		if NthValid(m.Words, 128, k) != k {
+			t.Fatalf("NthValid(%d) wrong on all-valid pixel", k)
+		}
+	}
+}
+
+func TestMaskTailWordNotMultipleOf64(t *testing.T) {
+	// N = 70: the second word covers only 6 bits; bits beyond N must be
+	// zero and never counted.
+	y := make([]float64, 70)
+	for i := range y {
+		y[i] = 1
+	}
+	y[69] = math.NaN()
+	m := MaskOf(y)
+	if len(m.Words) != 2 {
+		t.Fatalf("expected 2 words for N=70, got %d", len(m.Words))
+	}
+	if m.Words[1]>>6 != 0 {
+		t.Fatal("bits beyond N must be zero")
+	}
+	if m.CountValid() != 69 {
+		t.Fatalf("CountValid = %d, want 69", m.CountValid())
+	}
+	if m.AllValid(70) {
+		t.Fatal("AllValid(70) must be false with a NaN at 69")
+	}
+	if !m.AllValid(69) {
+		t.Fatal("AllValid(69) must be true")
+	}
+	if NthValid(m.Words, 70, 68) != 68 || NthValid(m.Words, 70, 69) != -1 {
+		t.Fatal("NthValid tail handling wrong")
+	}
+	// CountBits with n inside the tail word.
+	if CountBits(m.Words, 66) != 66 {
+		t.Fatalf("CountBits(66) = %d, want 66", CountBits(m.Words, 66))
+	}
+}
+
+func TestMaskMatchesFilterMissingRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 200, 321} {
+		for _, frac := range []float64{0, 0.2, 0.5, 0.9, 1} {
+			y := randSeries(rng, n, frac)
+			hist := n / 2
+			if hist == 0 {
+				hist = n
+			}
+			f := FilterMissing(y, hist)
+			m := MaskOf(y)
+			if m.CountValid() != f.NValid {
+				t.Fatalf("n=%d frac=%g: CountValid %d != %d", n, frac, m.CountValid(), f.NValid)
+			}
+			if m.CountValidPrefix(hist) != f.NValidHist {
+				t.Fatalf("n=%d frac=%g: prefix count %d != %d", n, frac, m.CountValidPrefix(hist), f.NValidHist)
+			}
+			if m.CountValid() != CountValid(y) {
+				t.Fatal("mask count disagrees with CountValid")
+			}
+			for t2 := 0; t2 < n; t2++ {
+				if m.Valid(t2) == math.IsNaN(y[t2]) {
+					t.Fatalf("Valid(%d) wrong", t2)
+				}
+			}
+			// NthValid and AppendValidIndices must reproduce Filtered.Index.
+			idx := AppendValidIndices(nil, m.Words, n)
+			if len(idx) != f.NValid {
+				t.Fatalf("AppendValidIndices length %d != %d", len(idx), f.NValid)
+			}
+			for k := 0; k < f.NValid; k++ {
+				if idx[k] != f.Index[k] {
+					t.Fatalf("index %d: %d != %d", k, idx[k], f.Index[k])
+				}
+				if NthValid(m.Words, n, k) != f.Index[k] {
+					t.Fatalf("NthValid(%d) != Filtered.Index", k)
+				}
+			}
+			if NthValid(m.Words, n, f.NValid) != -1 {
+				t.Fatal("NthValid past the last valid must be -1")
+			}
+		}
+	}
+}
+
+func TestBatchMaskRowsMatchPerPixelMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const M, N = 17, 130
+	y := make([]float64, M*N)
+	for i := range y {
+		if rng.Float64() < 0.4 {
+			y[i] = math.NaN()
+		} else {
+			y[i] = rng.NormFloat64()
+		}
+	}
+	bm := NewBatchMask(M, N, y)
+	if bm.WordsPerRow != MaskWords(N) {
+		t.Fatal("WordsPerRow wrong")
+	}
+	for i := 0; i < M; i++ {
+		want := MaskOf(y[i*N : (i+1)*N])
+		row := bm.Row(i)
+		for wi := range row {
+			if row[wi] != want.Words[wi] {
+				t.Fatalf("pixel %d word %d differs", i, wi)
+			}
+		}
+		rm := bm.RowMask(i)
+		if rm.N != N || rm.CountValid() != want.CountValid() {
+			t.Fatal("RowMask wrong")
+		}
+	}
+}
+
+func TestBatchMaskEmpty(t *testing.T) {
+	bm := NewBatchMask(0, 100, nil)
+	if bm.M != 0 || len(bm.Words) != 0 {
+		t.Fatal("empty batch mask wrong")
+	}
+	// Zero-length series: zero words, counts zero.
+	m := MaskOf(nil)
+	if len(m.Words) != 0 || m.CountValid() != 0 || !m.AllValid(0) {
+		t.Fatal("empty series mask wrong")
+	}
+}
