@@ -1,10 +1,12 @@
 # Tier-1 verification targets. `make ci` is the full gate; `make race`
-# exercises the concurrent hot paths (scheduler, batched detection,
-# C-like baseline, ROC trimming) under the race detector.
+# exercises the concurrent hot paths (scheduler, batched detection, tiled
+# kernels, C-like baseline, ROC trimming) under the race detector;
+# `make bench-smoke` runs the tiles before/after experiment at a tiny
+# sample so CI catches harness regressions without paying benchmark time.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-smoke
 
 ci: vet build race test
 
@@ -18,7 +20,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/baseline/... ./internal/history/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/baseline/... ./internal/history/... ./internal/tile/... ./internal/linalg/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+bench-smoke:
+	$(GO) run ./cmd/bfast-bench -exp tiles -sample 64 -json > /dev/null

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// hostInfo identifies the machine the measured (host-side) numbers in a
+// JSON report came from. The simulated-device timings are host-independent;
+// the "measured" columns are not, so reports must not claim a GPU name as
+// the measurement device.
+type hostInfo struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+func collectHostInfo() hostInfo {
+	return hostInfo{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel reads the CPU model string best-effort (Linux /proc/cpuinfo;
+// empty elsewhere or on error).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		// x86 uses "model name", arm64 "CPU part"/"Processor" variants.
+		for _, key := range []string{"model name", "Processor", "cpu model"} {
+			if strings.HasPrefix(line, key) {
+				if i := strings.IndexByte(line, ':'); i >= 0 {
+					return strings.TrimSpace(line[i+1:])
+				}
+			}
+		}
+	}
+	return ""
+}

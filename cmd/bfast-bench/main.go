@@ -59,12 +59,15 @@ func main() {
 			os.Exit(1)
 		}
 		report := struct {
-			Experiment string         `json:"experiment"`
-			SampleM    int            `json:"sample_m"`
-			Device     string         `json:"device"`
-			Workers    int            `json:"workers"`
-			Results    map[string]any `json:"results"`
-		}{*exp, *sample, cfg.Profile.Name, *workers, rows}
+			Experiment string `json:"experiment"`
+			SampleM    int    `json:"sample_m"`
+			// SimulatedDevice is the gpusim profile behind modeled rows;
+			// Host is where the measured rows actually ran.
+			SimulatedDevice string         `json:"simulated_device"`
+			Host            hostInfo       `json:"host"`
+			Workers         int            `json:"workers"`
+			Results         map[string]any `json:"results"`
+		}{*exp, *sample, cfg.Profile.Name, collectHostInfo(), *workers, rows}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {

@@ -62,7 +62,7 @@ func (c Config) withDefaults() Config {
 
 // Experiments lists the experiment names accepted by Run, in order.
 func Experiments() []string {
-	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "masks", "speedups", "sweep", "ablations", "claims"}
+	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "masks", "tiles", "speedups", "sweep", "ablations", "claims"}
 }
 
 // Run dispatches one experiment by name ("all" runs every one).
@@ -97,6 +97,8 @@ func runOne(name string, cfg Config) (any, error) {
 		return Maps(cfg)
 	case "masks":
 		return Masks(cfg)
+	case "tiles":
+		return Tiles(cfg)
 	case "speedups":
 		return Speedups(cfg)
 	case "sweep":

@@ -196,8 +196,8 @@ func TestRunDispatch(t *testing.T) {
 }
 
 func TestExperimentsListed(t *testing.T) {
-	if len(Experiments()) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(Experiments()))
 	}
 }
 

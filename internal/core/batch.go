@@ -8,6 +8,7 @@ import (
 	"bfast/internal/linalg"
 	"bfast/internal/sched"
 	"bfast/internal/series"
+	"bfast/internal/tile"
 )
 
 // Strategy selects how the batch computation is organized. The strategies
@@ -52,6 +53,11 @@ type BatchConfig struct {
 	Strategy Strategy
 	// Workers is the number of goroutines (default GOMAXPROCS).
 	Workers int
+	// TileWidth is T, the number of pixels gathered into one time-major
+	// tile by the staged strategies' register-blocked kernels. 0 means
+	// tile.DefaultWidth (8); 1 disables cross-pixel blocking; values are
+	// clamped to tile.MaxWidth (64). Results are identical for every T.
+	TileWidth int
 }
 
 func (c BatchConfig) workers() int {
@@ -59,6 +65,20 @@ func (c BatchConfig) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// ResolvedTileWidth returns the effective tile width T after defaulting
+// and clamping (the width DetectBatch will actually use).
+func (c BatchConfig) ResolvedTileWidth() int { return c.tileWidth() }
+
+func (c BatchConfig) tileWidth() int {
+	switch {
+	case c.TileWidth <= 0:
+		return tile.DefaultWidth
+	case c.TileWidth > tile.MaxWidth:
+		return tile.MaxWidth
+	}
+	return c.TileWidth
 }
 
 // Batch is a dense M×N pixel batch: M series of length N, row-major,
@@ -100,14 +120,54 @@ func (b *Batch) Mask(workers int) *series.BatchMask {
 // shared design matrix implied by opt (built internally) and the given
 // execution strategy. All strategies return identical results, and all
 // are bit-identical to the scalar Detect reference (and to
-// DetectBatchReference, the pre-bitset seed path).
+// DetectBatchReference, the pre-bitset seed path, and DetectBatchMasked,
+// the pre-tiling PR-1 path).
 //
-// Execution: each pixel's validity bitset is computed once (Mask), then
-// every kernel pass runs on the shared work-stealing scheduler in
-// block-cyclic ranges, so pixels with very different NaN loads (the
-// spatially-correlated cloud masks of real scenes) cannot strand a
-// worker with an oversized static chunk.
+// Execution: each pixel's validity bitset is computed once (Mask). The
+// staged strategies (StrategyOurs, StrategyRgTlEfSeq) then bin pixels by
+// valid-count, gather them into time-major tiles of cfg.TileWidth pixels
+// and run the register-blocked tile kernels with one tile per steal unit
+// on the shared work-stealing scheduler; StrategyFullEfSeq stays on the
+// fused per-pixel word-masked pass.
 func DetectBatch(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
+	if err := opt.Validate(b.N); err != nil {
+		return nil, err
+	}
+	lambda, err := opt.ResolveLambda()
+	if err != nil {
+		return nil, err
+	}
+	x, err := DesignFor(opt, b.N)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Strategy {
+	case StrategyFullEfSeq, StrategyRgTlEfSeq, StrategyOurs:
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", int(cfg.Strategy))
+	}
+	if b.M == 0 {
+		return []Result{}, nil
+	}
+	mask := b.Mask(cfg.Workers)
+	switch cfg.Strategy {
+	case StrategyFullEfSeq:
+		return batchFusedMasked(b, mask, x, opt, lambda, cfg.Workers), nil
+	case StrategyOurs:
+		return batchTiledStaged(b, mask, x, opt, lambda, cfg), nil
+	default: // StrategyRgTlEfSeq
+		return batchTiledFused(b, mask, x, opt, lambda, cfg), nil
+	}
+}
+
+// DetectBatchMasked runs the staged strategies with the PR-1
+// organization: per-pixel word-masked kernels over the whole batch,
+// block-cyclically scheduled, without pixel tiling. It is retained (not
+// dead code) as the "before" side of the tiling optimization — the
+// equivalence tests pin the tiled path to it bit for bit, and the
+// `tiles` experiment measures the tile speedup against it.
+// StrategyFullEfSeq is dispatched exactly as DetectBatch does.
+func DetectBatchMasked(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
 	if err := opt.Validate(b.N); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bfast/internal/linalg"
+	"bfast/internal/sched"
+	"bfast/internal/series"
+	"bfast/internal/tile"
+)
+
+// This file implements the pixel-tiled execution of the staged strategies
+// (PR 2): pixels are binned by valid-count and gathered T at a time into
+// time-major tiles (internal/tile), the fit kernels run register-blocked
+// over whole tiles, and the K×K normal systems of a tile are inverted
+// together by the lane-interleaved batched Gauss-Jordan
+// (linalg.GJBatch) — the CPU analogues of the paper's Fig. 4 register
+// tiling and Fig. 5 shared-memory inversion. One tile is one steal unit
+// on the shared scheduler. Results are bit-identical to
+// DetectBatchReference (and to DetectBatchMasked, the PR-1
+// organization, which is retained as the before side of the `tiles`
+// benchmark).
+
+// tileScratch is the per-worker working set of the tiled kernels: one
+// gathered tile plus the lane-interleaved fit and monitoring buffers.
+type tileScratch struct {
+	data *tile.Data
+	nrm  []float64 // K×K×T lane-interleaved normal matrices
+	rhs  []float64 // K×T right-hand sides
+	inv  []float64 // K×K×T inverses
+	beta []float64 // K×T coefficients
+	sing []bool    // per-lane singularity flags
+	fit  []bool    // per-lane fittable flags
+	gj   *linalg.GJBatch
+	fm   []float64 // K×K single-lane extraction (non-GJ solvers)
+	fr   []float64 // K single-lane right-hand side
+	rbuf []float64 // T×N lane-major compacted residuals
+	ix   []int32   // T×N original date indices
+	nVal []int     // per-lane residual counts
+}
+
+func newTileScratch(k, n, t int) *tileScratch {
+	return &tileScratch{
+		data: tile.NewData(t, n),
+		nrm:  make([]float64, k*k*t),
+		rhs:  make([]float64, k*t),
+		inv:  make([]float64, k*k*t),
+		beta: make([]float64, k*t),
+		sing: make([]bool, t),
+		fit:  make([]bool, t),
+		gj:   linalg.NewGJBatch(k, t),
+		fm:   make([]float64, k*k),
+		fr:   make([]float64, k),
+		rbuf: make([]float64, t*n),
+		ix:   make([]int32, t*n),
+		nVal: make([]int, t),
+	}
+}
+
+// initTileResults fills the per-pixel counts and fittable flags for the
+// gathered tile's lanes, returning whether any lane can be fitted.
+func initTileResults(idx []int, mask *series.BatchMask, opt Options, fit []bool, out []Result) bool {
+	n := opt.History
+	minHist := opt.minHist()
+	anyFit := false
+	for p, px := range idx {
+		words := mask.Row(px)
+		out[px] = Result{
+			Status:       StatusOK,
+			BreakIndex:   -1,
+			ValidHistory: series.CountBits(words, n),
+			Valid:        series.CountBits(words, mask.N),
+		}
+		fit[p] = out[px].ValidHistory >= minHist
+		if fit[p] {
+			anyFit = true
+		} else {
+			out[px].Status = StatusInsufficientHistory
+		}
+	}
+	return anyFit
+}
+
+// solveTile turns the tile's lane-interleaved normal matrices and
+// right-hand sides into coefficients. For the paper's Gauss-Jordan
+// solver all lanes reduce together in the batched interleaved scratch;
+// the pivoting/Cholesky library solvers fall back to per-lane extraction
+// through the shared solveNormal, so singularity behaviour matches the
+// untiled paths exactly. Lanes that fail are flagged StatusSingular.
+func solveTile(s *tileScratch, k int, opt Options, idx []int, out []Result) {
+	t := s.data.T
+	cnt := s.data.P
+	if opt.Solver == SolverGaussJordan {
+		s.gj.Invert(s.nrm, s.inv, s.sing, cnt)
+		linalg.MatVecBatch(k, t, cnt, s.inv, s.rhs, s.beta)
+		for p, px := range idx {
+			if !s.fit[p] {
+				continue
+			}
+			if s.sing[p] {
+				out[px].Status = StatusSingular
+				s.fit[p] = false
+			}
+		}
+		return
+	}
+	for p, px := range idx {
+		if !s.fit[p] {
+			continue
+		}
+		for e := 0; e < k*k; e++ {
+			s.fm[e] = s.nrm[e*t+p]
+		}
+		for j := 0; j < k; j++ {
+			s.fr[j] = s.rhs[j*t+p]
+		}
+		bta, ok := solveNormal(linalg.NewMatrixFrom(k, k, s.fm), s.fr, opt)
+		if !ok {
+			out[px].Status = StatusSingular
+			s.fit[p] = false
+			continue
+		}
+		for j := 0; j < k; j++ {
+			s.beta[j*t+p] = bta[j]
+		}
+	}
+}
+
+// publishBeta copies each fitted lane's coefficients out of the
+// interleaved buffer into the pixel's result.
+func publishBeta(s *tileScratch, k int, idx []int, out []Result) {
+	t := s.data.T
+	for p, px := range idx {
+		if !s.fit[p] {
+			continue
+		}
+		bta := make([]float64, k)
+		for j := 0; j < k; j++ {
+			bta[j] = s.beta[j*t+p]
+		}
+		out[px].Beta = bta
+	}
+}
+
+// monitorTile runs the monitoring phase (ker 8–10) over the tile's
+// compacted residuals, lane by lane; bit-identical to monitorPixelMasked.
+func monitorTile(s *tileScratch, n, nDates int, opt Options, lambda float64, idx []int, out []Result) {
+	for p, px := range idx {
+		if !s.fit[p] {
+			continue
+		}
+		res := &out[px]
+		nBar := res.ValidHistory
+		w := s.nVal[p]
+		mo := monitorSeries(s.rbuf[p*nDates:p*nDates+w], nBar, w-nBar, opt, lambda)
+		res.Status = mo.status
+		res.Sigma = mo.sigma
+		res.MosumMean = mo.mean
+		if mo.brk >= 0 {
+			if orig := int(s.ix[p*nDates+nBar+mo.brk]); orig >= n {
+				res.BreakIndex = orig - n
+			}
+		}
+	}
+}
+
+// batchTiledFused is the tiled RgTl-EfSeq: per tile, the fit kernels run
+// staged across the tile's lanes (cross product → batched inversion → β)
+// and the monitoring phase follows fused, all inside one steal unit with
+// per-worker scratch. Tiles never touch shared intermediates, so the
+// whole pixel's data stays in cache between stages.
+func batchTiledFused(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, cfg BatchConfig) []Result {
+	M, N := b.M, b.N
+	n := opt.History
+	K := opt.K()
+	T := cfg.tileWidth()
+	out := make([]Result, M)
+	plan := tile.NewPlan(mask, T)
+	xh := historySlice(x, n)
+	sched.ForEachScratch(sched.Shared(), plan.Tiles, cfg.Workers, 1,
+		func() *tileScratch { return newTileScratch(K, N, T) },
+		func(s *tileScratch, lo, hi int) {
+			for ti := lo; ti < hi; ti++ {
+				idx := plan.Indices(ti)
+				if !initTileResults(idx, mask, opt, s.fit, out) {
+					continue
+				}
+				s.data.Gather(b.Y, mask, idx)
+				tile.CrossProduct(xh, s.data, s.nrm)
+				tile.MatVecHistory(xh, s.data, s.rhs)
+				solveTile(s, K, opt, idx, out)
+				publishBeta(s, K, idx, out)
+				tile.Residuals(x, s.data, s.beta, s.rbuf, s.ix, s.nVal)
+				monitorTile(s, n, N, opt, lambda, idx, out)
+			}
+		})
+	return out
+}
+
+// batchTiledStaged is the tiled "Ours": every kernel stage sweeps all
+// tiles before the next stage runs (the paper's batched same-inner-size
+// organization), with the gathered tiles and lane-interleaved
+// intermediates persisted in padded stage arrays. One tile remains one
+// steal unit inside every sweep.
+func batchTiledStaged(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, cfg BatchConfig) []Result {
+	M, N := b.M, b.N
+	n := opt.History
+	K := opt.K()
+	T := cfg.tileWidth()
+	out := make([]Result, M)
+	plan := tile.NewPlan(mask, T)
+	xh := historySlice(x, n)
+	pool := sched.Shared()
+	workers := cfg.Workers
+
+	tiles := plan.Tiles
+	slots := tiles * T
+	tY := make([]float64, slots*N)   // gathered time-major series, per tile
+	cmask := make([]uint64, tiles*N) // per-tile column masks
+	nrm := make([]float64, tiles*K*K*T)
+	beta := make([]float64, tiles*K*T)
+	fit := make([]bool, slots)
+	residual := make([]float64, slots*N) // lane-major compacted residuals
+	index := make([]int32, slots*N)
+	nVal := make([]int, slots)
+
+	// view rebinds tile ti's slice of the stage arrays as a tile.Data.
+	view := func(ti int) *tile.Data {
+		d := tile.NewDataOver(T, N, tY[ti*N*T:(ti+1)*N*T], cmask[ti*N:(ti+1)*N])
+		idx := plan.Indices(ti)
+		d.P = len(idx)
+		d.Idx = idx
+		return d
+	}
+
+	// Stage 1 (ker 1 prologue): gather tiles, counts, fittable flags.
+	pool.ForEach(tiles, workers, 1, func(_, lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			idx := plan.Indices(ti)
+			d := tile.NewDataOver(T, N, tY[ti*N*T:(ti+1)*N*T], cmask[ti*N:(ti+1)*N])
+			d.Gather(b.Y, mask, idx)
+			initTileResults(idx, mask, opt, fit[ti*T:ti*T+len(idx)], out)
+		}
+	})
+
+	// Stage 2 (ker 1–2): register-blocked masked cross products.
+	pool.ForEach(tiles, workers, 1, func(_, lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			tile.CrossProduct(xh, view(ti), nrm[ti*K*K*T:(ti+1)*K*K*T])
+		}
+	})
+
+	// Stage 3 (ker 3–5): right-hand sides + batched tile inversions + β.
+	sched.ForEachScratch(pool, tiles, workers, 1,
+		func() *tileScratch { return newTileScratch(K, N, T) },
+		func(s *tileScratch, lo, hi int) {
+			for ti := lo; ti < hi; ti++ {
+				idx := plan.Indices(ti)
+				s.data = view(ti)
+				copy(s.fit, fit[ti*T:ti*T+len(idx)])
+				s.nrm = nrm[ti*K*K*T : (ti+1)*K*K*T]
+				s.beta = beta[ti*K*T : (ti+1)*K*T]
+				tile.MatVecHistory(xh, s.data, s.rhs)
+				solveTile(s, K, opt, idx, out)
+				publishBeta(s, K, idx, out)
+				copy(fit[ti*T:ti*T+len(idx)], s.fit)
+			}
+		})
+
+	// Stage 4 (ker 6–7): register-blocked residuals + compaction.
+	pool.ForEach(tiles, workers, 1, func(_, lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			tile.Residuals(x, view(ti), beta[ti*K*T:(ti+1)*K*T],
+				residual[ti*T*N:(ti+1)*T*N], index[ti*T*N:(ti+1)*T*N], nVal[ti*T:(ti+1)*T])
+		}
+	})
+
+	// Stage 5 (ker 8–10): σ̂, fluctuation process, boundary test, remap.
+	pool.ForEach(tiles, workers, 1, func(_, lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			for p, px := range plan.Indices(ti) {
+				if !fit[ti*T+p] {
+					continue
+				}
+				res := &out[px]
+				nBar := res.ValidHistory
+				w := nVal[ti*T+p]
+				base := (ti*T + p) * N
+				mo := monitorSeries(residual[base:base+w], nBar, w-nBar, opt, lambda)
+				res.Status = mo.status
+				res.Sigma = mo.sigma
+				res.MosumMean = mo.mean
+				if mo.brk >= 0 {
+					if orig := int(index[base+nBar+mo.brk]); orig >= n {
+						res.BreakIndex = orig - n
+					}
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDetectBatchTiledBitIdentical is the acceptance matrix of the tiled
+// kernels: both tiled strategies must be bit-identical to the seed
+// reference AND to the PR-1 masked per-pixel path, across NaN fractions,
+// tile widths (including T=1 degenerate tiles), and ragged tails
+// (M < T and M % T != 0).
+func TestDetectBatchTiledBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	const N, n = 300, 150
+	for _, nanFrac := range []float64{0, 0.25, 0.5, 0.9} {
+		for _, tc := range []struct {
+			m, tw int
+			tag   string
+		}{
+			{5, 8, "M<T"},        // single ragged tile
+			{21, 8, "ragged"},    // 2 full tiles + width-5 tail
+			{24, 8, "aligned"},   // exact multiple
+			{13, 4, "T4-ragged"}, // narrow tiles, ragged
+			{7, 1, "T1"},         // degenerate: every tile one pixel
+		} {
+			b := randomBatch(rng, tc.m, N, nanFrac)
+			opt := defaultTestOpts(n)
+			want, err := DetectBatchReference(b, opt, BatchConfig{Strategy: StrategyOurs, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq} {
+				cfg := BatchConfig{Strategy: st, Workers: 3, TileWidth: tc.tw}
+				got, err := DetectBatch(b, opt, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := st.String() + "/" + tc.tag + "/nan=" + itoaFrac(nanFrac)
+				assertBitIdentical(t, want, got, label+" vs reference")
+
+				masked, err := DetectBatchMasked(b, opt, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertBitIdentical(t, masked, got, label+" vs masked")
+			}
+		}
+	}
+}
+
+func itoaFrac(f float64) string {
+	switch f {
+	case 0:
+		return "0"
+	case 0.25:
+		return "25"
+	case 0.5:
+		return "50"
+	default:
+		return "90"
+	}
+}
+
+// TestDetectBatchTiledSolvers pins the non-GJ solver dispatch of the
+// tiled drivers (per-lane extraction into solveNormal) to the reference.
+func TestDetectBatchTiledSolvers(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	const M, N, n = 21, 300, 150
+	b := randomBatch(rng, M, N, 0.5)
+	for _, solver := range []Solver{SolverGaussJordan, SolverPivot, SolverCholesky} {
+		opt := defaultTestOpts(n)
+		opt.Solver = solver
+		for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq} {
+			cfg := BatchConfig{Strategy: st, Workers: 2, TileWidth: 8}
+			want, err := DetectBatchReference(b, opt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DetectBatch(b, opt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, want, got, st.String()+"/"+solver.String())
+		}
+	}
+}
+
+// TestDetectBatchTiledDegeneratePixels: tiles mixing all-NaN pixels,
+// all-valid pixels, and below-rank pixels inside one tile — the binning
+// puts the all-NaN pixels in the leading tile, so this exercises tiles
+// with zero fitted lanes and tiles with mixed fit masks.
+func TestDetectBatchTiledDegeneratePixels(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	const M, N, n = 11, 230, 115 // N % 64 != 0: tail mask word in play
+	y := make([]float64, M*N)
+	for i := 0; i < M; i++ {
+		switch {
+		case i < 3: // all NaN
+			for t2 := 0; t2 < N; t2++ {
+				y[i*N+t2] = math.NaN()
+			}
+		case i == 3: // below rank: only 4 valid history dates
+			for t2 := 0; t2 < N; t2++ {
+				y[i*N+t2] = math.NaN()
+			}
+			for _, t2 := range []int{3, 20, 50, 90} {
+				y[i*N+t2] = rng.NormFloat64()
+			}
+		case i == 4: // all valid
+			row := synthSeries(rng, N, 3, 23, 0.03, -1, 0, 0)
+			copy(y[i*N:(i+1)*N], row)
+		default:
+			row := synthSeries(rng, N, 3, 23, 0.03, N/2, -0.7, 0.6)
+			copy(y[i*N:(i+1)*N], row)
+		}
+	}
+	b, err := NewBatch(M, N, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := defaultTestOpts(n)
+	want, err := DetectBatchReference(b, opt, BatchConfig{Strategy: StrategyOurs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tw := range []int{1, 4, 8} {
+		for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq} {
+			got, err := DetectBatch(b, opt, BatchConfig{Strategy: st, Workers: 2, TileWidth: tw})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, want, got, st.String()+"/degenerate")
+		}
+	}
+}
+
+// TestDetectBatchTiledWorkerInvariance: the tile decomposition must make
+// results independent of worker count (each tile is a sealed unit of
+// work — no cross-tile accumulation order exists to vary).
+func TestDetectBatchTiledWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	b := randomBatch(rng, 19, 300, 0.5)
+	opt := defaultTestOpts(150)
+	base, err := DetectBatch(b, opt, BatchConfig{Strategy: StrategyOurs, Workers: 1, TileWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq} {
+			got, err := DetectBatch(b, opt, BatchConfig{Strategy: st, Workers: workers, TileWidth: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, base, got, st.String()+"/workers")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"bfast/internal/workload"
+)
+
+// The benchmarks below compare the PR-2 tiled kernels (DetectBatch) with
+// the retained PR-1 masked per-pixel path (DetectBatchMasked) on the
+// `tiles` experiment's scene: 50% NaN under spatially-correlated cloud
+// masks, where valid-count binning aligns the tiles' column masks.
+
+func cloudBatch(b *testing.B) *Batch {
+	spec := workload.Spec{
+		Name: "skew50", M: 4096, N: 412, History: 206,
+		NaNFrac: 0.5, Mask: workload.MaskClouds, BreakFrac: 0.3, Seed: 7, Width: 64,
+	}
+	ds, err := workload.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb, err := NewBatch(spec.M, spec.N, ds.Y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bb
+}
+
+func benchCloud(b *testing.B, run func(*Batch, Options, BatchConfig) ([]Result, error), st Strategy) {
+	bb := cloudBatch(b)
+	opt := DefaultOptions(206)
+	cfg := BatchConfig{Strategy: st}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(bb, opt, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCloudTiledStaged(b *testing.B)  { benchCloud(b, DetectBatch, StrategyOurs) }
+func BenchmarkCloudTiledFused(b *testing.B)   { benchCloud(b, DetectBatch, StrategyRgTlEfSeq) }
+func BenchmarkCloudMaskedStaged(b *testing.B) { benchCloud(b, DetectBatchMasked, StrategyOurs) }
+func BenchmarkCloudMaskedFused(b *testing.B)  { benchCloud(b, DetectBatchMasked, StrategyRgTlEfSeq) }

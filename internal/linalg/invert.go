@@ -109,7 +109,10 @@ func InvertPivot(a *Matrix) (*Matrix, error) {
 				best, piv = v, r
 			}
 		}
-		if piv < 0 || best == 0 || math.IsNaN(best) {
+		if piv < 0 || best == 0 || math.IsNaN(best) || math.IsInf(best, 0) {
+			// A non-finite pivot means the input carried ±Inf; scaling by
+			// 1/±Inf would zero the row and silently yield a garbage
+			// finite "inverse", so flag it here instead.
 			return nil, ErrSingular
 		}
 		if piv != col {

@@ -1,0 +1,222 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// GJBatch reduces up to Lanes adjoined K×2K Gauss-Jordan systems in one
+// interleaved scratch buffer — the host analogue of the paper's
+// shared-memory batched inversion (Fig. 5), where a thread block keeps
+// one K×2K system per matrix resident in shared memory and all matrices
+// step through the same pivot-free "rotate up" schedule in lockstep.
+// Here the T systems of a pixel tile are interleaved element-wise
+// (element (i, j) of lane p lives at sh[(i*w+j)*T+p]), so every
+// elimination step is a short contiguous lane loop over identical
+// arithmetic: one scratch buffer, one loop nest, T inversions.
+//
+// Lane p's floating-point sequence is exactly InvertGaussJordan's —
+// including the zero-pivot behaviour (rows rotate unchanged) and the
+// singularity test (non-finite entries or a left block that is not the
+// identity within 1e-6) — so lane results are bit-identical to the
+// scalar routine.
+type GJBatch struct {
+	// K is the matrix order; Lanes is the interleaving stride T.
+	K, Lanes int
+	sh, tmp  []float64 // K × 2K × Lanes adjoined systems
+	xr       []float64 // 2K × Lanes hoisted pivot-row quotients
+	vq       []float64 // Lanes pivot values of the current step
+}
+
+// NewGJBatch allocates scratch for inverting k×k matrices, lanes at a
+// time.
+func NewGJBatch(k, lanes int) *GJBatch {
+	if k <= 0 || lanes <= 0 {
+		panic(fmt.Sprintf("linalg: GJBatch %d×%d lanes %d", k, k, lanes))
+	}
+	w := 2 * k
+	return &GJBatch{
+		K: k, Lanes: lanes,
+		sh: make([]float64, k*w*lanes), tmp: make([]float64, k*w*lanes),
+		xr: make([]float64, w*lanes), vq: make([]float64, lanes),
+	}
+}
+
+// Invert inverts the first cnt lanes of the interleaved k×k batch a
+// (element (i, j) of lane p at a[(i*k+j)*Lanes+p]), writing the inverses
+// in the same layout into inv and setting singular[p] exactly when the
+// scalar InvertGaussJordan would return ErrSingular for lane p. inv is
+// written for singular lanes too (with whatever the reduction produced),
+// mirroring the scalar routine's returned matrix; callers must test the
+// flag.
+func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
+	k, T := g.K, g.Lanes
+	w := 2 * k
+	if cnt < 0 || cnt > T {
+		panic(fmt.Sprintf("linalg: GJBatch count %d for %d lanes", cnt, T))
+	}
+	if len(a) < k*k*T || len(inv) < k*k*T || len(singular) < cnt {
+		panic("linalg: GJBatch buffers too small")
+	}
+	sh, tmp := g.sh, g.tmp
+	// Adjoin the identity: sh = [A | I], lane-interleaved.
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			src := (i*k + j) * T
+			dst := (i*w + j) * T
+			for p := 0; p < cnt; p++ {
+				sh[dst+p] = a[src+p]
+			}
+			var id float64
+			if i == j {
+				id = 1
+			}
+			dst = (i*w + k + j) * T
+			for p := 0; p < cnt; p++ {
+				sh[dst+p] = id
+			}
+		}
+	}
+	for q := 0; q < k; q++ {
+		// Pivot values of row 0 and the hoisted quotients x = row0/vq.
+		// The scalar routine recomputes x per target row; hoisting it is
+		// the same division, so lane arithmetic is unchanged.
+		vq := g.vq
+		anyZero := false
+		for p := 0; p < cnt; p++ {
+			vq[p] = sh[q*T+p] // row 0, column q
+			if vq[p] == 0 {
+				anyZero = true
+			}
+		}
+		if !anyZero {
+			// Fast path: no lane hit a zero pivot this step (the only way
+			// a BFAST normal matrix ever does is by being singular), so
+			// every inner loop is branch-free.
+			for k2 := 0; k2 < w; k2++ {
+				src := sh[k2*T : k2*T+cnt] // row 0, column k2
+				dst := g.xr[k2*T : k2*T+cnt]
+				for p := range dst {
+					dst[p] = src[p] / vq[p]
+				}
+			}
+			for k1 := 0; k1 < k-1; k1++ {
+				for k2 := 0; k2 < w; k2++ {
+					dst := tmp[(k1*w+k2)*T : (k1*w+k2)*T+cnt]
+					xrow := g.xr[k2*T : k2*T+cnt]
+					src := sh[((k1+1)*w+k2)*T : ((k1+1)*w+k2)*T+cnt]
+					srcq := sh[((k1+1)*w+q)*T : ((k1+1)*w+q)*T+cnt]
+					for p := range dst {
+						dst[p] = src[p] - srcq[p]*xrow[p]
+					}
+				}
+			}
+			for k2 := 0; k2 < w; k2++ {
+				copy(tmp[((k-1)*w+k2)*T:((k-1)*w+k2)*T+cnt], g.xr[k2*T:k2*T+cnt])
+			}
+			sh, tmp = tmp, sh
+			continue
+		}
+		for k2 := 0; k2 < w; k2++ {
+			src := k2 * T // row 0, column k2
+			dst := k2 * T
+			for p := 0; p < cnt; p++ {
+				if vq[p] != 0 {
+					g.xr[dst+p] = sh[src+p] / vq[p]
+				}
+			}
+		}
+		for k1 := 0; k1 < k; k1++ {
+			last := k1 == k-1
+			for k2 := 0; k2 < w; k2++ {
+				dst := (k1*w + k2) * T
+				xrow := g.xr[k2*T : k2*T+T]
+				if last {
+					for p := 0; p < cnt; p++ {
+						if vq[p] == 0 {
+							tmp[dst+p] = sh[dst+p]
+						} else {
+							tmp[dst+p] = xrow[p]
+						}
+					}
+					continue
+				}
+				src := ((k1+1)*w + k2) * T
+				srcq := ((k1+1)*w + q) * T
+				for p := 0; p < cnt; p++ {
+					if vq[p] == 0 {
+						tmp[dst+p] = sh[dst+p]
+					} else {
+						tmp[dst+p] = sh[src+p] - sh[srcq+p]*xrow[p]
+					}
+				}
+			}
+		}
+		sh, tmp = tmp, sh
+	}
+	g.sh, g.tmp = sh, tmp
+	for p := 0; p < cnt; p++ {
+		singular[p] = false
+	}
+	// Extract the right block and flag non-finite lanes.
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			src := (i*w + k + j) * T
+			dst := (i*k + j) * T
+			for p := 0; p < cnt; p++ {
+				v := sh[src+p]
+				inv[dst+p] = v
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					singular[p] = true
+				}
+			}
+		}
+	}
+	// The pivot-free scheme signals singularity by leaving the left
+	// block different from the identity (same 1e-6 tolerance as the
+	// scalar routine).
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			src := (i*w + j) * T
+			for p := 0; p < cnt; p++ {
+				if singular[p] {
+					continue
+				}
+				v := sh[src+p]
+				if math.IsNaN(v) || math.Abs(v-want) > 1e-6 {
+					singular[p] = true
+				}
+			}
+		}
+	}
+}
+
+// MatVecBatch computes out = A·x for cnt interleaved k×k matrices and
+// k-vectors: out[i*lanes+p] = Σ_j a[(i*k+j)*lanes+p] · x[j*lanes+p],
+// accumulating in increasing j (MatVec's order, so lane results are
+// bit-identical to the scalar path).
+func MatVecBatch(k, lanes, cnt int, a, x, out []float64) {
+	if cnt < 0 || cnt > lanes {
+		panic(fmt.Sprintf("linalg: MatVecBatch count %d for %d lanes", cnt, lanes))
+	}
+	if len(a) < k*k*lanes || len(x) < k*lanes || len(out) < k*lanes {
+		panic("linalg: MatVecBatch buffers too small")
+	}
+	for i := 0; i < k; i++ {
+		dst := out[i*lanes : i*lanes+lanes]
+		for p := 0; p < cnt; p++ {
+			dst[p] = 0
+		}
+		for j := 0; j < k; j++ {
+			row := a[(i*k+j)*lanes : (i*k+j)*lanes+lanes]
+			xv := x[j*lanes : j*lanes+lanes]
+			for p := 0; p < cnt; p++ {
+				dst[p] += row[p] * xv[p]
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// interleave packs mats (each k×k) into the lane-interleaved batch
+// layout with stride lanes.
+func interleave(mats []*Matrix, k, lanes int) []float64 {
+	out := make([]float64, k*k*lanes)
+	for p, m := range mats {
+		for e := 0; e < k*k; e++ {
+			out[e*lanes+p] = m.Data[e]
+		}
+	}
+	return out
+}
+
+// TestGJBatchLaneIdenticalToScalar pins every lane of the batched
+// inversion to InvertGaussJordan bit for bit — values AND singularity
+// flags — over random well-conditioned, singular, and zero matrices,
+// for several K and lane counts including partial tiles (cnt < lanes).
+func TestGJBatchLaneIdenticalToScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{1, 2, 3, 8} {
+		for _, lanes := range []int{1, 3, 8} {
+			for _, cnt := range []int{lanes, (lanes + 1) / 2} {
+				mats := make([]*Matrix, cnt)
+				for p := 0; p < cnt; p++ {
+					m := NewMatrix(k, k)
+					switch p % 3 {
+					case 0: // diagonally dominant (the BFAST regime)
+						for i := 0; i < k; i++ {
+							for j := 0; j < k; j++ {
+								m.Set(i, j, rng.NormFloat64())
+							}
+							m.Set(i, i, m.At(i, i)+float64(2*k))
+						}
+					case 1: // random, possibly ill-conditioned
+						for e := range m.Data {
+							m.Data[e] = rng.NormFloat64()
+						}
+					default: // exactly singular (zero)
+					}
+					mats[p] = m
+				}
+				a := interleave(mats, k, lanes)
+				inv := make([]float64, k*k*lanes)
+				sing := make([]bool, lanes)
+				g := NewGJBatch(k, lanes)
+				g.Invert(a, inv, sing, cnt)
+				for p := 0; p < cnt; p++ {
+					want, err := InvertGaussJordan(mats[p])
+					if sing[p] != (err != nil) {
+						t.Fatalf("k=%d lanes=%d cnt=%d lane %d: singular=%v, scalar err=%v",
+							k, lanes, cnt, p, sing[p], err)
+					}
+					for e := 0; e < k*k; e++ {
+						got := inv[e*lanes+p]
+						w := want.Data[e]
+						if got != w && !(math.IsNaN(got) && math.IsNaN(w)) {
+							t.Fatalf("k=%d lanes=%d cnt=%d lane %d elem %d: %v != %v",
+								k, lanes, cnt, p, e, got, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGJBatchReuse: consecutive Invert calls on the same scratch must not
+// leak state between batches.
+func TestGJBatchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const k, lanes = 4, 8
+	g := NewGJBatch(k, lanes)
+	for round := 0; round < 3; round++ {
+		mats := make([]*Matrix, lanes)
+		for p := range mats {
+			m := NewMatrix(k, k)
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					m.Set(i, j, rng.NormFloat64())
+				}
+				m.Set(i, i, m.At(i, i)+8)
+			}
+			mats[p] = m
+		}
+		a := interleave(mats, k, lanes)
+		inv := make([]float64, k*k*lanes)
+		sing := make([]bool, lanes)
+		g.Invert(a, inv, sing, lanes)
+		for p := 0; p < lanes; p++ {
+			want, err := InvertGaussJordan(mats[p])
+			if err != nil || sing[p] {
+				t.Fatalf("round %d lane %d unexpectedly singular", round, p)
+			}
+			for e := 0; e < k*k; e++ {
+				if inv[e*lanes+p] != want.Data[e] {
+					t.Fatalf("round %d lane %d differs from scalar", round, p)
+				}
+			}
+		}
+	}
+}
+
+// TestMatVecBatchLaneIdenticalToScalar pins the interleaved batched
+// matrix-vector product to MatVec per lane.
+func TestMatVecBatchLaneIdenticalToScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, k := range []int{1, 3, 8} {
+		const lanes = 5
+		cnt := 4
+		mats := make([]*Matrix, cnt)
+		vecs := make([][]float64, cnt)
+		for p := 0; p < cnt; p++ {
+			mats[p] = NewMatrix(k, k)
+			for e := range mats[p].Data {
+				mats[p].Data[e] = rng.NormFloat64()
+			}
+			vecs[p] = make([]float64, k)
+			for j := range vecs[p] {
+				vecs[p][j] = rng.NormFloat64()
+			}
+		}
+		a := interleave(mats, k, lanes)
+		x := make([]float64, k*lanes)
+		for p := 0; p < cnt; p++ {
+			for j := 0; j < k; j++ {
+				x[j*lanes+p] = vecs[p][j]
+			}
+		}
+		out := make([]float64, k*lanes)
+		MatVecBatch(k, lanes, cnt, a, x, out)
+		for p := 0; p < cnt; p++ {
+			want := MatVec(mats[p], vecs[p])
+			for i := 0; i < k; i++ {
+				if out[i*lanes+p] != want[i] {
+					t.Fatalf("k=%d lane %d row %d: %v != %v", k, p, i, out[i*lanes+p], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGJBatchPanicsOnBadSizes covers the guard paths.
+func TestGJBatchPanicsOnBadSizes(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("zero lanes", func() { NewGJBatch(2, 0) })
+	assertPanics("zero k", func() { NewGJBatch(0, 4) })
+	g := NewGJBatch(2, 4)
+	assertPanics("count too large", func() {
+		g.Invert(make([]float64, 16), make([]float64, 16), make([]bool, 5), 5)
+	})
+	assertPanics("short buffers", func() {
+		g.Invert(make([]float64, 3), make([]float64, 16), make([]bool, 4), 4)
+	})
+	assertPanics("matvec count", func() {
+		MatVecBatch(2, 4, 5, make([]float64, 16), make([]float64, 8), make([]float64, 8))
+	})
+}

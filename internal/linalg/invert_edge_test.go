@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// The tests in this file pin the failure paths of the two inversion
+// routines against each other: zero pivots, exactly-singular inputs,
+// non-finite input propagation, the K=1 scalar case and the non-square
+// error paths. The batched tile inversion (GJBatch) inherits these
+// semantics lane-wise, so they are the contract the tile kernels rely on.
+
+func TestInvertGaussJordanZeroLeadingPivot(t *testing.T) {
+	// Invertible, but with a zero in the (0,0) pivot position. The
+	// paper's rotate-up scheme has no pivoting; the rotation can still
+	// recover this matrix (row 0 rotates away and a non-zero pivot
+	// arrives), so both routines must agree here, or GJ must flag it —
+	// either way InvertPivot inverts it.
+	a := NewMatrixFrom(2, 2, []float64{0, 1, 1, 0})
+	pinv, err := InvertPivot(a)
+	if err != nil {
+		t.Fatalf("InvertPivot failed on permutation matrix: %v", err)
+	}
+	ginv, gerr := InvertGaussJordan(a)
+	if gerr == nil && !ginv.Equal(pinv, 1e-12) {
+		t.Fatalf("inverses disagree:\n%v\nvs\n%v", ginv, pinv)
+	}
+}
+
+func TestInvertSingularAgreement(t *testing.T) {
+	// Exactly-singular matrices must be flagged by both routines.
+	cases := []*Matrix{
+		NewMatrixFrom(2, 2, []float64{1, 2, 2, 4}),                 // rank 1
+		NewMatrixFrom(3, 3, []float64{1, 2, 4, 2, 4, 8, 4, 8, 16}), // rank 1, exact in floats
+		NewMatrix(3, 3), // zero
+	}
+	for i, a := range cases {
+		if _, err := InvertGaussJordan(a); err != ErrSingular {
+			t.Fatalf("case %d: InvertGaussJordan err = %v, want ErrSingular", i, err)
+		}
+		if _, err := InvertPivot(a); err != ErrSingular {
+			t.Fatalf("case %d: InvertPivot err = %v, want ErrSingular", i, err)
+		}
+	}
+}
+
+func TestInvertNaNInfPropagation(t *testing.T) {
+	// Non-finite inputs must never yield a "successful" non-finite
+	// inverse: both routines must return ErrSingular rather than
+	// poisoned output.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for pos := 0; pos < 4; pos++ {
+			data := []float64{4, 1, 1, 3}
+			data[pos] = bad
+			a := NewMatrixFrom(2, 2, data)
+			if _, err := InvertGaussJordan(a); err != ErrSingular {
+				t.Fatalf("GaussJordan with %v at %d: err = %v, want ErrSingular", bad, pos, err)
+			}
+			if _, err := InvertPivot(a); err != ErrSingular {
+				t.Fatalf("Pivot with %v at %d: err = %v, want ErrSingular", bad, pos, err)
+			}
+		}
+	}
+}
+
+func TestInvertK1(t *testing.T) {
+	// The K=1 path: inverse of [v] is [1/v]; [0] and non-finite are
+	// singular.
+	a := NewMatrixFrom(1, 1, []float64{4})
+	for name, invert := range map[string]func(*Matrix) (*Matrix, error){
+		"gauss-jordan": InvertGaussJordan,
+		"pivot":        InvertPivot,
+	} {
+		inv, err := invert(a)
+		if err != nil {
+			t.Fatalf("%s: 1×1 invert failed: %v", name, err)
+		}
+		if got := inv.At(0, 0); got != 0.25 {
+			t.Fatalf("%s: inverse of [4] = %v, want 0.25", name, got)
+		}
+		for _, v := range []float64{0, math.NaN(), math.Inf(1)} {
+			if _, err := invert(NewMatrixFrom(1, 1, []float64{v})); err != ErrSingular {
+				t.Fatalf("%s: 1×1 [%v] err = %v, want ErrSingular", name, v, err)
+			}
+		}
+	}
+}
+
+func TestInvertNonSquareErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := InvertGaussJordan(a); err == nil || err == ErrSingular {
+		t.Fatalf("InvertGaussJordan non-square err = %v, want shape error", err)
+	}
+	if _, err := InvertPivot(a); err == nil || err == ErrSingular {
+		t.Fatalf("InvertPivot non-square err = %v, want shape error", err)
+	}
+}

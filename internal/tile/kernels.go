@@ -1,0 +1,210 @@
+package tile
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bfast/internal/linalg"
+	"bfast/internal/series"
+)
+
+// This file holds the register-blocked tile kernels: the masked cross
+// product, history matrix-vector product and residual pass, each loading
+// the shared design matrix once per tile and updating T per-pixel
+// accumulators (the CPU analogue of Fig. 4's register tiling). All three
+// accumulate per pixel over valid dates in increasing date order — the
+// same order as the per-pixel word-masked kernels and the seed's skip-NaN
+// loops — so every lane's floating-point sequence, and hence its result,
+// is bit-identical to the untiled paths.
+//
+// All three kernels walk dates in the outer loop so the column mask is
+// classified once per date for the whole tile: a full mask takes the
+// branch-free dense lane loops, a partial mask is bit-scanned once into a
+// lane list shared by every accumulator update of that date. (The first
+// cut branched on the mask inside each K×K pair loop — 36 predictions
+// per date for K=8 — and lost to the per-pixel word-masked kernels on
+// uncorrelated masks.)
+
+// CrossProduct computes the K×K normal matrix X_h·X_hᵀ of every lane over
+// the first xh.Cols dates, writing lane-interleaved output:
+// out[(j1*K+j2)*T + p] is lane p's element (j1, j2). xh is K×n with
+// n <= d.N; out must have K*K*d.T entries.
+//
+// The product r1[t]*r2[t] is shared by all lanes (X is pixel-independent),
+// so each date costs one multiplication per matrix element for the whole
+// tile.
+func CrossProduct(xh *linalg.Matrix, d *Data, out []float64) {
+	k := xh.Rows
+	n := xh.Cols
+	T := d.T
+	if n > d.N {
+		panic(fmt.Sprintf("tile: cross product over %d dates on a %d-date tile", n, d.N))
+	}
+	if len(out) != k*k*T {
+		panic(fmt.Sprintf("tile: cross product out length %d != %d", len(out), k*k*T))
+	}
+	full := d.FullMask()
+	cm := d.ColMask[:n]
+	P := d.P
+	for j1 := 0; j1 < k; j1++ {
+		for j2 := j1; j2 < k; j2++ {
+			base := (j1*k + j2) * T
+			for p := 0; p < P; p++ {
+				out[base+p] = 0
+			}
+		}
+	}
+	xc := make([]float64, k) // one design-matrix column
+	var lanes [MaxWidth]int
+	for t, m := range cm {
+		if m == 0 {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			xc[j] = xh.Data[j*n+t]
+		}
+		if m == full {
+			for j1 := 0; j1 < k; j1++ {
+				v1 := xc[j1]
+				for j2 := j1; j2 < k; j2++ {
+					prod := v1 * xc[j2]
+					acc := out[(j1*k+j2)*T : (j1*k+j2)*T+T]
+					for p := 0; p < P; p++ {
+						acc[p] += prod
+					}
+				}
+			}
+			continue
+		}
+		nl := 0
+		for mm := m; mm != 0; mm &= mm - 1 {
+			lanes[nl] = bits.TrailingZeros64(mm)
+			nl++
+		}
+		ll := lanes[:nl]
+		for j1 := 0; j1 < k; j1++ {
+			v1 := xc[j1]
+			for j2 := j1; j2 < k; j2++ {
+				prod := v1 * xc[j2]
+				base := (j1*k + j2) * T
+				for _, p := range ll {
+					out[base+p] += prod
+				}
+			}
+		}
+	}
+	for j1 := 0; j1 < k; j1++ {
+		for j2 := j1 + 1; j2 < k; j2++ {
+			copy(out[(j2*k+j1)*T:(j2*k+j1)*T+T], out[(j1*k+j2)*T:(j1*k+j2)*T+T])
+		}
+	}
+}
+
+// MatVecHistory computes X_h·y_h of every lane over the first xh.Cols
+// dates, lane-interleaved: out[j*T+p] is lane p's component j. Unlike the
+// cross product the right operand differs per lane, but the time-major
+// layout makes the T loads of a date contiguous.
+func MatVecHistory(xh *linalg.Matrix, d *Data, out []float64) {
+	k := xh.Rows
+	n := xh.Cols
+	T := d.T
+	if n > d.N {
+		panic(fmt.Sprintf("tile: matvec over %d dates on a %d-date tile", n, d.N))
+	}
+	if len(out) != k*T {
+		panic(fmt.Sprintf("tile: matvec out length %d != %d", len(out), k*T))
+	}
+	full := d.FullMask()
+	cm := d.ColMask[:n]
+	P := d.P
+	for j := 0; j < k; j++ {
+		for p := 0; p < P; p++ {
+			out[j*T+p] = 0
+		}
+	}
+	for t, m := range cm {
+		if m == 0 {
+			continue
+		}
+		yt := d.Y[t*T : t*T+T]
+		if m == full {
+			for j := 0; j < k; j++ {
+				xv := xh.Data[j*n+t]
+				acc := out[j*T : j*T+T]
+				for p := 0; p < P; p++ {
+					acc[p] += xv * yt[p]
+				}
+			}
+			continue
+		}
+		for ; m != 0; m &= m - 1 {
+			p := bits.TrailingZeros64(m)
+			yv := yt[p]
+			for j := 0; j < k; j++ {
+				out[j*T+p] += xh.Data[j*n+t] * yv
+			}
+		}
+	}
+}
+
+// Residuals computes every lane's compacted residuals r̄ = y − Xᵀβ over
+// all d.N dates. beta is lane-interleaved (beta[j*T+p]); the outputs are
+// lane-major rows of length d.N: lane p's residuals land in
+// r[p*d.N : p*d.N+nVal[p]] with their original date indices in ix, and
+// nVal[p] receives the count. A whole-tile-valid date loads X's column
+// once and updates every lane's prediction; a partial date predicts only
+// its valid lanes. Lanes whose β is unusable (unfitted pixels) still run
+// but their outputs are ignored by the caller.
+func Residuals(x *series.DesignMatrix, d *Data, beta []float64, r []float64, ix []int32, nVal []int) {
+	k := x.K
+	N := d.N
+	T := d.T
+	if x.N != N {
+		panic(fmt.Sprintf("tile: residuals design has %d dates, tile %d", x.N, N))
+	}
+	if len(r) < d.P*N || len(ix) < d.P*N || len(nVal) < d.P {
+		panic("tile: residual buffers too small")
+	}
+	full := d.FullMask()
+	P := d.P
+	var pred [MaxWidth]float64
+	for p := 0; p < P; p++ {
+		nVal[p] = 0
+	}
+	for t, m := range d.ColMask {
+		if m == 0 {
+			continue
+		}
+		yt := d.Y[t*T : t*T+T]
+		if m == full {
+			for p := 0; p < P; p++ {
+				pred[p] = 0
+			}
+			for j := 0; j < k; j++ {
+				xv := x.Data[j*N+t]
+				bj := beta[j*T : j*T+T]
+				for p := 0; p < P; p++ {
+					pred[p] += xv * bj[p]
+				}
+			}
+			for p := 0; p < P; p++ {
+				w := nVal[p]
+				r[p*N+w] = yt[p] - pred[p]
+				ix[p*N+w] = int32(t)
+				nVal[p] = w + 1
+			}
+			continue
+		}
+		for ; m != 0; m &= m - 1 {
+			p := bits.TrailingZeros64(m)
+			pr := 0.0
+			for j := 0; j < k; j++ {
+				pr += x.Data[j*N+t] * beta[j*T+p]
+			}
+			w := nVal[p]
+			r[p*N+w] = yt[p] - pr
+			ix[p*N+w] = int32(t)
+			nVal[p] = w + 1
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package tile implements the pixel-tiled execution layout of the batched
+// detection strategies: T pixels are gathered into one time-major SoA tile
+// (Y[t*T+p]) so the same timestep of all T pixels is contiguous, and every
+// kernel pass loads the shared design matrix X once per tile instead of
+// once per pixel. This is the CPU analogue of the paper's register tiling
+// of the masked batched X_h·X_hᵀ (Fig. 4): one load of X's row updates T
+// accumulators held in registers, and the per-date validity of the T
+// pixels is a single column-mask word, so whole-tile valid dates take a
+// branch-free dense path.
+//
+// Tiles are formed after valid-count binning (Plan): pixel indices are
+// sorted by the popcount of their validity bitset, so the pixels sharing a
+// tile have near-uniform NaN loads and the dense fast path fires for whole
+// tiles — the same-inner-size grouping the paper pads its GPU batches
+// into, applied to the irregular missing-value structure.
+package tile
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bfast/internal/series"
+)
+
+// DefaultWidth is the default tile width T. Eight float64 accumulators
+// fit the architectural register budget of amd64/arm64, and eight mask
+// bits per date keep the column mask in a single byte of the word.
+const DefaultWidth = 8
+
+// MaxWidth bounds T so a tile's per-date validity fits one uint64
+// column-mask word.
+const MaxWidth = 64
+
+// Plan is the binned assignment of batch pixels to tiles: Order is a
+// permutation of [0, M) sorted by ascending validity popcount (stable, so
+// equal-count pixels keep their spatial adjacency — neighbouring pixels
+// under the same cloud share their NaN pattern, which aligns the tile's
+// column masks). Tile ti owns the pixels Order[ti*T : ti*T+Width(ti)].
+type Plan struct {
+	// T is the tile width (pixels per tile).
+	T int
+	// M is the number of pixels planned.
+	M int
+	// N is the number of dates per pixel.
+	N int
+	// Order is the binned pixel permutation: Order[slot] = original pixel.
+	Order []int
+	// Tiles is the number of tiles, ceil(M/T); the last may be ragged.
+	Tiles int
+}
+
+// NewPlan bins the batch's pixels by validity popcount into tiles of
+// width t (<= 0 means DefaultWidth). The sort is a counting sort over
+// the popcount range [0, N] — deterministic and stable.
+func NewPlan(mask *series.BatchMask, t int) *Plan {
+	if t <= 0 {
+		t = DefaultWidth
+	}
+	if t > MaxWidth {
+		t = MaxWidth
+	}
+	m, n := mask.M, mask.N
+	pl := &Plan{T: t, M: m, N: n, Order: make([]int, m), Tiles: (m + t - 1) / t}
+	counts := make([]int, m)
+	hist := make([]int, n+2)
+	for i := 0; i < m; i++ {
+		c := series.CountBits(mask.Row(i), n)
+		counts[i] = c
+		hist[c+1]++
+	}
+	for c := 1; c < len(hist); c++ {
+		hist[c] += hist[c-1]
+	}
+	for i := 0; i < m; i++ {
+		pl.Order[hist[counts[i]]] = i
+		hist[counts[i]]++
+	}
+	return pl
+}
+
+// Width returns the number of pixels in tile ti (T, or the ragged tail).
+func (pl *Plan) Width(ti int) int {
+	if w := pl.M - ti*pl.T; w < pl.T {
+		return w
+	}
+	return pl.T
+}
+
+// Indices returns the original pixel indices of tile ti (a view into
+// Order, not a copy).
+func (pl *Plan) Indices(ti int) []int {
+	lo := ti * pl.T
+	return pl.Order[lo : lo+pl.Width(ti)]
+}
+
+// Inverse returns the inverse permutation: Inverse()[pixel] = slot. It is
+// the scatter map from tiled slots back to batch order.
+func (pl *Plan) Inverse() []int {
+	inv := make([]int, pl.M)
+	for s, px := range pl.Order {
+		inv[px] = s
+	}
+	return inv
+}
+
+// Data is one gathered tile: P (≤ T) pixel series of length N in
+// time-major layout, plus the per-date column masks. The backing slices
+// may be per-worker scratch (fused strategies) or views into a persistent
+// staged array ("Ours").
+type Data struct {
+	// T is the lane stride of Y (slot capacity); P is the number of
+	// active lanes (ragged last tile has P < T).
+	T, P int
+	// N is the number of dates.
+	N int
+	// Y holds the gathered series, time-major: Y[t*T+p] is pixel
+	// Idx[p]'s observation at date t, written only where the pixel is
+	// valid — masked-out slots (and lanes p >= P) keep whatever the
+	// buffer held, and no kernel reads them.
+	Y []float64
+	// ColMask holds one word per date: bit p set iff lane p is valid at
+	// that date — the transpose of the per-pixel validity bitsets.
+	ColMask []uint64
+	// Idx maps lanes to original pixel indices (a view into the Plan's
+	// Order, set by Gather).
+	Idx []int
+}
+
+// NewData allocates a tile buffer for width t and n dates.
+func NewData(t, n int) *Data {
+	if t <= 0 || t > MaxWidth {
+		panic(fmt.Sprintf("tile: width %d out of range (1..%d)", t, MaxWidth))
+	}
+	return &Data{T: t, N: n, Y: make([]float64, n*t), ColMask: make([]uint64, n)}
+}
+
+// NewDataOver wraps externally-owned backing slices (the staged
+// strategy's persistent tile arrays) as a tile buffer; y must have n*t
+// entries and colMask n.
+func NewDataOver(t, n int, y []float64, colMask []uint64) *Data {
+	if t <= 0 || t > MaxWidth {
+		panic(fmt.Sprintf("tile: width %d out of range (1..%d)", t, MaxWidth))
+	}
+	if len(y) != n*t || len(colMask) != n {
+		panic(fmt.Sprintf("tile: backing %d/%d for %d dates × width %d", len(y), len(colMask), n, t))
+	}
+	return &Data{T: t, N: n, Y: y, ColMask: colMask}
+}
+
+// Gather transposes the pixels idx (original batch indices, at most T of
+// them) from the row-major batch y (stride mask.N) into the tile: Y
+// becomes time-major and ColMask the per-date lane masks. Only valid
+// observations are written — a fully-missing date skips its Y row
+// entirely and masked-out slots keep stale buffer contents (no kernel
+// reads them). Lanes beyond len(idx) are cleared in the mask and left
+// untouched in Y.
+func (d *Data) Gather(y []float64, mask *series.BatchMask, idx []int) {
+	n := mask.N
+	if n != d.N {
+		panic(fmt.Sprintf("tile: gather of %d dates into a %d-date tile", n, d.N))
+	}
+	if len(idx) > d.T {
+		panic(fmt.Sprintf("tile: %d pixels into width-%d tile", len(idx), d.T))
+	}
+	d.P = len(idx)
+	d.Idx = idx
+	for t := range d.ColMask {
+		d.ColMask[t] = 0
+	}
+	// Transpose the per-pixel validity bitsets into per-date column masks.
+	var rows [MaxWidth][]float64
+	for p, px := range idx {
+		rows[p] = y[px*n : (px+1)*n]
+		bit := uint64(1) << uint(p)
+		for wi, w := range mask.Row(px) {
+			base := wi * 64
+			for ; w != 0; w &= w - 1 {
+				t := base + bits.TrailingZeros64(w)
+				if t < n {
+					d.ColMask[t] |= bit
+				}
+			}
+		}
+	}
+	// Copy observations date-outer: the writes stream sequentially
+	// through Y (the reads walk T parallel row cursors) instead of
+	// striding T words apart per pixel.
+	T := d.T
+	full := d.FullMask()
+	for t, m := range d.ColMask {
+		switch m {
+		case 0:
+		case full:
+			dst := d.Y[t*T : t*T+d.P]
+			for p := range dst {
+				dst[p] = rows[p][t]
+			}
+		default:
+			base := t * T
+			for ; m != 0; m &= m - 1 {
+				p := bits.TrailingZeros64(m)
+				d.Y[base+p] = rows[p][t]
+			}
+		}
+	}
+}
+
+// Scatter copies the lane-major per-pixel vectors src (stride per lane
+// `stride`, lane p at src[p*stride:...]) back to batch order in dst
+// (stride `stride` per pixel) — the inverse of Gather for per-pixel
+// outputs. Used by tests to check round-trips; the detection drivers
+// scatter per-pixel results directly by Idx.
+func (d *Data) Scatter(dst, src []float64, stride int) {
+	for p, px := range d.Idx {
+		copy(dst[px*stride:(px+1)*stride], src[p*stride:(p+1)*stride])
+	}
+}
+
+// FullMask returns the column-mask word with all P active lanes set.
+func (d *Data) FullMask() uint64 {
+	if d.P == MaxWidth {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(d.P) - 1
+}
