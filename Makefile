@@ -1,17 +1,26 @@
 # Tier-1 verification targets. `make ci` is the full gate; `make race`
 # exercises the concurrent hot paths (scheduler, batched detection, tiled
-# kernels, C-like baseline, ROC trimming) under the race detector;
-# `make bench-smoke` runs the tiles before/after experiment at a tiny
-# sample so CI catches harness regressions without paying benchmark time.
+# kernels, C-like baseline, ROC trimming, HTTP serving, metrics) under
+# the race detector; `make bench-smoke` runs the tiles before/after
+# experiment at a tiny sample so CI catches harness regressions without
+# paying benchmark time; `make serve-smoke` boots bfast-serve, hits
+# /v1/healthz and /metrics, and verifies a clean SIGTERM shutdown.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke
+.PHONY: ci lint vet fmt-check build test race bench bench-smoke serve-smoke
 
-ci: vet build race test
+ci: lint build race test
+
+lint: vet fmt-check
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -20,10 +29,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/baseline/... ./internal/history/... ./internal/tile/... ./internal/linalg/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/baseline/... ./internal/history/... ./internal/tile/... ./internal/linalg/... ./internal/server/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
 bench-smoke:
 	$(GO) run ./cmd/bfast-bench -exp tiles -sample 64 -json > /dev/null
+
+serve-smoke:
+	./scripts/serve-smoke.sh

@@ -8,6 +8,8 @@
 package bfast
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"os"
@@ -135,7 +137,7 @@ func BenchmarkDetectBatchCPU(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := det.DetectBatch(batch, 0); err != nil {
+		if _, err := det.DetectBatch(context.Background(), batch, BatchOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -184,7 +186,7 @@ func BenchmarkMaskedBatchSkewedNaN(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DetectBatch(batch, opt, core.BatchConfig{}); err != nil {
+		if _, err := core.DetectBatch(context.Background(), batch, opt, core.BatchConfig{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,11 +18,17 @@
 //
 //	opt := bfast.DefaultOptions(113) // history = first 113 dates
 //	det, err := bfast.NewDetector(235, opt)
-//	res, err := det.Detect(series) // series: 235 values, NaN = missing
+//	res, err := det.Detect(ctx, series) // series: 235 values, NaN = missing
 //	if res.HasBreak() { ... }
+//
+// All batch entry points take a context.Context: deadlines and
+// cancellations propagate into the work-stealing scheduler at steal-unit
+// granularity, so a cancelled call stops scheduling work promptly
+// instead of running every pixel (see DESIGN.md §6).
 package bfast
 
 import (
+	"context"
 	"fmt"
 
 	"bfast/internal/baseline"
@@ -113,9 +119,31 @@ func (d *Detector) Options() Options { return d.opt }
 // SeriesLen returns the series length the detector was built for.
 func (d *Detector) SeriesLen() int { return d.n }
 
+// BatchOptions configures a DetectBatch call — the consolidated knobs of
+// the old DetectBatch/DetectBatchStrategy family. The zero value is the
+// production default: the paper's winning staged-tiled organization,
+// work-stealing across GOMAXPROCS workers, default tile width.
+type BatchOptions struct {
+	// Workers is the number of goroutines (<= 0 uses GOMAXPROCS).
+	Workers int
+	// Strategy selects the batched execution organization (the kernel
+	// organizations of Fig. 8); the zero value StrategyOurs is right for
+	// almost all uses. All strategies return identical results.
+	Strategy Strategy
+	// TileWidth is T, the pixels per time-major tile of the staged
+	// strategies (0 = default, see core.BatchConfig).
+	TileWidth int
+}
+
 // Detect runs BFAST-Monitor on a single pixel series (length must match
-// the detector's series length; NaN marks missing values).
-func (d *Detector) Detect(y []float64) (Result, error) {
+// the detector's series length; NaN marks missing values). The context
+// is accepted for interface symmetry with DetectBatch; a single-pixel
+// detection is one indivisible unit of work, so it is only checked on
+// entry.
+func (d *Detector) Detect(ctx context.Context, y []float64) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if len(y) != d.n {
 		return Result{}, fmt.Errorf("bfast: series length %d, detector built for %d", len(y), d.n)
 	}
@@ -123,24 +151,44 @@ func (d *Detector) Detect(y []float64) (Result, error) {
 }
 
 // DetectBatch runs BFAST-Monitor over every pixel of the batch in
-// parallel (workers ≤ 0 uses GOMAXPROCS). It uses the optimized fused
-// CPU implementation and returns one Result per pixel.
-func (d *Detector) DetectBatch(b *Batch, workers int) ([]Result, error) {
+// parallel and returns one Result per pixel. Cancellation of ctx is
+// honored at steal-unit granularity: remaining pixel blocks/tiles are
+// abandoned, in-flight ones finish, and ctx.Err() is returned.
+//
+// This is the consolidated batch entry point: the zero BatchOptions is
+// right for almost all uses; Strategy/TileWidth/UseFused expose the
+// execution organizations of the paper for benchmarking and tuning.
+func (d *Detector) DetectBatch(ctx context.Context, b *Batch, opts BatchOptions) ([]Result, error) {
 	if b.N != d.n {
 		return nil, fmt.Errorf("bfast: batch has %d dates, detector built for %d", b.N, d.n)
 	}
-	return baseline.CLike(b, d.opt, workers)
+	return core.DetectBatch(ctx, b, d.opt, core.BatchConfig{
+		Strategy:  opts.Strategy,
+		Workers:   opts.Workers,
+		TileWidth: opts.TileWidth,
+	})
 }
 
-// DetectBatchStrategy runs the batch under an explicit execution strategy
-// (the kernel-staged organizations of the paper). All strategies return
-// identical results; they differ in traversal order and intermediate
-// memory. Use DetectBatch unless benchmarking.
+// DetectBatchStrategy runs the batch under an explicit execution strategy.
+//
+// Deprecated: use DetectBatch(ctx, b, BatchOptions{Strategy: strat,
+// Workers: workers}). Kept as a thin wrapper for the pre-context API;
+// see README "API migration".
 func (d *Detector) DetectBatchStrategy(b *Batch, strat Strategy, workers int) ([]Result, error) {
+	return d.DetectBatch(context.Background(), b, BatchOptions{Strategy: strat, Workers: workers})
+}
+
+// DetectBatchFused runs the batch through the fused C-like per-pixel
+// pass (baseline.CLike) — the behavior of the old two-argument
+// DetectBatch(b, workers). Results are bit-identical to DetectBatch.
+//
+// Deprecated: use DetectBatch(ctx, b, BatchOptions{Workers: workers});
+// see README "API migration".
+func (d *Detector) DetectBatchFused(b *Batch, workers int) ([]Result, error) {
 	if b.N != d.n {
 		return nil, fmt.Errorf("bfast: batch has %d dates, detector built for %d", b.N, d.n)
 	}
-	return core.DetectBatch(b, d.opt, core.BatchConfig{Strategy: strat, Workers: workers})
+	return baseline.CLike(context.Background(), b, d.opt, workers)
 }
 
 // MosumBoundary returns the monitoring boundary b_t for offset t given the
@@ -176,7 +224,7 @@ func (d *Detector) DetectStable(y []float64) (Result, int, error) {
 	if start > 0 {
 		y = history.MaskUnstable(y, start)
 	}
-	res, err := d.Detect(y)
+	res, err := d.Detect(context.Background(), y)
 	return res, start, err
 }
 
@@ -200,17 +248,18 @@ func ReadCubeFile(path string) (*Cube, error) { return cube.ReadFile(path) }
 // ProcessCubeStable is ProcessCube preceded by per-pixel ROC stable-
 // history selection (bfastmonitor's default pipeline): each pixel's
 // pre-stable observations are masked before fitting. level must be 0.10,
-// 0.05 or 0.01.
-func ProcessCubeStable(c *Cube, opt Options, level float64, workers int) (*BreakMap, error) {
+// 0.05 or 0.01. Cancellation of ctx stops both the ROC sweep and the
+// detection sweep at steal-unit granularity.
+func ProcessCubeStable(ctx context.Context, c *Cube, opt Options, level float64, workers int) (*BreakMap, error) {
 	b, err := core.NewBatch(c.Pixels(), c.Dates, c.Values)
 	if err != nil {
 		return nil, err
 	}
-	trimmed, _, err := history.TrimBatch(b, opt, level, workers)
+	trimmed, _, err := history.TrimBatch(ctx, b, opt, level, workers)
 	if err != nil {
 		return nil, err
 	}
-	results, err := baseline.CLike(trimmed, opt, workers)
+	results, err := baseline.CLike(ctx, trimmed, opt, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +276,9 @@ func ProcessCubeStable(c *Cube, opt Options, level float64, workers int) (*Break
 // ProcessCube runs the complete detection over a cube on the CPU
 // (parallel across cores) and assembles the break map. dropEmpty removes
 // all-NaN date slices first (History then refers to the compacted axis).
-func ProcessCube(c *Cube, opt Options, dropEmpty bool, workers int) (*BreakMap, error) {
+// Cancellation of ctx abandons the remaining pixel blocks and returns
+// ctx.Err().
+func ProcessCube(ctx context.Context, c *Cube, opt Options, dropEmpty bool, workers int) (*BreakMap, error) {
 	work := c
 	if dropEmpty {
 		compact, _, err := c.DropEmptySlices()
@@ -240,7 +291,7 @@ func ProcessCube(c *Cube, opt Options, dropEmpty bool, workers int) (*BreakMap, 
 	if err != nil {
 		return nil, err
 	}
-	results, err := baseline.CLike(b, opt, workers)
+	results, err := baseline.CLike(ctx, b, opt, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package bfast
 
 import (
+	"context"
+
 	"math"
 	"testing"
 )
@@ -42,7 +44,7 @@ func TestDetectorSingleSeries(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		res, err := d.Detect(s.Y[i*256 : (i+1)*256])
+		res, err := d.Detect(context.Background(), s.Y[i*256:(i+1)*256])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +55,7 @@ func TestDetectorSingleSeries(t *testing.T) {
 			}
 		}
 	}
-	if _, err := d.Detect(make([]float64, 10)); err == nil {
+	if _, err := d.Detect(context.Background(), make([]float64, 10)); err == nil {
 		t.Fatal("length mismatch must fail")
 	}
 }
@@ -64,12 +66,12 @@ func TestDetectorBatchMatchesSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := d.DetectBatch(b, 0)
+	batch, err := d.DetectBatch(context.Background(), b, BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < b.M; i++ {
-		single, err := d.Detect(b.Row(i))
+		single, err := d.Detect(context.Background(), b.Row(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +87,7 @@ func TestDetectorBatchStrategyAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := d.DetectBatch(b, 0)
+	ref, err := d.DetectBatch(context.Background(), b, BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestProcessCubeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := ProcessCube(c, DefaultOptions(64), false, 0)
+	m, err := ProcessCube(context.Background(), c, DefaultOptions(64), false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,11 +226,11 @@ func TestProcessCubeStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := DefaultOptions(n)
-	plain, err := ProcessCube(c, opt, false, 0)
+	plain, err := ProcessCube(context.Background(), c, opt, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	stable, err := ProcessCubeStable(c, opt, 0.05, 0)
+	stable, err := ProcessCubeStable(context.Background(), c, opt, 0.05, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +242,7 @@ func TestProcessCubeStable(t *testing.T) {
 	if st >= pt {
 		t.Fatalf("ROC processing should reduce false breaks: %d -> %d", pt, st)
 	}
-	if _, err := ProcessCubeStable(c, opt, 0.42, 0); err == nil {
+	if _, err := ProcessCubeStable(context.Background(), c, opt, 0.42, 0); err == nil {
 		t.Fatal("bad level must fail")
 	}
 }

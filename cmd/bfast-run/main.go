@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"time"
@@ -133,8 +135,12 @@ func main() {
 		fatal(fmt.Errorf("unknown process %q", *process))
 	}
 
+	// Ctrl-C abandons the remaining tiles instead of finishing the scene.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	m, err := bfast.ProcessCube(c, opt, *dropEmpty, *workers)
+	m, err := bfast.ProcessCube(ctx, c, opt, *dropEmpty, *workers)
 	if err != nil {
 		fatal(err)
 	}

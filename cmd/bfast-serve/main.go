@@ -1,32 +1,75 @@
 // Command bfast-serve runs the BFAST-Monitor HTTP service: per-pixel
-// detection, trace and batch endpoints over JSON (null = missing value).
+// detection, trace and batch endpoints over JSON (null = missing value),
+// with metrics at /metrics and recent request traces at /debug/bfast.
 //
 // Usage:
 //
 //	bfast-serve -addr :8080
 //	curl -s localhost:8080/v1/detect -d '{"series":[0.8,0.81,null,0.79,...],"history":113}'
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: /v1/healthz flips to 503,
+// listeners close, and in-flight requests drain (bounded by -drain).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"bfast/internal/server"
+	"bfast"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "detection workers per request (0 = GOMAXPROCS)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent compute requests before 429 (0 = 2x GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 0, "max pixels per /v1/batch request (0 = default 65536)")
+	maxBody := flag.Int64("max-body", 0, "max request body bytes (0 = default 256 MiB)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	noDebug := flag.Bool("no-debug", false, "disable /metrics and /debug/bfast")
 	flag.Parse()
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(),
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       5 * time.Minute,
-		WriteTimeout:      5 * time.Minute,
+
+	srv := bfast.NewServer(bfast.ServerConfig{
+		Workers:        *workers,
+		MaxConcurrent:  *maxConcurrent,
+		MaxBatchPixels: *maxBatch,
+		MaxBodyBytes:   *maxBody,
+		DisableDebug:   *noDebug,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("bfast-serve listening on %s (POST /v1/detect, /v1/trace, /v1/batch; GET /metrics)\n", *addr)
+		errc <- srv.ListenAndServe(*addr)
+	}()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any shutdown was requested.
+		fmt.Fprintln(os.Stderr, "bfast-serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
 	}
-	fmt.Printf("bfast-serve listening on %s (POST /v1/detect, /v1/trace, /v1/batch)\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	fmt.Println("bfast-serve: draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "bfast-serve: shutdown:", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "bfast-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("bfast-serve: stopped")
 }

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"time"
@@ -46,7 +48,7 @@ func main() {
 	}
 
 	start := time.Now()
-	m, err := bfast.ProcessCube(c, bfast.DefaultOptions(spec.History), false, 0)
+	m, err := bfast.ProcessCube(context.Background(), c, bfast.DefaultOptions(spec.History), false, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

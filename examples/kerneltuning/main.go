@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"time"
@@ -62,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	if _, err := det.DetectBatch(batch, 0); err != nil {
+	if _, err := det.DetectBatch(context.Background(), batch, bfast.BatchOptions{}); err != nil {
 		log.Fatal(err)
 	}
 	cpu := time.Since(start)

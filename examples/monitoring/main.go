@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -53,7 +55,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		results, err := det.DetectBatch(b, 0)
+		results, err := det.DetectBatch(context.Background(), b, bfast.BatchOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

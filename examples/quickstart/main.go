@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"math"
@@ -47,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := det.Detect(y)
+	res, err := det.Detect(context.Background(), y)
 	if err != nil {
 		log.Fatal(err)
 	}

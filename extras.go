@@ -1,6 +1,7 @@
 package bfast
 
 import (
+	"context"
 	"time"
 
 	"bfast/internal/cube"
@@ -101,9 +102,10 @@ type PipelineResult = pipeline.Result
 
 // RunPipeline executes the chunked pipeline over a cube: host-side
 // chunking and preprocessing are measured, transfer and kernel phases are
-// modeled on the configured device profile.
-func RunPipeline(c *Cube, cfg PipelineConfig) (*PipelineResult, error) {
-	return pipeline.Run(c, cfg)
+// modeled on the configured device profile. Cancellation of ctx is
+// honored at chunk granularity.
+func RunPipeline(ctx context.Context, c *Cube, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.Run(ctx, c, cfg)
 }
 
 // ClusterConfig models a multi-GPU campaign (§V footnote 14).
@@ -153,6 +155,7 @@ func CubeSliceGeoTIFF(c *Cube, t int, at time.Time) (*GeoTIFF, error) {
 
 // RunPipelineFile executes the chunked pipeline by streaming a cube file
 // one chunk at a time — scenes larger than host memory never fully load.
-func RunPipelineFile(path string, cfg PipelineConfig) (*PipelineResult, error) {
-	return pipeline.RunFile(path, cfg)
+// Cancellation of ctx is honored at chunk granularity.
+func RunPipelineFile(ctx context.Context, path string, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.RunFile(ctx, path, cfg)
 }

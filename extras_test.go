@@ -1,6 +1,8 @@
 package bfast
 
 import (
+	"context"
+
 	"math"
 	"testing"
 	"time"
@@ -27,7 +29,7 @@ func TestPublicBandSceneToDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := ProcessCube(ndmi, DefaultOptions(80), false, 0)
+	m, err := ProcessCube(context.Background(), ndmi, DefaultOptions(80), false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestNewDetectorForAxis(t *testing.T) {
 			y[i] -= 0.5
 		}
 	}
-	res, err := det.Detect(y)
+	res, err := det.Detect(context.Background(), y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestPublicCUSUMOption(t *testing.T) {
 			y[i] -= 0.6
 		}
 	}
-	res, err := det.Detect(y)
+	res, err := det.Detect(context.Background(), y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +149,7 @@ func TestPublicPipelineAndCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunPipeline(c, PipelineConfig{Options: DefaultOptions(48), Chunks: 4})
+	res, err := RunPipeline(context.Background(), c, PipelineConfig{Options: DefaultOptions(48), Chunks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

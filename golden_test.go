@@ -1,6 +1,8 @@
 package bfast
 
 import (
+	"context"
+
 	"math"
 	"testing"
 )
@@ -48,7 +50,7 @@ func TestGoldenDetection(t *testing.T) {
 		{15, "ok", 81, 59, 129, -4.473398765980},
 	}
 	for _, w := range want {
-		r, err := det.Detect(scene.Y[w.pixel*256 : (w.pixel+1)*256])
+		r, err := det.Detect(context.Background(), scene.Y[w.pixel*256:(w.pixel+1)*256])
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -72,7 +74,7 @@ func TestCLikeBitIdenticalToReference(t *testing.T) {
 	b := genBatch(t, 120, 256, 128, 0.55, 0.4, 31)
 	opt := core.DefaultOptions(128)
 	want := referenceResults(t, b, opt)
-	got, err := CLike(b, opt, 4)
+	got, err := CLike(context.Background(), b, opt, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +87,7 @@ func TestCLikeSolversBitIdentical(t *testing.T) {
 		opt := core.DefaultOptions(100)
 		opt.Solver = solver
 		want := referenceResults(t, b, opt)
-		got, err := CLike(b, opt, 3)
+		got, err := CLike(context.Background(), b, opt, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,12 +98,12 @@ func TestCLikeSolversBitIdentical(t *testing.T) {
 func TestCLikeWorkerInvariance(t *testing.T) {
 	b := genBatch(t, 64, 128, 64, 0.6, 0.5, 33)
 	opt := core.DefaultOptions(64)
-	r1, err := CLike(b, opt, 1)
+	r1, err := CLike(context.Background(), b, opt, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{2, 7, 32} {
-		rw, err := CLike(b, opt, w)
+		rw, err := CLike(context.Background(), b, opt, w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +133,7 @@ func TestCLikeDegeneratePixels(t *testing.T) {
 	b, _ := core.NewBatch(M, N, y)
 	opt := core.DefaultOptions(n)
 	want := referenceResults(t, b, opt)
-	got, err := CLike(b, opt, 2)
+	got, err := CLike(context.Background(), b, opt, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestCLikeDegeneratePixels(t *testing.T) {
 func TestCLikeInvalidOptions(t *testing.T) {
 	b := genBatch(t, 2, 32, 16, 0.1, 0, 34)
 	opt := core.DefaultOptions(32) // no monitoring period
-	if _, err := CLike(b, opt, 1); err == nil {
+	if _, err := CLike(context.Background(), b, opt, 1); err == nil {
 		t.Fatal("expected validation error")
 	}
 }
@@ -186,7 +188,7 @@ func TestCLikeAgreesWithRLike(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := CLike(b, opt, 0)
+	cl, err := CLike(context.Background(), b, opt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +207,7 @@ func BenchmarkCLikeD2Sample(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := CLike(batch, opt, 0); err != nil {
+		if _, err := CLike(context.Background(), batch, opt, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

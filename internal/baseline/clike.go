@@ -21,13 +21,24 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"bfast/internal/core"
+	"bfast/internal/obs"
 	"bfast/internal/sched"
 	"bfast/internal/series"
+)
+
+// Baseline kernel metrics: the C-like fused pass accounts its whole
+// per-pixel sweep under kernel.fused.ns (same convention as core's
+// StrategyFullEfSeq), plus the pixels it processed.
+var (
+	statFusedNs      = obs.Default().Counter("kernel.fused.ns")
+	statKernelPixels = obs.Default().Counter("kernel.pixels")
 )
 
 // CLike runs BFAST-Monitor over the batch with the optimized fused CPU
@@ -40,7 +51,11 @@ import (
 // K(K+1)/2 normal-matrix loops. Pixels are dispatched block-cyclically
 // on the shared work-stealing scheduler with per-worker scratch, so
 // NaN-skewed scenes cannot strand a worker with an oversized chunk.
-func CLike(b *core.Batch, opt core.Options, workers int) ([]core.Result, error) {
+//
+// Cancellation: ctx is checked before every steal unit; a cancelled
+// context abandons the remaining pixel blocks and CLike returns
+// ctx.Err().
+func CLike(ctx context.Context, b *core.Batch, opt core.Options, workers int) ([]core.Result, error) {
 	if err := opt.Validate(b.N); err != nil {
 		return nil, err
 	}
@@ -54,16 +69,28 @@ func CLike(b *core.Batch, opt core.Options, workers int) ([]core.Result, error) 
 	}
 	out := make([]core.Result, b.M)
 	if b.M == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
-	mask := b.Mask(workers)
-	sched.ForEachScratch(sched.Shared(), b.M, workers, sched.DefaultGrain,
+	mask, err := b.MaskCtx(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	statKernelPixels.Add(int64(b.M))
+	err = sched.ForEachScratchCtx(ctx, sched.Shared(), b.M, workers, sched.DefaultGrain,
 		func() *scratch { return newScratch(opt.K(), b.N) },
 		func(s *scratch, lo, hi int) {
+			t0 := time.Now()
 			for i := lo; i < hi; i++ {
 				detectScratchMasked(b.Row(i), mask.Row(i), x, opt, lambda, s, &out[i])
 			}
+			statFusedNs.Add(int64(time.Since(t0)))
 		})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"testing"
 
 	"bfast/internal/core"
@@ -35,7 +37,7 @@ func TestCLikeBitIdenticalToStaticSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := CLike(ds, opt, 4)
+	got, err := CLike(context.Background(), ds, opt, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,8 +50,13 @@ func TestCLikeEmptyBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := core.DefaultOptions(32)
-	for _, fn := range []func(*core.Batch, core.Options, int) ([]core.Result, error){CLike, CLikeStatic} {
-		res, err := fn(b, opt, 8)
+	for _, fn := range []func(context.Context, *core.Batch, core.Options, int) ([]core.Result, error){
+		CLike,
+		func(_ context.Context, b *core.Batch, opt core.Options, w int) ([]core.Result, error) {
+			return CLikeStatic(b, opt, w)
+		},
+	} {
+		res, err := fn(context.Background(), b, opt, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,12 +69,12 @@ func TestCLikeEmptyBatch(t *testing.T) {
 func TestCLikeWorkersExceedPixels(t *testing.T) {
 	b := genBatch(t, 2, 128, 64, 0.5, 0.5, 42)
 	opt := core.DefaultOptions(64)
-	want, err := CLike(b, opt, 1)
+	want, err := CLike(context.Background(), b, opt, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{3, 100} {
-		got, err := CLike(b, opt, w)
+		got, err := CLike(context.Background(), b, opt, w)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package benchutil
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -126,7 +128,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		optS := core.DefaultOptions(sampled.History)
 		optS.Solver = solver
 		start := time.Now()
-		results, err := baseline.CLike(cbS, optS, cfg.Workers)
+		results, err := baseline.CLike(context.Background(), cbS, optS, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

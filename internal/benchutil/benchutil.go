@@ -13,6 +13,8 @@
 package benchutil
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"time"
@@ -353,7 +355,7 @@ func Fig8(cfg Config) ([]FigRow, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := baseline.CLike(cb, opt, cfg.Workers); err != nil {
+		if _, err := baseline.CLike(context.Background(), cb, opt, cfg.Workers); err != nil {
 			return nil, err
 		}
 		cpu := time.Since(start)
@@ -437,7 +439,7 @@ func Fig10(cfg Config) ([]Fig10Row, error) {
 			Chunks:  sc.chunks,
 			SampleM: cfg.SampleM,
 		}
-		res, err := pipeline.Run(c, pcfg)
+		res, err := pipeline.Run(context.Background(), c, pcfg)
 		if err != nil {
 			return nil, err
 		}

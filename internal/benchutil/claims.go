@@ -1,6 +1,8 @@
 package benchutil
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -176,7 +178,7 @@ func Claims(cfg Config) ([]Claim, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref, err := core.DetectBatch(cb, opt, core.BatchConfig{})
+	ref, err := core.DetectBatch(context.Background(), cb, opt, core.BatchConfig{})
 	if err != nil {
 		return nil, err
 	}

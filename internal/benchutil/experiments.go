@@ -1,6 +1,8 @@
 package benchutil
 
 import (
+	"context"
+
 	"fmt"
 	"path/filepath"
 	"time"
@@ -48,7 +50,7 @@ func Maps(cfg Config) (*MapsResult, error) {
 		return nil, err
 	}
 	opt := core.DefaultOptions(spec.History)
-	results, err := baseline.CLike(b, opt, cfg.Workers)
+	results, err := baseline.CLike(context.Background(), b, opt, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -158,13 +160,13 @@ func Speedups(cfg Config) (*SpeedupsResult, error) {
 		return time.Duration(float64(time.Since(start)) * scale), nil
 	}
 	if res.CPUParallel, err = measure(func() error {
-		_, e := baseline.CLike(cb, opt, cfg.Workers)
+		_, e := baseline.CLike(context.Background(), cb, opt, cfg.Workers)
 		return e
 	}); err != nil {
 		return nil, err
 	}
 	if res.CPUSingle, err = measure(func() error {
-		_, e := baseline.CLike(cb, opt, 1)
+		_, e := baseline.CLike(context.Background(), cb, opt, 1)
 		return e
 	}); err != nil {
 		return nil, err
@@ -238,7 +240,7 @@ func Sweep(cfg Config) ([]SweepRow, error) {
 			return nil, err
 		}
 		opt := core.DefaultOptions(history)
-		results, err := baseline.CLike(b, opt, cfg.Workers)
+		results, err := baseline.CLike(context.Background(), b, opt, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package benchutil
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"time"
@@ -69,13 +71,13 @@ func Masks(cfg Config) ([]MasksRow, error) {
 	pairs := []pair{
 		{"batch-staged",
 			func() ([]core.Result, error) { return core.DetectBatchReference(b, opt, stagedCfg) },
-			func() ([]core.Result, error) { return core.DetectBatch(b, opt, stagedCfg) }},
+			func() ([]core.Result, error) { return core.DetectBatch(context.Background(), b, opt, stagedCfg) }},
 		{"batch-fused",
 			func() ([]core.Result, error) { return core.DetectBatchReference(b, opt, fusedCfg) },
-			func() ([]core.Result, error) { return core.DetectBatch(b, opt, fusedCfg) }},
+			func() ([]core.Result, error) { return core.DetectBatch(context.Background(), b, opt, fusedCfg) }},
 		{"clike-baseline",
 			func() ([]core.Result, error) { return baseline.CLikeStatic(b, opt, cfg.Workers) },
-			func() ([]core.Result, error) { return baseline.CLike(b, opt, cfg.Workers) }},
+			func() ([]core.Result, error) { return baseline.CLike(context.Background(), b, opt, cfg.Workers) }},
 	}
 
 	var rows []MasksRow

@@ -1,6 +1,8 @@
 package benchutil
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -64,13 +66,13 @@ func Tiles(cfg Config) ([]TilesRow, error) {
 	for _, st := range []core.Strategy{core.StrategyOurs, core.StrategyRgTlEfSeq} {
 		bcfg := core.BatchConfig{Strategy: st, Workers: cfg.Workers}
 		maskRes, maskT, err := bestOf(tilesReps, func() ([]core.Result, error) {
-			return core.DetectBatchMasked(b, opt, bcfg)
+			return core.DetectBatchMasked(context.Background(), b, opt, bcfg)
 		})
 		if err != nil {
 			return nil, err
 		}
 		tileRes, tileT, err := bestOf(tilesReps, func() ([]core.Result, error) {
-			return core.DetectBatch(b, opt, bcfg)
+			return core.DetectBatch(context.Background(), b, opt, bcfg)
 		})
 		if err != nil {
 			return nil, err

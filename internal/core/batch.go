@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
+	"time"
 
 	"bfast/internal/linalg"
 	"bfast/internal/sched"
@@ -106,14 +108,26 @@ func (b *Batch) Row(i int) []float64 { return b.Y[i*b.N : (i+1)*b.N] }
 // elements with math.IsNaN — the paper's "discover the NaN structure
 // once" principle (§III-C) applied to the host path.
 func (b *Batch) Mask(workers int) *series.BatchMask {
+	bm, _ := b.MaskCtx(context.Background(), workers)
+	return bm
+}
+
+// MaskCtx is Mask with cooperative cancellation: the mask sweep is the
+// first parallel pass of every batched detection, so a cancelled request
+// must be able to stop here too. Returns a nil mask and ctx.Err() when
+// cut short.
+func (b *Batch) MaskCtx(ctx context.Context, workers int) (*series.BatchMask, error) {
 	bm := &series.BatchMask{M: b.M, N: b.N, WordsPerRow: series.MaskWords(b.N)}
 	bm.Words = make([]uint64, b.M*bm.WordsPerRow)
-	sched.Shared().ForEach(b.M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+	err := sched.Shared().ForEachCtx(ctx, b.M, workers, sched.DefaultGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			series.FillMask(b.Row(i), bm.Row(i))
 		}
 	})
-	return bm
+	if err != nil {
+		return nil, err
+	}
+	return bm, nil
 }
 
 // DetectBatch runs BFAST-Monitor over every pixel of the batch using the
@@ -123,13 +137,19 @@ func (b *Batch) Mask(workers int) *series.BatchMask {
 // DetectBatchReference, the pre-bitset seed path, and DetectBatchMasked,
 // the pre-tiling PR-1 path).
 //
-// Execution: each pixel's validity bitset is computed once (Mask). The
+// Execution: each pixel's validity bitset is computed once (MaskCtx). The
 // staged strategies (StrategyOurs, StrategyRgTlEfSeq) then bin pixels by
 // valid-count, gather them into time-major tiles of cfg.TileWidth pixels
 // and run the register-blocked tile kernels with one tile per steal unit
 // on the shared work-stealing scheduler; StrategyFullEfSeq stays on the
 // fused per-pixel word-masked pass.
-func DetectBatch(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
+//
+// Cancellation: ctx is checked before every steal unit (one tile or one
+// block-cyclic pixel block). When ctx is cancelled the remaining units
+// are abandoned, in-flight units finish, and DetectBatch returns
+// ctx.Err(); the partial results are discarded. An already-cancelled
+// context schedules no units at all.
+func DetectBatch(ctx context.Context, b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
 	if err := opt.Validate(b.N); err != nil {
 		return nil, err
 	}
@@ -147,16 +167,23 @@ func DetectBatch(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
 		return nil, fmt.Errorf("core: unknown strategy %d", int(cfg.Strategy))
 	}
 	if b.M == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return []Result{}, nil
 	}
-	mask := b.Mask(cfg.Workers)
+	mask, err := b.MaskCtx(ctx, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	statKernelPixels.Add(int64(b.M))
 	switch cfg.Strategy {
 	case StrategyFullEfSeq:
-		return batchFusedMasked(b, mask, x, opt, lambda, cfg.Workers), nil
+		return batchFusedMasked(ctx, b, mask, x, opt, lambda, cfg.Workers)
 	case StrategyOurs:
-		return batchTiledStaged(b, mask, x, opt, lambda, cfg), nil
+		return batchTiledStaged(ctx, b, mask, x, opt, lambda, cfg)
 	default: // StrategyRgTlEfSeq
-		return batchTiledFused(b, mask, x, opt, lambda, cfg), nil
+		return batchTiledFused(ctx, b, mask, x, opt, lambda, cfg)
 	}
 }
 
@@ -166,8 +193,9 @@ func DetectBatch(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
 // dead code) as the "before" side of the tiling optimization — the
 // equivalence tests pin the tiled path to it bit for bit, and the
 // `tiles` experiment measures the tile speedup against it.
-// StrategyFullEfSeq is dispatched exactly as DetectBatch does.
-func DetectBatchMasked(b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
+// StrategyFullEfSeq is dispatched exactly as DetectBatch does, and
+// cancellation follows the same steal-unit contract.
+func DetectBatchMasked(ctx context.Context, b *Batch, opt Options, cfg BatchConfig) ([]Result, error) {
 	if err := opt.Validate(b.N); err != nil {
 		return nil, err
 	}
@@ -185,13 +213,20 @@ func DetectBatchMasked(b *Batch, opt Options, cfg BatchConfig) ([]Result, error)
 		return nil, fmt.Errorf("core: unknown strategy %d", int(cfg.Strategy))
 	}
 	if b.M == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return []Result{}, nil
 	}
-	mask := b.Mask(cfg.Workers)
-	if cfg.Strategy == StrategyFullEfSeq {
-		return batchFusedMasked(b, mask, x, opt, lambda, cfg.Workers), nil
+	mask, err := b.MaskCtx(ctx, cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
-	return batchStagedFitMasked(b, mask, x, opt, lambda, cfg.Workers, cfg.Strategy == StrategyOurs), nil
+	statKernelPixels.Add(int64(b.M))
+	if cfg.Strategy == StrategyFullEfSeq {
+		return batchFusedMasked(ctx, b, mask, x, opt, lambda, cfg.Workers)
+	}
+	return batchStagedFitMasked(ctx, b, mask, x, opt, lambda, cfg.Workers, cfg.Strategy == StrategyOurs)
 }
 
 // maskScratch is the per-worker working memory of the mask-driven
@@ -280,18 +315,23 @@ func residualsMasked(y []float64, words []uint64, x *series.DesignMatrix, beta [
 
 // batchFusedMasked is Full-EfSeq on the bitset path: one fused per-pixel
 // pass with per-worker scratch, scheduled block-cyclically.
-func batchFusedMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, workers int) []Result {
+func batchFusedMasked(ctx context.Context, b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, workers int) ([]Result, error) {
 	out := make([]Result, b.M)
 	n := opt.History
 	xh := historySlice(x, n)
-	sched.ForEachScratch(sched.Shared(), b.M, workers, sched.DefaultGrain,
+	err := sched.ForEachScratchCtx(ctx, sched.Shared(), b.M, workers, sched.DefaultGrain,
 		func() *maskScratch { return newMaskScratch(opt.K(), b.N) },
 		func(s *maskScratch, lo, hi int) {
+			t0 := time.Now()
 			for i := lo; i < hi; i++ {
 				detectMasked(b.Row(i), mask.Row(i), x, xh, opt, lambda, s, &out[i])
 			}
+			statFusedNs.Add(sinceNs(t0))
 		})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // detectMasked is the fused per-pixel pass driven by the validity
@@ -333,8 +373,9 @@ func detectMasked(y []float64, words []uint64, x *series.DesignMatrix, xh *linal
 // mask instead of per-element IsNaN tests, the padding writes of the
 // residual stage are skipped (the monitoring loop only reads the
 // compacted prefix), and every sweep runs block-cyclically on the
-// shared scheduler.
-func batchStagedFitMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, workers int, fullStaging bool) []Result {
+// shared scheduler. Cancellation is checked before every steal unit of
+// every sweep, and between sweeps.
+func batchStagedFitMasked(ctx context.Context, b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, workers int, fullStaging bool) ([]Result, error) {
 	M, N := b.M, b.N
 	n := opt.History
 	K := opt.K()
@@ -349,7 +390,8 @@ func batchStagedFitMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatr
 	fitted := make([]bool, M)
 
 	// ker 1-2: batched masked cross product over validity words.
-	pool.ForEach(M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+	err := pool.ForEachCtx(ctx, M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+		t0 := time.Now()
 		for i := lo; i < hi; i++ {
 			words := mask.Row(i)
 			out[i] = Result{
@@ -365,12 +407,17 @@ func batchStagedFitMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatr
 			linalg.MaskedCrossProductBits(xh, words, normal[i*K*K:(i+1)*K*K])
 			fitted[i] = true
 		}
+		statCrossNs.Add(sinceNs(t0))
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// ker 3-5: batched inversion + β, right-hand side via mask words.
-	sched.ForEachScratch(pool, M, workers, sched.DefaultGrain,
+	err = sched.ForEachScratchCtx(ctx, pool, M, workers, sched.DefaultGrain,
 		func() []float64 { return make([]float64, K) },
 		func(rhs []float64, lo, hi int) {
+			t0 := time.Now()
 			for i := lo; i < hi; i++ {
 				if !fitted[i] {
 					continue
@@ -386,21 +433,30 @@ func batchStagedFitMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatr
 				copy(beta[i*K:(i+1)*K], bta)
 				out[i].Beta = beta[i*K : (i+1)*K : (i+1)*K]
 			}
+			statInvertNs.Add(sinceNs(t0))
 		})
+	if err != nil {
+		return nil, err
+	}
 
 	if !fullStaging {
 		// RgTl-EfSeq: fused monitoring per pixel, per-worker scratch.
-		sched.ForEachScratch(pool, M, workers, sched.DefaultGrain,
+		err = sched.ForEachScratchCtx(ctx, pool, M, workers, sched.DefaultGrain,
 			func() *maskScratch { return newMaskScratch(K, N) },
 			func(s *maskScratch, lo, hi int) {
+				t0 := time.Now()
 				for i := lo; i < hi; i++ {
 					if !fitted[i] {
 						continue
 					}
 					monitorPixelMasked(b.Row(i), mask.Row(i), x, opt, lambda, beta[i*K:(i+1)*K], s, &out[i])
 				}
+				statMosumNs.Add(sinceNs(t0))
 			})
-		return out
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 
 	// "Ours": stage the monitoring kernels too, with padded buffers.
@@ -410,7 +466,8 @@ func batchStagedFitMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatr
 	nValArr := make([]int, M)
 
 	// ker 6-7: predictions, residuals, compaction via validity words.
-	pool.ForEach(M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+	err = pool.ForEachCtx(ctx, M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+		t0 := time.Now()
 		for i := lo; i < hi; i++ {
 			if !fitted[i] {
 				continue
@@ -420,11 +477,16 @@ func batchStagedFitMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatr
 			nBarArr[i] = out[i].ValidHistory
 			nValArr[i] = w
 		}
+		statResidualNs.Add(sinceNs(t0))
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// ker 8-10: σ̂, fluctuation process, boundary test, remap — staged
 	// sweep through the shared monitoring loop.
-	pool.ForEach(M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+	err = pool.ForEachCtx(ctx, M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+		t0 := time.Now()
 		for i := lo; i < hi; i++ {
 			if !fitted[i] {
 				continue
@@ -444,8 +506,12 @@ func batchStagedFitMasked(b *Batch, mask *series.BatchMask, x *series.DesignMatr
 				}
 			}
 		}
+		statMosumNs.Add(sinceNs(t0))
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // monitorPixelMasked runs the fused monitoring phase (ker 6–10) for one

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -55,7 +57,7 @@ func TestDetectBatchBitIdenticalToSeedReference(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := DetectBatch(b, opt, cfg)
+				got, err := DetectBatch(context.Background(), b, opt, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -107,7 +109,7 @@ func TestDetectBatchMaskEdgePixels(t *testing.T) {
 		t.Fatal("all-valid pixel must fit with full count")
 	}
 	for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq, StrategyFullEfSeq} {
-		got, err := DetectBatch(b, opt, BatchConfig{Strategy: st, Workers: 2})
+		got, err := DetectBatch(context.Background(), b, opt, BatchConfig{Strategy: st, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,12 +123,12 @@ func TestDetectBatchWorkersExceedPixels(t *testing.T) {
 	rng := rand.New(rand.NewSource(92))
 	b := randomBatch(rng, 3, 200, 0.5)
 	opt := defaultTestOpts(100)
-	want, err := DetectBatch(b, opt, BatchConfig{Workers: 1})
+	want, err := DetectBatch(context.Background(), b, opt, BatchConfig{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, cfgW := range []int{64, 1000} {
-		got, err := DetectBatch(b, opt, BatchConfig{Workers: cfgW})
+		got, err := DetectBatch(context.Background(), b, opt, BatchConfig{Workers: cfgW})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -86,7 +88,7 @@ func TestDetectBatchStrategiesAgreeWithReference(t *testing.T) {
 		want[i] = r
 	}
 	for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq, StrategyFullEfSeq} {
-		got, err := DetectBatch(b, opt, BatchConfig{Strategy: st, Workers: 4})
+		got, err := DetectBatch(context.Background(), b, opt, BatchConfig{Strategy: st, Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,12 +101,12 @@ func TestDetectBatchWorkerCountsAgree(t *testing.T) {
 	M, N, n := 40, 200, 100
 	b := randomBatch(rng, M, N, 0.6)
 	opt := defaultTestOpts(n)
-	ref, err := DetectBatch(b, opt, BatchConfig{Workers: 1})
+	ref, err := DetectBatch(context.Background(), b, opt, BatchConfig{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{2, 3, 8, 64} {
-		got, err := DetectBatch(b, opt, BatchConfig{Workers: w})
+		got, err := DetectBatch(context.Background(), b, opt, BatchConfig{Workers: w})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +128,7 @@ func TestDetectBatchHighNaN(t *testing.T) {
 	}
 	b, _ := NewBatch(M, N, y)
 	opt := defaultTestOpts(n)
-	res, err := DetectBatch(b, opt, BatchConfig{})
+	res, err := DetectBatch(context.Background(), b, opt, BatchConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +145,7 @@ func TestDetectBatchHighNaN(t *testing.T) {
 
 func TestDetectBatchEmptyBatch(t *testing.T) {
 	b, _ := NewBatch(0, 100, nil)
-	res, err := DetectBatch(b, defaultTestOpts(50), BatchConfig{})
+	res, err := DetectBatch(context.Background(), b, defaultTestOpts(50), BatchConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +157,7 @@ func TestDetectBatchEmptyBatch(t *testing.T) {
 func TestDetectBatchInvalidOptions(t *testing.T) {
 	b, _ := NewBatch(1, 10, make([]float64, 10))
 	opt := defaultTestOpts(20) // history beyond N
-	if _, err := DetectBatch(b, opt, BatchConfig{}); err == nil {
+	if _, err := DetectBatch(context.Background(), b, opt, BatchConfig{}); err == nil {
 		t.Fatal("expected validation error")
 	}
 }
@@ -163,7 +165,7 @@ func TestDetectBatchInvalidOptions(t *testing.T) {
 func TestDetectBatchUnknownStrategy(t *testing.T) {
 	b, _ := NewBatch(1, 40, make([]float64, 40))
 	opt := defaultTestOpts(20)
-	if _, err := DetectBatch(b, opt, BatchConfig{Strategy: Strategy(9)}); err == nil {
+	if _, err := DetectBatch(context.Background(), b, opt, BatchConfig{Strategy: Strategy(9)}); err == nil {
 		t.Fatal("expected unknown-strategy error")
 	}
 }

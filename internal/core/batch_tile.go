@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"time"
+
 	"bfast/internal/linalg"
 	"bfast/internal/sched"
 	"bfast/internal/series"
@@ -167,7 +170,7 @@ func monitorTile(s *tileScratch, n, nDates int, opt Options, lambda float64, idx
 // and the monitoring phase follows fused, all inside one steal unit with
 // per-worker scratch. Tiles never touch shared intermediates, so the
 // whole pixel's data stays in cache between stages.
-func batchTiledFused(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, cfg BatchConfig) []Result {
+func batchTiledFused(ctx context.Context, b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, cfg BatchConfig) ([]Result, error) {
 	M, N := b.M, b.N
 	n := opt.History
 	K := opt.K()
@@ -175,24 +178,40 @@ func batchTiledFused(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, o
 	out := make([]Result, M)
 	plan := tile.NewPlan(mask, T)
 	xh := historySlice(x, n)
-	sched.ForEachScratch(sched.Shared(), plan.Tiles, cfg.Workers, 1,
+	err := sched.ForEachScratchCtx(ctx, sched.Shared(), plan.Tiles, cfg.Workers, 1,
 		func() *tileScratch { return newTileScratch(K, N, T) },
 		func(s *tileScratch, lo, hi int) {
+			// Phase nanos are accumulated per steal unit and flushed once,
+			// so the per-tile instrumentation costs a handful of
+			// monotonic-clock reads, not atomic traffic.
+			var acc phaseAcc
 			for ti := lo; ti < hi; ti++ {
 				idx := plan.Indices(ti)
 				if !initTileResults(idx, mask, opt, s.fit, out) {
 					continue
 				}
+				t0 := time.Now()
 				s.data.Gather(b.Y, mask, idx)
 				tile.CrossProduct(xh, s.data, s.nrm)
 				tile.MatVecHistory(xh, s.data, s.rhs)
+				t1 := time.Now()
 				solveTile(s, K, opt, idx, out)
 				publishBeta(s, K, idx, out)
+				t2 := time.Now()
 				tile.Residuals(x, s.data, s.beta, s.rbuf, s.ix, s.nVal)
+				t3 := time.Now()
 				monitorTile(s, n, N, opt, lambda, idx, out)
+				acc.cross += int64(t1.Sub(t0))
+				acc.invert += int64(t2.Sub(t1))
+				acc.residual += int64(t3.Sub(t2))
+				acc.mosum += int64(time.Since(t3))
 			}
+			acc.flush()
 		})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // batchTiledStaged is the tiled "Ours": every kernel stage sweeps all
@@ -200,7 +219,7 @@ func batchTiledFused(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, o
 // organization), with the gathered tiles and lane-interleaved
 // intermediates persisted in padded stage arrays. One tile remains one
 // steal unit inside every sweep.
-func batchTiledStaged(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, cfg BatchConfig) []Result {
+func batchTiledStaged(ctx context.Context, b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, cfg BatchConfig) ([]Result, error) {
 	M, N := b.M, b.N
 	n := opt.History
 	K := opt.K()
@@ -232,7 +251,7 @@ func batchTiledStaged(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, 
 	}
 
 	// Stage 1 (ker 1 prologue): gather tiles, counts, fittable flags.
-	pool.ForEach(tiles, workers, 1, func(_, lo, hi int) {
+	err := pool.ForEachCtx(ctx, tiles, workers, 1, func(_, lo, hi int) {
 		for ti := lo; ti < hi; ti++ {
 			idx := plan.Indices(ti)
 			d := tile.NewDataOver(T, N, tY[ti*N*T:(ti+1)*N*T], cmask[ti*N:(ti+1)*N])
@@ -240,18 +259,27 @@ func batchTiledStaged(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, 
 			initTileResults(idx, mask, opt, fit[ti*T:ti*T+len(idx)], out)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Stage 2 (ker 1–2): register-blocked masked cross products.
-	pool.ForEach(tiles, workers, 1, func(_, lo, hi int) {
+	err = pool.ForEachCtx(ctx, tiles, workers, 1, func(_, lo, hi int) {
+		t0 := time.Now()
 		for ti := lo; ti < hi; ti++ {
 			tile.CrossProduct(xh, view(ti), nrm[ti*K*K*T:(ti+1)*K*K*T])
 		}
+		statCrossNs.Add(sinceNs(t0))
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Stage 3 (ker 3–5): right-hand sides + batched tile inversions + β.
-	sched.ForEachScratch(pool, tiles, workers, 1,
+	err = sched.ForEachScratchCtx(ctx, pool, tiles, workers, 1,
 		func() *tileScratch { return newTileScratch(K, N, T) },
 		func(s *tileScratch, lo, hi int) {
+			t0 := time.Now()
 			for ti := lo; ti < hi; ti++ {
 				idx := plan.Indices(ti)
 				s.data = view(ti)
@@ -263,18 +291,28 @@ func batchTiledStaged(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, 
 				publishBeta(s, K, idx, out)
 				copy(fit[ti*T:ti*T+len(idx)], s.fit)
 			}
+			statInvertNs.Add(sinceNs(t0))
 		})
+	if err != nil {
+		return nil, err
+	}
 
 	// Stage 4 (ker 6–7): register-blocked residuals + compaction.
-	pool.ForEach(tiles, workers, 1, func(_, lo, hi int) {
+	err = pool.ForEachCtx(ctx, tiles, workers, 1, func(_, lo, hi int) {
+		t0 := time.Now()
 		for ti := lo; ti < hi; ti++ {
 			tile.Residuals(x, view(ti), beta[ti*K*T:(ti+1)*K*T],
 				residual[ti*T*N:(ti+1)*T*N], index[ti*T*N:(ti+1)*T*N], nVal[ti*T:(ti+1)*T])
 		}
+		statResidualNs.Add(sinceNs(t0))
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Stage 5 (ker 8–10): σ̂, fluctuation process, boundary test, remap.
-	pool.ForEach(tiles, workers, 1, func(_, lo, hi int) {
+	err = pool.ForEachCtx(ctx, tiles, workers, 1, func(_, lo, hi int) {
+		t0 := time.Now()
 		for ti := lo; ti < hi; ti++ {
 			for p, px := range plan.Indices(ti) {
 				if !fit[ti*T+p] {
@@ -295,6 +333,10 @@ func batchTiledStaged(b *Batch, mask *series.BatchMask, x *series.DesignMatrix, 
 				}
 			}
 		}
+		statMosumNs.Add(sinceNs(t0))
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

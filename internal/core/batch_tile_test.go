@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -33,14 +35,14 @@ func TestDetectBatchTiledBitIdentical(t *testing.T) {
 			}
 			for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq} {
 				cfg := BatchConfig{Strategy: st, Workers: 3, TileWidth: tc.tw}
-				got, err := DetectBatch(b, opt, cfg)
+				got, err := DetectBatch(context.Background(), b, opt, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
 				label := st.String() + "/" + tc.tag + "/nan=" + itoaFrac(nanFrac)
 				assertBitIdentical(t, want, got, label+" vs reference")
 
-				masked, err := DetectBatchMasked(b, opt, cfg)
+				masked, err := DetectBatchMasked(context.Background(), b, opt, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -78,7 +80,7 @@ func TestDetectBatchTiledSolvers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := DetectBatch(b, opt, cfg)
+			got, err := DetectBatch(context.Background(), b, opt, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,7 +129,7 @@ func TestDetectBatchTiledDegeneratePixels(t *testing.T) {
 	}
 	for _, tw := range []int{1, 4, 8} {
 		for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq} {
-			got, err := DetectBatch(b, opt, BatchConfig{Strategy: st, Workers: 2, TileWidth: tw})
+			got, err := DetectBatch(context.Background(), b, opt, BatchConfig{Strategy: st, Workers: 2, TileWidth: tw})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -143,13 +145,13 @@ func TestDetectBatchTiledWorkerInvariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	b := randomBatch(rng, 19, 300, 0.5)
 	opt := defaultTestOpts(150)
-	base, err := DetectBatch(b, opt, BatchConfig{Strategy: StrategyOurs, Workers: 1, TileWidth: 8})
+	base, err := DetectBatch(context.Background(), b, opt, BatchConfig{Strategy: StrategyOurs, Workers: 1, TileWidth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 7} {
 		for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq} {
-			got, err := DetectBatch(b, opt, BatchConfig{Strategy: st, Workers: workers, TileWidth: 8})
+			got, err := DetectBatch(context.Background(), b, opt, BatchConfig{Strategy: st, Workers: workers, TileWidth: 8})
 			if err != nil {
 				t.Fatal(err)
 			}

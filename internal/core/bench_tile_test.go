@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"bfast/internal/workload"
@@ -27,13 +28,13 @@ func cloudBatch(b *testing.B) *Batch {
 	return bb
 }
 
-func benchCloud(b *testing.B, run func(*Batch, Options, BatchConfig) ([]Result, error), st Strategy) {
+func benchCloud(b *testing.B, run func(context.Context, *Batch, Options, BatchConfig) ([]Result, error), st Strategy) {
 	bb := cloudBatch(b)
 	opt := DefaultOptions(206)
 	cfg := BatchConfig{Strategy: st}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := run(bb, opt, cfg); err != nil {
+		if _, err := run(context.Background(), bb, opt, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

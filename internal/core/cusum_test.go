@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -98,7 +100,7 @@ func TestCUSUMStrategiesAgree(t *testing.T) {
 		want[i] = r
 	}
 	for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq, StrategyFullEfSeq} {
-		got, err := DetectBatch(b, opt, BatchConfig{Strategy: st, Workers: 3})
+		got, err := DetectBatch(context.Background(), b, opt, BatchConfig{Strategy: st, Workers: 3})
 		if err != nil {
 			t.Fatal(err)
 		}

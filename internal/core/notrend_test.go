@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -88,7 +90,7 @@ func TestDetectNoTrendBatchAgrees(t *testing.T) {
 		want[i] = r
 	}
 	for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq, StrategyFullEfSeq} {
-		got, err := DetectBatch(b, opt, BatchConfig{Strategy: st})
+		got, err := DetectBatch(context.Background(), b, opt, BatchConfig{Strategy: st})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package history
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -236,7 +237,10 @@ func median(v []float64) float64 {
 // recursion length is the valid history count), so static chunks leave
 // workers idle on skewed scenes. The first ROC error (by pixel order)
 // is returned; remaining pixels still run.
-func TrimBatch(b *core.Batch, opt core.Options, level float64, workers int) (*core.Batch, []int, error) {
+//
+// Cancellation: ctx is checked before every steal unit; a cancelled
+// context abandons the remaining pixels and returns ctx.Err().
+func TrimBatch(ctx context.Context, b *core.Batch, opt core.Options, level float64, workers int) (*core.Batch, []int, error) {
 	x, err := core.DesignFor(opt, b.N)
 	if err != nil {
 		return nil, nil, err
@@ -252,7 +256,7 @@ func TrimBatch(b *core.Batch, opt core.Options, level float64, workers int) (*co
 		firstErr error
 		errPixel int
 	)
-	sched.Shared().ForEach(b.M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+	ctxErr := sched.Shared().ForEachCtx(ctx, b.M, workers, sched.DefaultGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			start, err := ROC(b.Row(i), x, opt.History, level)
 			if err != nil {
@@ -269,6 +273,9 @@ func TrimBatch(b *core.Batch, opt core.Options, level float64, workers int) (*co
 			}
 		}
 	})
+	if ctxErr != nil {
+		return nil, nil, ctxErr
+	}
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}

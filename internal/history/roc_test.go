@@ -1,6 +1,8 @@
 package history
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -189,7 +191,7 @@ func TestTrimBatchParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := core.DefaultOptions(n)
-	trimmed, starts, err := TrimBatch(b, opt, 0.05, 4)
+	trimmed, starts, err := TrimBatch(context.Background(), b, opt, 0.05, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +218,7 @@ func TestTrimBatchParallel(t *testing.T) {
 	if contaminatedTrims < M/4 {
 		t.Fatalf("only %d/%d contaminated pixels were trimmed", contaminatedTrims, M/2)
 	}
-	if _, _, err := TrimBatch(b, opt, 0.42, 2); err == nil {
+	if _, _, err := TrimBatch(context.Background(), b, opt, 0.42, 2); err == nil {
 		t.Fatal("unsupported level must fail")
 	}
 }
@@ -229,7 +231,7 @@ func TestTrimBatchEmptyAndManyWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := core.DefaultOptions(200)
-	trimmed, starts, err := TrimBatch(b, opt, 0.05, 8)
+	trimmed, starts, err := TrimBatch(context.Background(), b, opt, 0.05, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,11 +249,11 @@ func TestTrimBatchEmptyAndManyWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, s1, err := TrimBatch(b2, opt, 0.05, 1)
+	_, s1, err := TrimBatch(context.Background(), b2, opt, 0.05, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, s64, err := TrimBatch(b2, opt, 0.05, 64)
+	_, s64, err := TrimBatch(context.Background(), b2, opt, 0.05, 64)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package indices
 
 import (
+	"context"
+
 	"math"
 	"testing"
 	"testing/quick"
@@ -114,7 +116,7 @@ func TestBandSceneToDetectionEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := baseline.CLike(b, core.DefaultOptions(spec.History), 0)
+	results, err := baseline.CLike(context.Background(), b, core.DefaultOptions(spec.History), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

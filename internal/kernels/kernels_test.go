@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -223,7 +225,7 @@ func TestSimulateAppMatchesCoreReference(t *testing.T) {
 	b, ds := testBatch(t, M, N, n, 0.5, 0.4, 16)
 	opt := core.DefaultOptions(n)
 	cb, _ := core.NewBatch(M, N, ds.Y)
-	want, err := core.DetectBatch(cb, opt, core.BatchConfig{})
+	want, err := core.DetectBatch(context.Background(), cb, opt, core.BatchConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -116,7 +118,7 @@ func TestSimulateAppNoTrend(t *testing.T) {
 	opt := core.DefaultOptions(n)
 	opt.NoTrend = true
 	cb, _ := core.NewBatch(M, N, ds.Y)
-	want, err := core.DetectBatch(cb, opt, core.BatchConfig{})
+	want, err := core.DetectBatch(context.Background(), cb, opt, core.BatchConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +146,7 @@ func TestSimulateAppCUSUM(t *testing.T) {
 	opt := core.DefaultOptions(n)
 	opt.Process = stats.ProcessCUSUM
 	cb, _ := core.NewBatch(M, N, ds.Y)
-	want, err := core.DetectBatch(cb, opt, core.BatchConfig{})
+	want, err := core.DetectBatch(context.Background(), cb, opt, core.BatchConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

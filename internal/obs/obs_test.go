@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.counter")
+	g := r.Gauge("test.gauge")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	c.Add(-5) // counters never decrease
+	if c.Value() != 8000 {
+		t.Fatalf("counter decreased: %d", c.Value())
+	}
+	// Get-or-create returns the same instance.
+	if r.Counter("test.counter") != c {
+		t.Fatal("Counter not idempotent")
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	snap := h.snapshot()
+	buckets := snap["buckets"].(map[string]int64)
+	want := map[string]int64{"le_1": 2, "le_10": 1, "le_100": 1, "le_inf": 1}
+	for k, v := range want {
+		if buckets[k] != v {
+			t.Fatalf("bucket %s = %d, want %d (all: %v)", k, buckets[k], v, buckets)
+		}
+	}
+}
+
+func TestRegistryJSONHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(3)
+	r.Gauge("b.gauge").Set(-7)
+	r.Histogram("c.hist", []float64{1}).Observe(2)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if got["a.count"].(float64) != 3 || got["b.gauge"].(float64) != -7 {
+		t.Fatalf("snapshot %v", got)
+	}
+	hist := got["c.hist"].(map[string]any)
+	if hist["count"].(float64) != 1 || hist["sum"].(float64) != 2 {
+		t.Fatalf("histogram %v", hist)
+	}
+	// Output must be a single flat object (expvar shape): re-encode and
+	// compare round trip.
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var again map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &again); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		tr := Trace{Endpoint: "detect", Code: 200 + i, Total: time.Duration(i)}
+		tr.AddPhase("decode", time.Millisecond)
+		r.Record(tr)
+	}
+	got := r.Recent()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Oldest first: codes 202, 203, 204.
+	for i, tr := range got {
+		if tr.Code != 202+i {
+			t.Fatalf("ring order: got %d at %d", tr.Code, i)
+		}
+		if len(tr.Phases) != 1 || tr.Phases[0].Name != "decode" {
+			t.Fatalf("phases lost: %+v", tr)
+		}
+	}
+	// nil ring is a no-op recorder.
+	var nilRing *TraceRing
+	nilRing.Record(Trace{})
+	if nilRing.Recent() != nil {
+		t.Fatal("nil ring should return nil")
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase is one named span inside a request trace — the serving-layer
+// analogue of the per-phase decomposition core.ProcessTrace and
+// pipeline.Phases use for the detection math (DESIGN.md §6).
+type Phase struct {
+	Name string        `json:"name"`
+	Dur  time.Duration `json:"ns"`
+}
+
+// Trace is the record of one served request: endpoint, outcome, sizes
+// and the per-phase breakdown (decode, detect, encode, ...).
+type Trace struct {
+	Start    time.Time     `json:"start"`
+	Endpoint string        `json:"endpoint"`
+	Code     int           `json:"code"`
+	Err      string        `json:"err,omitempty"`
+	Bytes    int64         `json:"bytes"`
+	Pixels   int           `json:"pixels,omitempty"`
+	Total    time.Duration `json:"total_ns"`
+	Phases   []Phase       `json:"phases,omitempty"`
+}
+
+// AddPhase appends a named span of the given duration.
+func (t *Trace) AddPhase(name string, d time.Duration) {
+	t.Phases = append(t.Phases, Phase{Name: name, Dur: d})
+}
+
+// TraceRing is a bounded, concurrency-safe ring of recent request
+// traces. The zero value is not usable; construct with NewTraceRing.
+// A nil *TraceRing is a valid no-op recorder, so tracing stays optional.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []Trace
+	next int
+	full bool
+}
+
+// NewTraceRing returns a ring holding the last n traces (n <= 0 means 64).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 64
+	}
+	return &TraceRing{buf: make([]Trace, n)}
+}
+
+// Record stores one trace, evicting the oldest when full. Safe on a nil
+// receiver (drops the trace).
+func (r *TraceRing) Record(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns the stored traces, oldest first. Safe on a nil receiver
+// (returns nil).
+func (r *TraceRing) Recent() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Trace, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Trace, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -20,6 +20,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -106,10 +107,16 @@ type Result struct {
 	Runs []gpusim.KernelRun
 }
 
-// Run executes the pipeline over the cube.
-func Run(c *cube.Cube, cfg Config) (*Result, error) {
+// Run executes the pipeline over the cube. Cancellation is checked at
+// chunk granularity: when ctx is cancelled the current chunk's in-flight
+// staging and simulation finish but no further chunk starts, and Run
+// returns ctx.Err().
+func Run(ctx context.Context, c *cube.Cube, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{Chunks: cfg.Chunks}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase: preprocessing (host, measured).
 	work := c
@@ -157,6 +164,9 @@ func Run(c *cube.Cube, cfg Config) (*Result, error) {
 
 	var hostPerChunk, devPerChunk []time.Duration
 	for idx, ch := range chunks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Kick off staging of the next chunk before simulating this one.
 		var (
 			next      *kernels.Batch32
@@ -246,7 +256,11 @@ func MergeMagnitudeNaN(m *cube.BreakMap) float64 {
 // disk to host ... has become the new bottleneck". DropEmpty is not
 // supported in streaming mode (empty-slice analysis needs a full pass);
 // run bfast-stack -drop-empty when building the file instead.
-func RunFile(path string, cfg Config) (*Result, error) {
+//
+// Cancellation mirrors Run: checked before each streamed chunk is
+// staged; the in-flight chunk's simulation is retired before returning
+// ctx.Err().
+func RunFile(ctx context.Context, path string, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.DropEmpty {
 		return nil, fmt.Errorf("pipeline: DropEmpty is not supported in streaming mode")
@@ -286,6 +300,9 @@ func RunFile(path string, cfg Config) (*Result, error) {
 		return nil
 	}
 	err := cube.StreamChunks(path, cfg.Chunks, func(h cube.Header, ch cube.Chunk) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if res.Map == nil {
 			if err := cfg.Options.Validate(h.Dates); err != nil {
 				return err

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -28,7 +30,7 @@ func sceneCube(t *testing.T, w, h, n, hist int, nanFrac, breakFrac float64, seed
 
 func TestRunSingleChunk(t *testing.T) {
 	c := sceneCube(t, 16, 16, 128, 64, 0.4, 0.3, 61)
-	res, err := Run(c, Config{Options: core.DefaultOptions(64)})
+	res, err := Run(context.Background(), c, Config{Options: core.DefaultOptions(64)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +55,11 @@ func TestRunSingleChunk(t *testing.T) {
 func TestRunChunkedMatchesUnchunked(t *testing.T) {
 	c := sceneCube(t, 20, 10, 96, 48, 0.5, 0.4, 62)
 	opt := core.DefaultOptions(48)
-	one, err := Run(c, Config{Options: opt, Chunks: 1})
+	one, err := Run(context.Background(), c, Config{Options: opt, Chunks: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := Run(c, Config{Options: opt, Chunks: 7})
+	many, err := Run(context.Background(), c, Config{Options: opt, Chunks: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func TestRunDropEmptySlices(t *testing.T) {
 		}
 	}
 	opt := core.DefaultOptions(32) // history on the compacted axis
-	res, err := Run(padded, Config{Options: opt, DropEmpty: true})
+	res, err := Run(context.Background(), padded, Config{Options: opt, DropEmpty: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestRunDropEmptySlices(t *testing.T) {
 		}
 	}
 	// Result must match running on the unpadded cube directly.
-	direct, err := Run(inner, Config{Options: opt})
+	direct, err := Run(context.Background(), inner, Config{Options: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +129,7 @@ func TestRunDropEmptySlices(t *testing.T) {
 
 func TestRunSampledSkipsMap(t *testing.T) {
 	c := sceneCube(t, 16, 16, 96, 48, 0.4, 0.3, 64)
-	res, err := Run(c, Config{Options: core.DefaultOptions(48), SampleM: 32})
+	res, err := Run(context.Background(), c, Config{Options: core.DefaultOptions(48), SampleM: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,14 +144,14 @@ func TestRunSampledSkipsMap(t *testing.T) {
 
 func TestRunInvalidOptions(t *testing.T) {
 	c := sceneCube(t, 4, 4, 32, 16, 0.2, 0, 65)
-	if _, err := Run(c, Config{Options: core.DefaultOptions(32)}); err == nil {
+	if _, err := Run(context.Background(), c, Config{Options: core.DefaultOptions(32)}); err == nil {
 		t.Fatal("expected validation error (history = N)")
 	}
 }
 
 func TestRunAllEmptyCubeWithDrop(t *testing.T) {
 	c, _ := cube.New(4, 4, 16)
-	if _, err := Run(c, Config{Options: core.DefaultOptions(8), DropEmpty: true}); err == nil {
+	if _, err := Run(context.Background(), c, Config{Options: core.DefaultOptions(8), DropEmpty: true}); err == nil {
 		t.Fatal("expected error for all-empty cube")
 	}
 }
@@ -157,11 +159,11 @@ func TestRunAllEmptyCubeWithDrop(t *testing.T) {
 func TestRunTitanZSlowerThan2080Ti(t *testing.T) {
 	c := sceneCube(t, 16, 16, 96, 48, 0.4, 0.2, 66)
 	opt := core.DefaultOptions(48)
-	fast, err := Run(c, Config{Options: opt, Profile: gpusim.RTX2080Ti()})
+	fast, err := Run(context.Background(), c, Config{Options: opt, Profile: gpusim.RTX2080Ti()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := Run(c, Config{Options: opt, Profile: gpusim.TitanZ()})
+	slow, err := Run(context.Background(), c, Config{Options: opt, Profile: gpusim.TitanZ()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +175,7 @@ func TestRunTitanZSlowerThan2080Ti(t *testing.T) {
 
 func TestInterleavedWallBounds(t *testing.T) {
 	c := sceneCube(t, 24, 24, 128, 64, 0.5, 0.2, 67)
-	res, err := Run(c, Config{Options: core.DefaultOptions(64), Chunks: 8})
+	res, err := Run(context.Background(), c, Config{Options: core.DefaultOptions(64), Chunks: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +197,11 @@ func TestRunFileMatchesInMemory(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := core.DefaultOptions(48)
-	mem, err := Run(c, Config{Options: opt, Chunks: 5})
+	mem, err := Run(context.Background(), c, Config{Options: opt, Chunks: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	streamed, err := RunFile(path, Config{Options: opt, Chunks: 5})
+	streamed, err := RunFile(context.Background(), path, Config{Options: opt, Chunks: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +222,7 @@ func TestRunFileMatchesInMemory(t *testing.T) {
 }
 
 func TestRunFileErrors(t *testing.T) {
-	if _, err := RunFile("/nonexistent.bfc", Config{Options: core.DefaultOptions(8)}); err == nil {
+	if _, err := RunFile(context.Background(), "/nonexistent.bfc", Config{Options: core.DefaultOptions(8)}); err == nil {
 		t.Fatal("missing file must fail")
 	}
 	c := sceneCube(t, 4, 4, 32, 16, 0.2, 0, 69)
@@ -228,10 +230,10 @@ func TestRunFileErrors(t *testing.T) {
 	if err := c.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunFile(path, Config{Options: core.DefaultOptions(16), DropEmpty: true}); err == nil {
+	if _, err := RunFile(context.Background(), path, Config{Options: core.DefaultOptions(16), DropEmpty: true}); err == nil {
 		t.Fatal("DropEmpty in streaming mode must fail")
 	}
-	if _, err := RunFile(path, Config{Options: core.DefaultOptions(32)}); err == nil {
+	if _, err := RunFile(context.Background(), path, Config{Options: core.DefaultOptions(32)}); err == nil {
 		t.Fatal("invalid options must fail")
 	}
 }
@@ -269,7 +271,7 @@ func TestSwathSceneDropsEmptySlices(t *testing.T) {
 		t.Skipf("compacted history too degenerate on this seed: %d", newHist)
 	}
 	opt := core.DefaultOptions(newHist)
-	res, err := Run(compact, Config{Options: opt, Chunks: 4})
+	res, err := Run(context.Background(), compact, Config{Options: opt, Chunks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,9 +23,24 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bfast/internal/obs"
+)
+
+// Scheduler metrics, published into the default obs registry (DESIGN.md
+// §6). BlocksRun counts steal units actually executed; BlocksAbandoned
+// counts steal units skipped because the loop's context was cancelled —
+// the difference a cancelled request makes. Exported so tests (and
+// /metrics consumers) can assert on cancellation behavior.
+var (
+	StatLoops           = obs.Default().Counter("sched.loops")
+	StatBlocksRun       = obs.Default().Counter("sched.blocks.run")
+	StatBlocksAbandoned = obs.Default().Counter("sched.blocks.abandoned")
+	StatHelpersSpawned  = obs.Default().Counter("sched.helpers.spawned")
 )
 
 // DefaultGrain is the default number of items per block-cyclic block.
@@ -100,9 +115,21 @@ func (p *Pool) Workers(requested, m int) int {
 // spawned only while the pool has capacity, so nested or concurrent
 // loops degrade to fewer workers instead of deadlocking.
 func (p *Pool) ForEach(m, workers, grain int, body func(worker, lo, hi int)) {
+	_ = p.ForEachCtx(context.Background(), m, workers, grain, body)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation at steal-unit
+// granularity: every worker re-checks ctx before claiming its next
+// block, so a cancelled context abandons the remaining blocks while
+// in-flight blocks run to completion (no partial body calls, no torn
+// per-pixel state). It returns ctx.Err() if the loop was cut short and
+// nil if every block ran. An already-cancelled context executes zero
+// blocks.
+func (p *Pool) ForEachCtx(ctx context.Context, m, workers, grain int, body func(worker, lo, hi int)) error {
 	if m <= 0 {
-		return
+		return ctx.Err()
 	}
+	StatLoops.Inc()
 	w := p.Workers(workers, m)
 	g := grain
 	if g <= 0 {
@@ -112,13 +139,9 @@ func (p *Pool) ForEach(m, workers, grain int, body func(worker, lo, hi int)) {
 	if w > blocks {
 		w = blocks
 	}
-	if w <= 1 {
-		body(0, 0, m)
-		return
-	}
 	var next atomic.Int64
 	run := func(id int) {
-		for {
+		for ctx.Err() == nil {
 			b := int(next.Add(1)) - 1
 			if b >= blocks {
 				return
@@ -128,26 +151,41 @@ func (p *Pool) ForEach(m, workers, grain int, body func(worker, lo, hi int)) {
 			if hi > m {
 				hi = m
 			}
+			StatBlocksRun.Inc()
 			body(id, lo, hi)
 		}
 	}
-	var wg sync.WaitGroup
-	for id := 1; id < w; id++ {
-		select {
-		case p.sem <- struct{}{}:
-			wg.Add(1)
-			go func(id int) {
-				defer wg.Done()
-				defer func() { <-p.sem }()
-				run(id)
-			}(id)
-		default:
-			// Pool saturated: proceed with the helpers we got; the
-			// caller below still drains every block.
+	if w <= 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		for id := 1; id < w; id++ {
+			select {
+			case p.sem <- struct{}{}:
+				wg.Add(1)
+				StatHelpersSpawned.Inc()
+				go func(id int) {
+					defer wg.Done()
+					defer func() { <-p.sem }()
+					run(id)
+				}(id)
+			default:
+				// Pool saturated: proceed with the helpers we got; the
+				// caller below still drains every block.
+			}
 		}
+		run(0)
+		wg.Wait()
 	}
-	run(0)
-	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		claimed := int(next.Load())
+		if claimed > blocks {
+			claimed = blocks
+		}
+		StatBlocksAbandoned.Add(int64(blocks - claimed))
+		return err
+	}
+	return nil
 }
 
 // ForEachScratch is ForEach with a per-worker scratch lifecycle: mk is
@@ -156,13 +194,19 @@ func (p *Pool) ForEach(m, workers, grain int, body func(worker, lo, hi int)) {
 // the pattern the paper's C baseline uses per OpenMP thread (footnote
 // 10) to keep the hot loop allocation-free.
 func ForEachScratch[S any](p *Pool, m, workers, grain int, mk func() S, body func(s S, lo, hi int)) {
+	_ = ForEachScratchCtx(context.Background(), p, m, workers, grain, mk, body)
+}
+
+// ForEachScratchCtx is ForEachScratch over ForEachCtx: same per-worker
+// scratch lifecycle, cancellation checked before every block claim.
+func ForEachScratchCtx[S any](ctx context.Context, p *Pool, m, workers, grain int, mk func() S, body func(s S, lo, hi int)) error {
 	if m <= 0 {
-		return
+		return ctx.Err()
 	}
 	w := p.Workers(workers, m)
 	scratch := make([]S, w)
 	made := make([]bool, w)
-	p.ForEach(m, w, grain, func(id, lo, hi int) {
+	return p.ForEachCtx(ctx, m, w, grain, func(id, lo, hi int) {
 		if !made[id] {
 			scratch[id] = mk()
 			made[id] = true

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -57,14 +58,14 @@ func TestForEachWorkerIDsInRange(t *testing.T) {
 func TestWorkersClamp(t *testing.T) {
 	p := New(6)
 	cases := []struct{ req, m, want int }{
-		{0, 100, 6},  // default = bound
-		{3, 100, 3},  // explicit request
-		{12, 4, 4},   // workers > m clamps to m
-		{5, 0, 0},    // empty loop
-		{0, -3, 0},   // negative m
-		{1, 1, 1},    // minimum
-		{-2, 10, 6},  // negative request = default
-		{100, 1, 1},  // single item
+		{0, 100, 6}, // default = bound
+		{3, 100, 3}, // explicit request
+		{12, 4, 4},  // workers > m clamps to m
+		{5, 0, 0},   // empty loop
+		{0, -3, 0},  // negative m
+		{1, 1, 1},   // minimum
+		{-2, 10, 6}, // negative request = default
+		{100, 1, 1}, // single item
 	}
 	for _, c := range cases {
 		if got := p.Workers(c.req, c.m); got != c.want {
@@ -161,6 +162,87 @@ func TestGoSaturatedRunsInline(t *testing.T) {
 	close(release)
 	if err := bg.Wait(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestForEachCtxPreCancelled: an already-cancelled context must execute
+// zero steal units and return context.Canceled promptly.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	p := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := StatBlocksRun.Value()
+	called := int32(0)
+	err := p.ForEachCtx(ctx, 10000, 4, 16, func(_, _, _ int) { atomic.AddInt32(&called, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called != 0 {
+		t.Fatalf("%d blocks ran under a pre-cancelled context", called)
+	}
+	if d := StatBlocksRun.Value() - before; d != 0 {
+		t.Fatalf("steal-unit counter advanced by %d under a pre-cancelled context", d)
+	}
+}
+
+// TestForEachCtxMidLoopCancel: cancelling from inside a block abandons
+// the remaining steal units (in-flight blocks finish; later ones are
+// never claimed) and the abandoned counter accounts for them.
+func TestForEachCtxMidLoopCancel(t *testing.T) {
+	p := New(1) // single worker: deterministic sequential block order
+	ctx, cancel := context.WithCancel(context.Background())
+	const m, grain = 1000, 10
+	beforeAbandoned := StatBlocksAbandoned.Value()
+	ran := 0
+	err := p.ForEachCtx(ctx, m, 1, grain, func(_, lo, hi int) {
+		ran++
+		if ran == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d blocks, want exactly 3 (in-flight finishes, rest abandoned)", ran)
+	}
+	wantAbandoned := int64(m/grain - 3)
+	if d := StatBlocksAbandoned.Value() - beforeAbandoned; d != wantAbandoned {
+		t.Fatalf("abandoned counter advanced by %d, want %d", d, wantAbandoned)
+	}
+}
+
+// TestForEachCtxUncancelledReturnsNil: the ctx path must be a strict
+// superset of ForEach — full coverage, nil error.
+func TestForEachCtxUncancelledReturnsNil(t *testing.T) {
+	p := New(4)
+	seen := make([]int32, 777)
+	err := p.ForEachCtx(context.Background(), len(seen), 0, 8, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestForEachScratchCtxCancel: the scratch variant propagates
+// cancellation the same way.
+func TestForEachScratchCtxCancel(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEachScratchCtx(ctx, p, 100, 2, 4, func() int { return 0 }, func(_, _, _ int) {
+		t.Error("body ran under a pre-cancelled context")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
 	}
 }
 

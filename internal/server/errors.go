@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Stable machine-readable error codes, one per failure class. Clients
+// dispatch on Code, never on Message; the code set is part of the API
+// contract (README "Error codes").
+const (
+	// CodeInvalidJSON: the body is not valid JSON or has unknown fields.
+	CodeInvalidJSON = "invalid_json"
+	// CodeInvalidArgument: the request decoded but a parameter is out of
+	// range (bad history, bad level, missing series, ...).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeLengthMismatch: the declared series length n disagrees with
+	// the data actually sent, or batch pixel rows have unequal lengths.
+	CodeLengthMismatch = "length_mismatch"
+	// CodeBodyTooLarge: the request body exceeds the configured limit.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeBatchTooLarge: the batch has more pixels than the configured
+	// limit (split the request).
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeRateLimited: the server is at its concurrency limit; retry
+	// with backoff (429 + Retry-After).
+	CodeRateLimited = "rate_limited"
+	// CodeCanceled: the client went away (or the deadline passed) before
+	// the computation finished; the remaining work was abandoned.
+	CodeCanceled = "canceled"
+	// CodeUnavailable: the server is draining for shutdown.
+	CodeUnavailable = "unavailable"
+	// CodeInternal: unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// StatusClientClosedRequest is the non-standard 499 (nginx convention)
+// recorded for requests abandoned because the client disconnected. The
+// client never sees it; it exists for metrics and traces.
+const StatusClientClosedRequest = 499
+
+// apiError is a structured, stable-coded endpoint failure.
+type apiError struct {
+	Status  int    // HTTP status
+	Code    string // machine-readable, from the Code* set
+	Message string // human-readable detail
+}
+
+func (e *apiError) Error() string { return e.Code + ": " + e.Message }
+
+// errf builds an apiError with a formatted message.
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// errorBody is the JSON wire shape of every error response:
+//
+//	{"error": {"code": "length_mismatch", "message": "..."}}
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the structured error response.
+func writeError(w http.ResponseWriter, e *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.Status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(e.Status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: errorDetail{Code: e.Code, Message: e.Message}})
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"time"
+
+	"bfast/internal/baseline"
+	"bfast/internal/core"
+	"bfast/internal/obs"
+	"bfast/internal/stats"
+)
+
+// DetectRequest is the request body of /v1/detect and /v1/trace; /v1/batch
+// uses the same options with Pixels instead of Series.
+type DetectRequest struct {
+	// Series is the pixel time series; null = missing observation.
+	Series []*float64 `json:"series,omitempty"`
+	// Pixels carries many series for /v1/batch.
+	Pixels [][]*float64 `json:"pixels,omitempty"`
+	// N optionally declares the series length; when present it must match
+	// the data actually sent (every pixel row for /v1/batch), or the
+	// request fails with length_mismatch. Lets generated clients assert
+	// their framing survived serialization.
+	N *int `json:"n,omitempty"`
+	// History is n, the history length in dates (required).
+	History int `json:"history"`
+	// Harmonics is k (default 3).
+	Harmonics *int `json:"harmonics,omitempty"`
+	// Frequency is f (default 23).
+	Frequency *float64 `json:"frequency,omitempty"`
+	// HFrac is the MOSUM window fraction (default 0.25).
+	HFrac *float64 `json:"hfrac,omitempty"`
+	// Level is the significance level (default 0.05).
+	Level *float64 `json:"level,omitempty"`
+	// Process is "mosum" (default) or "cusum".
+	Process string `json:"process,omitempty"`
+	// NoTrend drops the linear-trend regressor.
+	NoTrend bool `json:"noTrend,omitempty"`
+}
+
+// DetectResponse is the per-pixel result.
+type DetectResponse struct {
+	Status       string   `json:"status"`
+	BreakIndex   int      `json:"breakIndex"`
+	Magnitude    *float64 `json:"magnitude,omitempty"`
+	Sigma        *float64 `json:"sigma,omitempty"`
+	ValidHistory int      `json:"validHistory"`
+	Valid        int      `json:"valid"`
+}
+
+// TraceResponse is the /v1/trace body.
+type TraceResponse struct {
+	Status   string    `json:"status"`
+	Dates    []int     `json:"dates,omitempty"`
+	Process  []float64 `json:"process,omitempty"`
+	Boundary []float64 `json:"boundary,omitempty"`
+	BreakAt  int       `json:"breakAt"`
+}
+
+func (r *DetectRequest) options() core.Options {
+	opt := core.DefaultOptions(r.History)
+	if r.Harmonics != nil {
+		opt.Harmonics = *r.Harmonics
+	}
+	if r.Frequency != nil {
+		opt.Frequency = *r.Frequency
+	}
+	if r.HFrac != nil {
+		opt.HFrac = *r.HFrac
+	}
+	if r.Level != nil {
+		opt.Level = *r.Level
+	}
+	if r.Process == "cusum" {
+		opt.Process = stats.ProcessCUSUM
+	}
+	opt.NoTrend = r.NoTrend
+	return opt
+}
+
+// toFloats converts the null-for-missing JSON encoding to NaN.
+func toFloats(in []*float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		if v == nil {
+			out[i] = math.NaN()
+		} else {
+			out[i] = *v
+		}
+	}
+	return out
+}
+
+// decodeRequest parses and bounds the body. The decode time lands on the
+// trace so oversized-JSON cost is visible next to kernel cost.
+func (s *Server) decodeRequest(r *http.Request, tr *obs.Trace) (*DetectRequest, *apiError) {
+	t0 := time.Now()
+	var req DetectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&req)
+	tr.AddPhase("decode", time.Since(t0))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, errf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return nil, errf(http.StatusBadRequest, CodeInvalidJSON, "bad request body: %v", err)
+	}
+	return &req, nil
+}
+
+// checkSeries validates a single-series request's framing: presence, the
+// configured length cap, and the declared-n contract.
+func (s *Server) checkSeries(req *DetectRequest) *apiError {
+	if len(req.Series) == 0 {
+		return errf(http.StatusBadRequest, CodeInvalidArgument, "series is required")
+	}
+	if len(req.Series) > s.cfg.MaxSeriesLen {
+		return errf(http.StatusBadRequest, CodeInvalidArgument,
+			"series has %d dates, limit is %d", len(req.Series), s.cfg.MaxSeriesLen)
+	}
+	if req.N != nil && *req.N != len(req.Series) {
+		return errf(http.StatusBadRequest, CodeLengthMismatch,
+			"declared n=%d but series has %d dates", *req.N, len(req.Series))
+	}
+	return nil
+}
+
+func resultJSON(res core.Result) DetectResponse {
+	out := DetectResponse{
+		Status:       res.Status.String(),
+		BreakIndex:   res.BreakIndex,
+		ValidHistory: res.ValidHistory,
+		Valid:        res.Valid,
+	}
+	if res.Status == core.StatusOK {
+		m, s := res.MosumMean, res.Sigma
+		out.Magnitude, out.Sigma = &m, &s
+	}
+	return out
+}
+
+func (s *Server) handleDetect(r *http.Request, tr *obs.Trace) (any, *apiError) {
+	req, apiErr := s.decodeRequest(r, tr)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if apiErr := s.checkSeries(req); apiErr != nil {
+		return nil, apiErr
+	}
+	tr.Pixels = 1
+	y := toFloats(req.Series)
+	opt := req.options()
+	x, err := core.DesignFor(opt, len(y))
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+	}
+	if err := r.Context().Err(); err != nil {
+		return nil, ctxError(r.Context(), err)
+	}
+	t0 := time.Now()
+	res, err := core.Detect(y, x, opt)
+	tr.AddPhase("detect", time.Since(t0))
+	if err != nil {
+		return nil, ctxError(r.Context(), err)
+	}
+	return resultJSON(res), nil
+}
+
+func (s *Server) handleTrace(r *http.Request, tr *obs.Trace) (any, *apiError) {
+	req, apiErr := s.decodeRequest(r, tr)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if apiErr := s.checkSeries(req); apiErr != nil {
+		return nil, apiErr
+	}
+	tr.Pixels = 1
+	y := toFloats(req.Series)
+	opt := req.options()
+	x, err := core.DesignFor(opt, len(y))
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+	}
+	if err := r.Context().Err(); err != nil {
+		return nil, ctxError(r.Context(), err)
+	}
+	t0 := time.Now()
+	res, err := core.Trace(y, x, opt)
+	tr.AddPhase("trace", time.Since(t0))
+	if err != nil {
+		return nil, ctxError(r.Context(), err)
+	}
+	return TraceResponse{
+		Status:   res.Status.String(),
+		Dates:    res.Dates,
+		Process:  res.Process,
+		Boundary: res.Boundary,
+		BreakAt:  res.BreakAt,
+	}, nil
+}
+
+func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, *apiError) {
+	req, apiErr := s.decodeRequest(r, tr)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if len(req.Pixels) == 0 {
+		return nil, errf(http.StatusBadRequest, CodeInvalidArgument, "pixels is required")
+	}
+	if len(req.Pixels) > s.cfg.MaxBatchPixels {
+		return nil, errf(http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
+			"batch has %d pixels, limit is %d; split the request", len(req.Pixels), s.cfg.MaxBatchPixels)
+	}
+	n := len(req.Pixels[0])
+	if req.N != nil {
+		n = *req.N
+	}
+	if n > s.cfg.MaxSeriesLen {
+		return nil, errf(http.StatusBadRequest, CodeInvalidArgument,
+			"series has %d dates, limit is %d", n, s.cfg.MaxSeriesLen)
+	}
+	tr.Pixels = len(req.Pixels)
+	t0 := time.Now()
+	flat := make([]float64, 0, len(req.Pixels)*n)
+	for i, p := range req.Pixels {
+		if len(p) != n {
+			return nil, errf(http.StatusBadRequest, CodeLengthMismatch,
+				"pixel %d has %d dates, expected %d", i, len(p), n)
+		}
+		flat = append(flat, toFloats(p)...)
+	}
+	b, err := core.NewBatch(len(req.Pixels), n, flat)
+	tr.AddPhase("pack", time.Since(t0))
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+	}
+	t0 = time.Now()
+	results, err := baseline.CLike(r.Context(), b, req.options(), s.cfg.Workers)
+	tr.AddPhase("detect", time.Since(t0))
+	if err != nil {
+		return nil, ctxError(r.Context(), err)
+	}
+	out := make([]DetectResponse, len(results))
+	for i, res := range results {
+		out[i] = resultJSON(res)
+	}
+	return out, nil
+}

@@ -1,232 +1,297 @@
-// Package server exposes BFAST-Monitor as a small HTTP service — the
-// deployment shape a monitoring system actually runs as (the paper's
+// Package server exposes BFAST-Monitor as a production HTTP service —
+// the deployment shape a monitoring system actually runs as (the paper's
 // "trigger countermeasures" use case implies something is watching):
 //
 //	POST /v1/detect  {"series": [...], "history": 113, ...}  -> Result JSON
 //	POST /v1/trace   same body                               -> process trajectory
 //	POST /v1/batch   {"pixels": [[...],[...]], "history": …} -> one Result per pixel
-//	GET  /v1/healthz                                         -> ok
+//	GET  /v1/healthz                                         -> ok (503 while draining)
+//	GET  /metrics                                            -> expvar-style metric JSON
+//	GET  /debug/bfast                                        -> config, recent request traces
 //
 // NaN cannot be represented in JSON; missing observations are sent as
 // null (the natural encoding for "no measurement").
+//
+// The serving spine (DESIGN.md §6): every request's context is plumbed
+// into the detection kernels, so client disconnects and deadlines abandon
+// the remaining steal units; heavy endpoints run under a concurrency
+// limit with immediate 429 backpressure; request/batch sizes are bounded;
+// errors carry stable machine-readable codes; Shutdown drains in-flight
+// requests before returning.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"math"
+	"net"
 	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
-	"bfast/internal/baseline"
-	"bfast/internal/core"
-	"bfast/internal/stats"
+	"bfast/internal/obs"
 )
 
-// DetectRequest is the request body of /v1/detect and /v1/trace; /v1/batch
-// uses the same options with Pixels instead of Series.
-type DetectRequest struct {
-	// Series is the pixel time series; null = missing observation.
-	Series []*float64 `json:"series,omitempty"`
-	// Pixels carries many series for /v1/batch.
-	Pixels [][]*float64 `json:"pixels,omitempty"`
-	// History is n, the history length in dates (required).
-	History int `json:"history"`
-	// Harmonics is k (default 3).
-	Harmonics *int `json:"harmonics,omitempty"`
-	// Frequency is f (default 23).
-	Frequency *float64 `json:"frequency,omitempty"`
-	// HFrac is the MOSUM window fraction (default 0.25).
-	HFrac *float64 `json:"hfrac,omitempty"`
-	// Level is the significance level (default 0.05).
-	Level *float64 `json:"level,omitempty"`
-	// Process is "mosum" (default) or "cusum".
-	Process string `json:"process,omitempty"`
-	// NoTrend drops the linear-trend regressor.
-	NoTrend bool `json:"noTrend,omitempty"`
+// Config parameterizes the service. The zero value serves with
+// production defaults; see the field comments for what 0 means.
+type Config struct {
+	// MaxBodyBytes caps a request body (default 256 MiB).
+	MaxBodyBytes int64
+	// MaxBatchPixels caps the pixel count of one /v1/batch request
+	// (default 65536). Larger scenes should be split client-side — the
+	// same chunking the offline pipeline applies (§III-D).
+	MaxBatchPixels int
+	// MaxSeriesLen caps the per-pixel series length (default 16384).
+	MaxSeriesLen int
+	// MaxConcurrent caps concurrently *computing* requests on the heavy
+	// endpoints (detect/trace/batch); excess requests get an immediate
+	// 429 (default 2×GOMAXPROCS).
+	MaxConcurrent int
+	// Workers is the per-request detection worker count (default 0 =
+	// GOMAXPROCS; the shared scheduler bounds total helpers regardless).
+	Workers int
+	// TraceDepth is how many recent request traces /debug/bfast keeps
+	// (default 64; negative disables tracing).
+	TraceDepth int
+	// Metrics is the registry the server publishes into (default the
+	// process-wide obs.Default(), which also carries the scheduler and
+	// kernel-phase counters).
+	Metrics *obs.Registry
+	// DisableDebug removes /metrics and /debug/bfast from the mux.
+	DisableDebug bool
 }
 
-// DetectResponse is the per-pixel result.
-type DetectResponse struct {
-	Status       string   `json:"status"`
-	BreakIndex   int      `json:"breakIndex"`
-	Magnitude    *float64 `json:"magnitude,omitempty"`
-	Sigma        *float64 `json:"sigma,omitempty"`
-	ValidHistory int      `json:"validHistory"`
-	Valid        int      `json:"valid"`
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.MaxBatchPixels <= 0 {
+		c.MaxBatchPixels = 65536
+	}
+	if c.MaxSeriesLen <= 0 {
+		c.MaxSeriesLen = 16384
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	return c
 }
 
-// TraceResponse is the /v1/trace body.
-type TraceResponse struct {
-	Status   string    `json:"status"`
-	Dates    []int     `json:"dates,omitempty"`
-	Process  []float64 `json:"process,omitempty"`
-	Boundary []float64 `json:"boundary,omitempty"`
-	BreakAt  int       `json:"breakAt"`
+// Server is the BFAST-Monitor HTTP service. It implements http.Handler
+// (usable under any mux or httptest) and owns an optional listener
+// lifecycle via Serve/ListenAndServe/Shutdown.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	sem      chan struct{}
+	ring     *obs.TraceRing
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+
+	inflight    *obs.Gauge
+	rateLimited *obs.Counter
+	reqBytes    *obs.Histogram
 }
 
-// New returns the service handler.
-func New() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+// New returns the service. The zero Config is production-ready.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		inflight:    cfg.Metrics.Gauge("server.inflight"),
+		rateLimited: cfg.Metrics.Counter("server.rate_limited"),
+		reqBytes:    cfg.Metrics.Histogram("server.request.bytes", nil),
+	}
+	if cfg.TraceDepth >= 0 {
+		s.ring = obs.NewTraceRing(cfg.TraceDepth)
+	}
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.Handle("/v1/detect", s.endpoint("detect", true, s.handleDetect))
+	s.mux.Handle("/v1/trace", s.endpoint("trace", true, s.handleTrace))
+	s.mux.Handle("/v1/batch", s.endpoint("batch", true, s.handleBatch))
+	if !cfg.DisableDebug {
+		s.mux.Handle("/metrics", cfg.Metrics.Handler())
+		s.mux.HandleFunc("/debug/bfast", s.handleDebug)
+	}
+	return s
+}
+
+// Config returns the server's resolved configuration (defaults applied).
+func (s *Server) Config() Config { return s.cfg }
+
+// Traces returns the recent request traces (nil when tracing is off).
+func (s *Server) Traces() []obs.Trace { return s.ring.Recent() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, errf(http.StatusServiceUnavailable, CodeUnavailable, "draining for shutdown"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleDebug dumps the serving state: resolved limits, in-flight count
+// and the recent per-request phase traces — the request-level analogue
+// of the per-pixel ProcessTrace diagnostic.
+func (s *Server) handleDebug(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"limits": map[string]any{
+			"max_body_bytes":   s.cfg.MaxBodyBytes,
+			"max_batch_pixels": s.cfg.MaxBatchPixels,
+			"max_series_len":   s.cfg.MaxSeriesLen,
+			"max_concurrent":   s.cfg.MaxConcurrent,
+		},
+		"workers":  s.cfg.Workers,
+		"inflight": s.inflight.Value(),
+		"draining": s.draining.Load(),
+		"traces":   s.ring.Recent(),
 	})
-	mux.HandleFunc("/v1/detect", handleDetect)
-	mux.HandleFunc("/v1/trace", handleTrace)
-	mux.HandleFunc("/v1/batch", handleBatch)
-	return mux
 }
 
-func (r *DetectRequest) options() core.Options {
-	opt := core.DefaultOptions(r.History)
-	if r.Harmonics != nil {
-		opt.Harmonics = *r.Harmonics
-	}
-	if r.Frequency != nil {
-		opt.Frequency = *r.Frequency
-	}
-	if r.HFrac != nil {
-		opt.HFrac = *r.HFrac
-	}
-	if r.Level != nil {
-		opt.Level = *r.Level
-	}
-	if r.Process == "cusum" {
-		opt.Process = stats.ProcessCUSUM
-	}
-	opt.NoTrend = r.NoTrend
-	return opt
-}
+// endpointFunc computes one request. It returns the response value to
+// encode (ignored when it returns an error) and may record phases on tr.
+type endpointFunc func(r *http.Request, tr *obs.Trace) (any, *apiError)
 
-// toFloats converts the null-for-missing JSON encoding to NaN.
-func toFloats(in []*float64) []float64 {
-	out := make([]float64, len(in))
-	for i, v := range in {
-		if v == nil {
-			out[i] = math.NaN()
-		} else {
-			out[i] = *v
+// endpoint wraps a handler with the serving spine: method check,
+// concurrency limiting with 429 backpressure, per-endpoint
+// request/outcome/latency metrics and the phase-trace ring.
+func (s *Server) endpoint(name string, post bool, fn endpointFunc) http.Handler {
+	m := s.cfg.Metrics
+	requests := m.Counter("server." + name + ".requests")
+	oks := m.Counter("server." + name + ".ok")
+	clientErrs := m.Counter("server." + name + ".client_error")
+	canceled := m.Counter("server." + name + ".canceled")
+	latency := m.Histogram("server."+name+".latency_ms", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		requests.Inc()
+		tr := obs.Trace{Start: start, Endpoint: name, Bytes: r.ContentLength}
+		if r.ContentLength > 0 {
+			s.reqBytes.Observe(float64(r.ContentLength))
 		}
-	}
-	return out
-}
-
-func decodeRequest(w http.ResponseWriter, r *http.Request) (*DetectRequest, bool) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return nil, false
-	}
-	var req DetectRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return nil, false
-	}
-	return &req, true
-}
-
-func resultJSON(res core.Result) DetectResponse {
-	out := DetectResponse{
-		Status:       res.Status.String(),
-		BreakIndex:   res.BreakIndex,
-		ValidHistory: res.ValidHistory,
-		Valid:        res.Valid,
-	}
-	if res.Status == core.StatusOK {
-		m, s := res.MosumMean, res.Sigma
-		out.Magnitude, out.Sigma = &m, &s
-	}
-	return out
-}
-
-func handleDetect(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
-	if !ok {
-		return
-	}
-	if len(req.Series) == 0 {
-		httpError(w, http.StatusBadRequest, "series is required")
-		return
-	}
-	y := toFloats(req.Series)
-	opt := req.options()
-	x, err := core.DesignFor(opt, len(y))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	res, err := core.Detect(y, x, opt)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, resultJSON(res))
-}
-
-func handleTrace(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
-	if !ok {
-		return
-	}
-	if len(req.Series) == 0 {
-		httpError(w, http.StatusBadRequest, "series is required")
-		return
-	}
-	y := toFloats(req.Series)
-	opt := req.options()
-	x, err := core.DesignFor(opt, len(y))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	tr, err := core.Trace(y, x, opt)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, TraceResponse{
-		Status:   tr.Status.String(),
-		Dates:    tr.Dates,
-		Process:  tr.Process,
-		Boundary: tr.Boundary,
-		BreakAt:  tr.BreakAt,
-	})
-}
-
-func handleBatch(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
-	if !ok {
-		return
-	}
-	if len(req.Pixels) == 0 {
-		httpError(w, http.StatusBadRequest, "pixels is required")
-		return
-	}
-	n := len(req.Pixels[0])
-	flat := make([]float64, 0, len(req.Pixels)*n)
-	for i, p := range req.Pixels {
-		if len(p) != n {
-			httpError(w, http.StatusBadRequest, "pixel %d has %d dates, expected %d", i, len(p), n)
+		finish := func(code int, apiErr *apiError) {
+			tr.Code = code
+			tr.Total = time.Since(start)
+			if apiErr != nil {
+				tr.Err = apiErr.Code
+			}
+			latency.Observe(float64(tr.Total) / 1e6)
+			s.ring.Record(tr)
+		}
+		if post && r.Method != http.MethodPost {
+			e := errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
+			clientErrs.Inc()
+			writeError(w, e)
+			finish(e.Status, e)
 			return
 		}
-		flat = append(flat, toFloats(p)...)
+		// Backpressure: reject instead of queueing — a queued request
+		// holds its whole decoded body in memory while it waits, and the
+		// client's deadline keeps running; telling it "try again" now is
+		// strictly cheaper for both sides.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.rateLimited.Inc()
+			e := errf(http.StatusTooManyRequests, CodeRateLimited, "concurrency limit %d reached", s.cfg.MaxConcurrent)
+			writeError(w, e)
+			finish(e.Status, e)
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+
+		resp, apiErr := fn(r, &tr)
+		switch {
+		case apiErr == nil:
+			oks.Inc()
+			writeJSON(w, resp)
+			finish(http.StatusOK, nil)
+		case apiErr.Code == CodeCanceled:
+			// The client is gone (or its deadline passed): the write is
+			// best-effort, the record is what matters.
+			canceled.Inc()
+			writeError(w, apiErr)
+			finish(apiErr.Status, apiErr)
+		default:
+			clientErrs.Inc()
+			writeError(w, apiErr)
+			finish(apiErr.Status, apiErr)
+		}
+	})
+}
+
+// ctxError classifies a kernel error: context cancellation becomes the
+// canceled code, anything else is a client-input problem (the kernels
+// only fail on invalid parameters).
+func ctxError(ctx context.Context, err error) *apiError {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+		return errf(StatusClientClosedRequest, CodeCanceled, "request canceled: %v", err)
 	}
-	b, err := core.NewBatch(len(req.Pixels), n, flat)
+	return errf(http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+}
+
+// --- lifecycle ------------------------------------------------------------
+
+// httpServer lazily builds the owned http.Server (timeouts chosen for
+// large-batch workloads: slow header readers are cut quickly, bodies may
+// stream for minutes).
+func (s *Server) httpServer() *http.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.httpSrv == nil {
+		s.httpSrv = &http.Server{
+			Handler:           s,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       5 * time.Minute,
+			WriteTimeout:      5 * time.Minute,
+		}
+	}
+	return s.httpSrv
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.httpServer().Serve(l) }
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return err
 	}
-	results, err := baseline.CLike(b, req.options(), 0)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the server: /v1/healthz starts reporting 503
+// (so load balancers stop routing), listeners close, and in-flight
+// requests are drained until they finish or ctx expires. Safe to call
+// without a prior Serve (no-op beyond entering the draining state).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
 	}
-	out := make([]DetectResponse, len(results))
-	for i, res := range results {
-		out[i] = resultJSON(res)
-	}
-	writeJSON(w, out)
+	return srv.Shutdown(ctx)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -235,10 +300,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 		// Headers are gone; nothing more to do.
 		return
 	}
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }

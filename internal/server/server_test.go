@@ -50,7 +50,7 @@ func jsonSeries(rng *rand.Rand, n, breakAt int, nanFrac float64) []*float64 {
 }
 
 func TestHealthz(t *testing.T) {
-	ts := httptest.NewServer(New())
+	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
@@ -63,7 +63,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestDetectEndpointMatchesLibrary(t *testing.T) {
-	ts := httptest.NewServer(New())
+	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(7))
 	seriesJSON := jsonSeries(rng, 300, 220, 0.4)
@@ -98,7 +98,7 @@ func TestDetectEndpointMatchesLibrary(t *testing.T) {
 }
 
 func TestDetectCUSUMAndOptions(t *testing.T) {
-	ts := httptest.NewServer(New())
+	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(8))
 	k := 2
@@ -113,7 +113,7 @@ func TestDetectCUSUMAndOptions(t *testing.T) {
 }
 
 func TestTraceEndpoint(t *testing.T) {
-	ts := httptest.NewServer(New())
+	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(9))
 	resp, body := post(t, ts, "/v1/trace", DetectRequest{
@@ -135,7 +135,7 @@ func TestTraceEndpoint(t *testing.T) {
 }
 
 func TestBatchEndpoint(t *testing.T) {
-	ts := httptest.NewServer(New())
+	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(10))
 	pixels := [][]*float64{
@@ -166,7 +166,7 @@ func TestBatchEndpoint(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	ts := httptest.NewServer(New())
+	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
 	cases := []struct {
 		path string
@@ -203,7 +203,7 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestNullEncodesMissing(t *testing.T) {
-	ts := httptest.NewServer(New())
+	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
 	// 5 valid points + nulls; too few valid history points -> status
 	// insufficient-history, proving nulls are treated as missing.
@@ -228,7 +228,7 @@ func TestNullEncodesMissing(t *testing.T) {
 }
 
 func ExampleNew() {
-	ts := httptest.NewServer(New())
+	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
 	resp, _ := http.Get(ts.URL + "/v1/healthz")
 	fmt.Println(resp.StatusCode)

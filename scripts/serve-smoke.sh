@@ -1,0 +1,66 @@
+#!/bin/sh
+# Boots bfast-serve on a private port, exercises the serving surface
+# (healthz, one detect request, /metrics content), then verifies a clean
+# graceful shutdown on SIGTERM. Used by `make serve-smoke` and CI.
+set -eu
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:18080}
+TMP=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+$GO build -o "$TMP/bfast-serve" ./cmd/bfast-serve
+"$TMP/bfast-serve" -addr "$ADDR" >"$TMP/serve.log" 2>&1 &
+PID=$!
+
+# Wait for readiness.
+i=0
+until curl -fsS "http://$ADDR/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: server never became healthy" >&2
+        cat "$TMP/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# One real detection so kernel/scheduler metrics move.
+series=$(awk 'BEGIN{s="";for(t=0;t<60;t++){v=0.5+0.3*sin(2*3.14159*t/23);s=s v ",";}print substr(s,1,length(s)-1)}')
+out=$(curl -fsS "http://$ADDR/v1/detect" -d "{\"series\":[$series],\"history\":30}")
+echo "$out" | grep -q '"status"' || { echo "serve-smoke: detect response malformed: $out" >&2; exit 1; }
+
+# /metrics must carry the serving, scheduler and kernel counter families.
+metrics=$(curl -fsS "http://$ADDR/metrics")
+for key in server.detect.requests server.detect.ok sched.loops kernel.pixels; do
+    echo "$metrics" | grep -q "\"$key\"" || {
+        echo "serve-smoke: /metrics missing $key" >&2
+        echo "$metrics" >&2
+        exit 1
+    }
+done
+
+# Structured errors with stable codes on bad input.
+code=$(curl -sS "http://$ADDR/v1/detect" -d '{"series":[1,2,3],"n":5,"history":1}' -o "$TMP/err.json" -w '%{http_code}')
+[ "$code" = "400" ] || { echo "serve-smoke: length mismatch gave HTTP $code" >&2; exit 1; }
+grep -q '"length_mismatch"' "$TMP/err.json" || { echo "serve-smoke: missing stable error code" >&2; cat "$TMP/err.json" >&2; exit 1; }
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: server did not shut down" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$PID" && status=0 || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "serve-smoke: shutdown exit status $status" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+fi
+grep -q "stopped" "$TMP/serve.log" || { echo "serve-smoke: no clean-stop log line" >&2; cat "$TMP/serve.log" >&2; exit 1; }
+echo "serve-smoke: ok"

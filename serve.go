@@ -1,0 +1,20 @@
+package bfast
+
+import (
+	"bfast/internal/server"
+)
+
+// ServerConfig parameterizes the HTTP service; the zero value is
+// production-ready. See the field docs on internal/server.Config.
+type ServerConfig = server.Config
+
+// Server is the BFAST-Monitor HTTP service: an http.Handler exposing
+// /v1/detect, /v1/trace, /v1/batch, /v1/healthz, /metrics and
+// /debug/bfast, with context cancellation plumbed into the detection
+// kernels, concurrency limiting with 429 backpressure and graceful
+// Shutdown. cmd/bfast-serve is a thin wrapper around this type.
+type Server = server.Server
+
+// NewServer builds the HTTP service from cfg. It is the single
+// constructor shared by library embedders and cmd/bfast-serve.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
