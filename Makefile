@@ -1,14 +1,17 @@
 # Tier-1 verification targets. `make ci` is the full gate; `make race`
 # exercises the concurrent hot paths (scheduler, batched detection, tiled
-# kernels, C-like baseline, ROC trimming, HTTP serving, metrics) under
-# the race detector; `make bench-smoke` runs the tiles before/after
-# experiment at a tiny sample so CI catches harness regressions without
-# paying benchmark time; `make serve-smoke` boots bfast-serve, hits
-# /v1/healthz and /metrics, and verifies a clean SIGTERM shutdown.
+# kernels, C-like baseline, ROC trimming, pipeline overlap, HTTP serving,
+# metrics and span tracing) under the race detector; `make bench-smoke`
+# runs the tiles before/after experiment at a tiny sample so CI catches
+# harness regressions without paying benchmark time; `make serve-smoke`
+# boots bfast-serve, hits /v1/healthz and /metrics, and verifies a clean
+# SIGTERM shutdown; `make metrics-smoke` validates both /metrics
+# expositions (JSON default, Prometheus text) against the pinned family
+# golden file.
 
 GO ?= go
 
-.PHONY: ci lint vet fmt-check build test race bench bench-smoke serve-smoke
+.PHONY: ci lint vet fmt-check build test race bench bench-smoke serve-smoke metrics-smoke
 
 ci: lint build race test
 
@@ -29,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/baseline/... ./internal/history/... ./internal/tile/... ./internal/linalg/... ./internal/server/... ./internal/obs/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/baseline/... ./internal/history/... ./internal/tile/... ./internal/linalg/... ./internal/server/... ./internal/obs/... ./internal/pipeline/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -39,3 +42,6 @@ bench-smoke:
 
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+metrics-smoke:
+	./scripts/metrics-smoke.sh

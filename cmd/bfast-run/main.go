@@ -40,8 +40,15 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 		outDir    = flag.String("out-dir", ".", "directory for the output maps")
 		sample    = flag.Int("sample", 0, "cap preset scenes at this many pixels")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := bfast.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	var c *bfast.Cube
 	hist := *history
@@ -139,12 +146,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	logger.Debug("processing cube",
+		"width", c.Width, "height", c.Height, "dates", c.Dates,
+		"history", hist, "workers", *workers, "drop_empty", *dropEmpty)
 	start := time.Now()
 	m, err := bfast.ProcessCube(ctx, c, opt, *dropEmpty, *workers)
 	if err != nil {
+		logger.Error("processing failed", "err", err)
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	logger.Debug("processing done", "elapsed", elapsed)
 
 	total, neg := m.CountBreaks()
 	pixels := c.Width * c.Height

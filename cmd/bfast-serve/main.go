@@ -1,6 +1,8 @@
 // Command bfast-serve runs the BFAST-Monitor HTTP service: per-pixel
 // detection, trace and batch endpoints over JSON (null = missing value),
-// with metrics at /metrics and recent request traces at /debug/bfast.
+// with metrics at /metrics (JSON, or Prometheus text via Accept /
+// ?format=prometheus), request span trees at /debug/bfast/traces, and
+// structured logs on stderr (-log-level, -log-format).
 //
 // Usage:
 //
@@ -32,15 +34,30 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max pixels per /v1/batch request (0 = default 65536)")
 	maxBody := flag.Int64("max-body", 0, "max request body bytes (0 = default 256 MiB)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
-	noDebug := flag.Bool("no-debug", false, "disable /metrics and /debug/bfast")
+	noDebug := flag.Bool("no-debug", false, "disable /metrics, /debug/bfast and /debug/pprof")
+	retryAfter := flag.Int("retry-after", 0, "Retry-After seconds on 429 (0 = default 1)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	runtimeSample := flag.Duration("runtime-sample", 10*time.Second, "runtime.* gauge sampling interval (0 disables)")
 	flag.Parse()
 
+	logger, err := bfast.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfast-serve:", err)
+		os.Exit(2)
+	}
+
 	srv := bfast.NewServer(bfast.ServerConfig{
-		Workers:        *workers,
-		MaxConcurrent:  *maxConcurrent,
-		MaxBatchPixels: *maxBatch,
-		MaxBodyBytes:   *maxBody,
-		DisableDebug:   *noDebug,
+		Workers:            *workers,
+		MaxConcurrent:      *maxConcurrent,
+		MaxBatchPixels:     *maxBatch,
+		MaxBodyBytes:       *maxBody,
+		DisableDebug:       *noDebug,
+		RetryAfterSeconds:  *retryAfter,
+		Logger:             logger,
+		EnablePprof:        *enablePprof,
+		SampleRuntimeEvery: *runtimeSample,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -48,28 +65,30 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("bfast-serve listening on %s (POST /v1/detect, /v1/trace, /v1/batch; GET /metrics)\n", *addr)
+		logger.Info("bfast-serve listening",
+			"addr", *addr, "pprof", *enablePprof,
+			"endpoints", "POST /v1/detect /v1/trace /v1/batch; GET /metrics /debug/bfast/traces")
 		errc <- srv.ListenAndServe(*addr)
 	}()
 
 	select {
 	case err := <-errc:
 		// Listener failed before any shutdown was requested.
-		fmt.Fprintln(os.Stderr, "bfast-serve:", err)
+		logger.Error("bfast-serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	fmt.Println("bfast-serve: draining...")
+	logger.Info("bfast-serve draining", "timeout", *drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "bfast-serve: shutdown:", err)
+		logger.Error("bfast-serve shutdown", "err", err)
 		os.Exit(1)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "bfast-serve:", err)
+		logger.Error("bfast-serve", "err", err)
 		os.Exit(1)
 	}
-	fmt.Println("bfast-serve: stopped")
+	logger.Info("bfast-serve stopped")
 }

@@ -64,7 +64,7 @@ func (c Config) withDefaults() Config {
 
 // Experiments lists the experiment names accepted by Run, in order.
 func Experiments() []string {
-	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "masks", "tiles", "speedups", "sweep", "ablations", "claims"}
+	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "masks", "tiles", "obsoverhead", "speedups", "sweep", "ablations", "claims"}
 }
 
 // Run dispatches one experiment by name ("all" runs every one).
@@ -101,6 +101,8 @@ func runOne(name string, cfg Config) (any, error) {
 		return Masks(cfg)
 	case "tiles":
 		return Tiles(cfg)
+	case "obsoverhead":
+		return ObsOverhead(cfg)
 	case "speedups":
 		return Speedups(cfg)
 	case "sweep":

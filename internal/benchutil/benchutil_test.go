@@ -196,8 +196,30 @@ func TestRunDispatch(t *testing.T) {
 }
 
 func TestExperimentsListed(t *testing.T) {
-	if len(Experiments()) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(Experiments()))
+	}
+}
+
+func TestObsOverheadRows(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := ObsOverhead(Config{Out: &buf, SampleM: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s: instrumented run not bit-identical to plain", r.Strategy)
+		}
+		if r.Plain <= 0 || r.Instrumented <= 0 {
+			t.Errorf("%s: degenerate timings %+v", r.Strategy, r)
+		}
+	}
+	if !strings.Contains(buf.String(), "OBS OVERHEAD") {
+		t.Fatal("report header missing")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bfast/internal/linalg"
+	"bfast/internal/obs"
 	"bfast/internal/sched"
 	"bfast/internal/series"
 	"bfast/internal/tile"
@@ -117,9 +118,12 @@ func (b *Batch) Mask(workers int) *series.BatchMask {
 // must be able to stop here too. Returns a nil mask and ctx.Err() when
 // cut short.
 func (b *Batch) MaskCtx(ctx context.Context, workers int) (*series.BatchMask, error) {
+	sctx, sp := obs.StartSpan(ctx, "kernel.mask")
+	sp.SetAttr("pixels", b.M)
+	defer sp.End()
 	bm := &series.BatchMask{M: b.M, N: b.N, WordsPerRow: series.MaskWords(b.N)}
 	bm.Words = make([]uint64, b.M*bm.WordsPerRow)
-	err := sched.Shared().ForEachCtx(ctx, b.M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+	err := sched.Shared().ForEachCtx(sctx, b.M, workers, sched.DefaultGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			series.FillMask(b.Row(i), bm.Row(i))
 		}
@@ -172,6 +176,11 @@ func DetectBatch(ctx context.Context, b *Batch, opt Options, cfg BatchConfig) ([
 		}
 		return []Result{}, nil
 	}
+	ctx, sp := obs.StartSpan(ctx, "core.detect_batch")
+	sp.SetAttr("strategy", cfg.Strategy.String())
+	sp.SetAttr("pixels", b.M)
+	sp.SetAttr("dates", b.N)
+	defer sp.End()
 	mask, err := b.MaskCtx(ctx, cfg.Workers)
 	if err != nil {
 		return nil, err
@@ -218,6 +227,10 @@ func DetectBatchMasked(ctx context.Context, b *Batch, opt Options, cfg BatchConf
 		}
 		return []Result{}, nil
 	}
+	ctx, sp := obs.StartSpan(ctx, "core.detect_batch_masked")
+	sp.SetAttr("strategy", cfg.Strategy.String())
+	sp.SetAttr("pixels", b.M)
+	defer sp.End()
 	mask, err := b.MaskCtx(ctx, cfg.Workers)
 	if err != nil {
 		return nil, err
@@ -316,6 +329,9 @@ func residualsMasked(y []float64, words []uint64, x *series.DesignMatrix, beta [
 // batchFusedMasked is Full-EfSeq on the bitset path: one fused per-pixel
 // pass with per-worker scratch, scheduled block-cyclically.
 func batchFusedMasked(ctx context.Context, b *Batch, mask *series.BatchMask, x *series.DesignMatrix, opt Options, lambda float64, workers int) ([]Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "kernel.fused")
+	sp.SetAttr("pixels", b.M)
+	defer sp.End()
 	out := make([]Result, b.M)
 	n := opt.History
 	xh := historySlice(x, n)
@@ -390,7 +406,8 @@ func batchStagedFitMasked(ctx context.Context, b *Batch, mask *series.BatchMask,
 	fitted := make([]bool, M)
 
 	// ker 1-2: batched masked cross product over validity words.
-	err := pool.ForEachCtx(ctx, M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+	sctx, sp := obs.StartSpan(ctx, "kernel.cross_product")
+	err := pool.ForEachCtx(sctx, M, workers, sched.DefaultGrain, func(_, lo, hi int) {
 		t0 := time.Now()
 		for i := lo; i < hi; i++ {
 			words := mask.Row(i)
@@ -409,12 +426,14 @@ func batchStagedFitMasked(ctx context.Context, b *Batch, mask *series.BatchMask,
 		}
 		statCrossNs.Add(sinceNs(t0))
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// ker 3-5: batched inversion + β, right-hand side via mask words.
-	err = sched.ForEachScratchCtx(ctx, pool, M, workers, sched.DefaultGrain,
+	sctx, sp = obs.StartSpan(ctx, "kernel.invert")
+	err = sched.ForEachScratchCtx(sctx, pool, M, workers, sched.DefaultGrain,
 		func() []float64 { return make([]float64, K) },
 		func(rhs []float64, lo, hi int) {
 			t0 := time.Now()
@@ -435,13 +454,15 @@ func batchStagedFitMasked(ctx context.Context, b *Batch, mask *series.BatchMask,
 			}
 			statInvertNs.Add(sinceNs(t0))
 		})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	if !fullStaging {
 		// RgTl-EfSeq: fused monitoring per pixel, per-worker scratch.
-		err = sched.ForEachScratchCtx(ctx, pool, M, workers, sched.DefaultGrain,
+		sctx, sp = obs.StartSpan(ctx, "kernel.mosum")
+		err = sched.ForEachScratchCtx(sctx, pool, M, workers, sched.DefaultGrain,
 			func() *maskScratch { return newMaskScratch(K, N) },
 			func(s *maskScratch, lo, hi int) {
 				t0 := time.Now()
@@ -453,6 +474,7 @@ func batchStagedFitMasked(ctx context.Context, b *Batch, mask *series.BatchMask,
 				}
 				statMosumNs.Add(sinceNs(t0))
 			})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -466,7 +488,8 @@ func batchStagedFitMasked(ctx context.Context, b *Batch, mask *series.BatchMask,
 	nValArr := make([]int, M)
 
 	// ker 6-7: predictions, residuals, compaction via validity words.
-	err = pool.ForEachCtx(ctx, M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+	sctx, sp = obs.StartSpan(ctx, "kernel.residual")
+	err = pool.ForEachCtx(sctx, M, workers, sched.DefaultGrain, func(_, lo, hi int) {
 		t0 := time.Now()
 		for i := lo; i < hi; i++ {
 			if !fitted[i] {
@@ -479,13 +502,15 @@ func batchStagedFitMasked(ctx context.Context, b *Batch, mask *series.BatchMask,
 		}
 		statResidualNs.Add(sinceNs(t0))
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// ker 8-10: σ̂, fluctuation process, boundary test, remap — staged
 	// sweep through the shared monitoring loop.
-	err = pool.ForEachCtx(ctx, M, workers, sched.DefaultGrain, func(_, lo, hi int) {
+	sctx, sp = obs.StartSpan(ctx, "kernel.mosum")
+	err = pool.ForEachCtx(sctx, M, workers, sched.DefaultGrain, func(_, lo, hi int) {
 		t0 := time.Now()
 		for i := lo; i < hi; i++ {
 			if !fitted[i] {
@@ -508,6 +533,7 @@ func batchStagedFitMasked(ctx context.Context, b *Batch, mask *series.BatchMask,
 		}
 		statMosumNs.Add(sinceNs(t0))
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bfast/internal/linalg"
+	"bfast/internal/obs"
 	"bfast/internal/sched"
 	"bfast/internal/series"
 	"bfast/internal/tile"
@@ -178,6 +179,10 @@ func batchTiledFused(ctx context.Context, b *Batch, mask *series.BatchMask, x *s
 	out := make([]Result, M)
 	plan := tile.NewPlan(mask, T)
 	xh := historySlice(x, n)
+	ctx, sp := obs.StartSpan(ctx, "kernel.tiles")
+	sp.SetAttr("tiles", plan.Tiles)
+	sp.SetAttr("tile_width", T)
+	defer sp.End()
 	err := sched.ForEachScratchCtx(ctx, sched.Shared(), plan.Tiles, cfg.Workers, 1,
 		func() *tileScratch { return newTileScratch(K, N, T) },
 		func(s *tileScratch, lo, hi int) {
@@ -251,7 +256,10 @@ func batchTiledStaged(ctx context.Context, b *Batch, mask *series.BatchMask, x *
 	}
 
 	// Stage 1 (ker 1 prologue): gather tiles, counts, fittable flags.
-	err := pool.ForEachCtx(ctx, tiles, workers, 1, func(_, lo, hi int) {
+	sctx, sp := obs.StartSpan(ctx, "kernel.gather")
+	sp.SetAttr("tiles", tiles)
+	sp.SetAttr("tile_width", T)
+	err := pool.ForEachCtx(sctx, tiles, workers, 1, func(_, lo, hi int) {
 		for ti := lo; ti < hi; ti++ {
 			idx := plan.Indices(ti)
 			d := tile.NewDataOver(T, N, tY[ti*N*T:(ti+1)*N*T], cmask[ti*N:(ti+1)*N])
@@ -259,24 +267,28 @@ func batchTiledStaged(ctx context.Context, b *Batch, mask *series.BatchMask, x *
 			initTileResults(idx, mask, opt, fit[ti*T:ti*T+len(idx)], out)
 		}
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Stage 2 (ker 1–2): register-blocked masked cross products.
-	err = pool.ForEachCtx(ctx, tiles, workers, 1, func(_, lo, hi int) {
+	sctx, sp = obs.StartSpan(ctx, "kernel.cross_product")
+	err = pool.ForEachCtx(sctx, tiles, workers, 1, func(_, lo, hi int) {
 		t0 := time.Now()
 		for ti := lo; ti < hi; ti++ {
 			tile.CrossProduct(xh, view(ti), nrm[ti*K*K*T:(ti+1)*K*K*T])
 		}
 		statCrossNs.Add(sinceNs(t0))
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Stage 3 (ker 3–5): right-hand sides + batched tile inversions + β.
-	err = sched.ForEachScratchCtx(ctx, pool, tiles, workers, 1,
+	sctx, sp = obs.StartSpan(ctx, "kernel.invert")
+	err = sched.ForEachScratchCtx(sctx, pool, tiles, workers, 1,
 		func() *tileScratch { return newTileScratch(K, N, T) },
 		func(s *tileScratch, lo, hi int) {
 			t0 := time.Now()
@@ -293,12 +305,14 @@ func batchTiledStaged(ctx context.Context, b *Batch, mask *series.BatchMask, x *
 			}
 			statInvertNs.Add(sinceNs(t0))
 		})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Stage 4 (ker 6–7): register-blocked residuals + compaction.
-	err = pool.ForEachCtx(ctx, tiles, workers, 1, func(_, lo, hi int) {
+	sctx, sp = obs.StartSpan(ctx, "kernel.residual")
+	err = pool.ForEachCtx(sctx, tiles, workers, 1, func(_, lo, hi int) {
 		t0 := time.Now()
 		for ti := lo; ti < hi; ti++ {
 			tile.Residuals(x, view(ti), beta[ti*K*T:(ti+1)*K*T],
@@ -306,12 +320,14 @@ func batchTiledStaged(ctx context.Context, b *Batch, mask *series.BatchMask, x *
 		}
 		statResidualNs.Add(sinceNs(t0))
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Stage 5 (ker 8–10): σ̂, fluctuation process, boundary test, remap.
-	err = pool.ForEachCtx(ctx, tiles, workers, 1, func(_, lo, hi int) {
+	sctx, sp = obs.StartSpan(ctx, "kernel.mosum")
+	err = pool.ForEachCtx(sctx, tiles, workers, 1, func(_, lo, hi int) {
 		t0 := time.Now()
 		for ti := lo; ti < hi; ti++ {
 			for p, px := range plan.Indices(ti) {
@@ -335,6 +351,7 @@ func batchTiledStaged(ctx context.Context, b *Batch, mask *series.BatchMask, x *
 		}
 		statMosumNs.Add(sinceNs(t0))
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

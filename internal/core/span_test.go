@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"bfast/internal/obs"
+)
+
+// TestDetectBatchSpanTree: under a root span, DetectBatch must attach a
+// core.detect_batch span whose children cover the mask sweep and every
+// kernel phase of the chosen strategy — the tree the serving layer
+// exposes at /debug/bfast/traces. Without a root span the context must
+// come back unwrapped (the no-overhead default).
+func TestDetectBatchSpanTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	b := randomBatch(rng, 40, 200, 0.4)
+	opt := defaultTestOpts(100)
+
+	cases := []struct {
+		strategy Strategy
+		phases   []string
+	}{
+		{StrategyOurs, []string{"kernel.mask", "kernel.gather", "kernel.cross_product", "kernel.invert", "kernel.residual", "kernel.mosum"}},
+		{StrategyRgTlEfSeq, []string{"kernel.mask", "kernel.tiles"}},
+		{StrategyFullEfSeq, []string{"kernel.mask", "kernel.fused"}},
+	}
+	for _, tc := range cases {
+		root := obs.NewSpan("request")
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		if _, err := DetectBatch(ctx, b, opt, BatchConfig{Strategy: tc.strategy}); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		n := root.Node()
+		db := n.Find("core.detect_batch")
+		if db == nil {
+			t.Fatalf("%v: no core.detect_batch span", tc.strategy)
+		}
+		if db.Attrs["strategy"] != tc.strategy.String() || db.Attrs["pixels"] != 40 {
+			t.Fatalf("%v: detect_batch attrs %v", tc.strategy, db.Attrs)
+		}
+		for _, phase := range tc.phases {
+			ph := db.Find(phase)
+			if ph == nil {
+				t.Fatalf("%v: missing %s span under core.detect_batch", tc.strategy, phase)
+			}
+			if ph.DurNs < 0 {
+				t.Fatalf("%v: %s duration %d", tc.strategy, phase, ph.DurNs)
+			}
+			// Every kernel phase runs its sweep on the scheduler, so it
+			// must have picked up a sched.foreach child.
+			if phase != "kernel.tiles" && ph.Find("sched.foreach") == nil {
+				t.Fatalf("%v: %s has no sched.foreach child", tc.strategy, phase)
+			}
+		}
+	}
+}
+
+// TestDetectBatchNoSpanNoOverheadPath: without a root span the detection
+// must not materialize any spans (nil-span fast path end to end).
+func TestDetectBatchNoSpanNoOverheadPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	b := randomBatch(rng, 8, 120, 0.3)
+	ctx := context.Background()
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		t.Fatal("background context must carry no span")
+	}
+	if _, err := DetectBatch(ctx, b, defaultTestOpts(60), BatchConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging construction, shared by the server and the cmds so
+// every binary accepts the same -log-level/-log-format pair and emits
+// the same shape. Libraries in this repo never log through a global:
+// loggers are injected (server.Config.Logger, pipeline.Config.Logger)
+// and default to the no-op logger, so embedding the detection kernels
+// stays silent unless the embedder opts in.
+
+// ParseLevel maps a level name (debug, info, warn, error;
+// case-insensitive) to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NewLogger builds a slog.Logger writing to w. format is "text" (the
+// default) or "json"; level is parsed by ParseLevel.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// discardHandler drops every record (slog.DiscardHandler needs go1.24;
+// the module targets go1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var nopLogger = slog.New(discardHandler{})
+
+// NopLogger returns a logger that discards everything — the default
+// when no logger is configured.
+func NopLogger() *slog.Logger { return nopLogger }

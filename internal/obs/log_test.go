@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"":      slog.LevelInfo,
+		"info":  slog.LevelInfo,
+		"DEBUG": slog.LevelDebug,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel must reject unknown levels")
+	}
+}
+
+func TestNewLoggerFormatsAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "request_id", "abc")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line invalid: %v: %s", err, buf.String())
+	}
+	if rec["msg"] != "kept" || rec["request_id"] != "abc" {
+		t.Fatalf("log record %v", rec)
+	}
+	if strings.Contains(buf.String(), "dropped") {
+		t.Fatal("info line must be filtered at warn level")
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "debug", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello")
+	if !strings.Contains(buf.String(), "msg=hello") {
+		t.Fatalf("text format: %s", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Fatal("NewLogger must reject unknown formats")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	lg := NopLogger()
+	if lg == nil {
+		t.Fatal("nil")
+	}
+	// Must not panic and must stay disabled at every level.
+	lg.Error("nothing", "k", "v")
+	if lg.Enabled(nil, slog.LevelError) {
+		t.Fatal("nop logger must report disabled")
+	}
+}

@@ -1,8 +1,11 @@
 // Package obs is the repository's observability spine: counters, gauges
 // and histograms held in a process-local registry and rendered as
-// expvar-compatible JSON (a single flat object, one entry per metric) for
-// the server's /metrics endpoint, plus a bounded ring of per-request
-// phase traces for /debug/bfast.
+// expvar-compatible JSON (a single flat object, one entry per metric) or
+// Prometheus text exposition for the server's /metrics endpoint; a
+// context-propagated Span tree per request (span.go) recorded into a
+// bounded ring of recent traces for /debug/bfast/traces; structured
+// log/slog construction helpers (log.go); and a background runtime
+// sampler publishing goroutine/heap/GC gauges (runtime.go).
 //
 // The package is deliberately dependency-free (stdlib only) and leaf in
 // the import graph so the scheduler, the detection kernels and the HTTP
@@ -105,13 +108,31 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
-// snapshot renders the histogram as a JSON-encodable map.
-func (h *Histogram) snapshot() map[string]any {
-	buckets := make(map[string]int64, len(h.bounds)+1)
-	for i, b := range h.bounds {
-		buckets[fmt.Sprintf("le_%g", b)] = h.counts[i].Load()
+// Cumulative returns the histogram's bounds and cumulative bucket
+// counts (`le` semantics): cum[i] counts observations <= bounds[i], and
+// the final extra entry is the +Inf bucket, equal to Count() modulo
+// in-flight observations. Both expositions derive from this one
+// transform so JSON and Prometheus can never disagree.
+func (h *Histogram) Cumulative() (bounds []float64, cum []int64) {
+	cum = make([]int64, len(h.bounds)+1)
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
 	}
-	buckets["le_inf"] = h.counts[len(h.bounds)].Load()
+	return h.bounds, cum
+}
+
+// snapshot renders the histogram as a JSON-encodable map. Buckets carry
+// cumulative `le` counts — the Prometheus meaning of a bucket, which
+// the per-bucket counts of the original exposition silently violated.
+func (h *Histogram) snapshot() map[string]any {
+	bounds, cum := h.Cumulative()
+	buckets := make(map[string]int64, len(bounds)+1)
+	for i, b := range bounds {
+		buckets[fmt.Sprintf("le_%g", b)] = cum[i]
+	}
+	buckets["le_inf"] = cum[len(cum)-1]
 	return map[string]any{
 		"count":   h.Count(),
 		"sum":     h.Sum(),
@@ -243,10 +264,19 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// Handler returns an http.Handler serving the registry snapshot as
-// application/json — the /metrics endpoint.
+// Handler returns an http.Handler serving the registry snapshot — the
+// /metrics endpoint. The default exposition is the flat JSON object;
+// requests that ask for the Prometheus text format (Accept: text/plain
+// or OpenMetrics, or ?format=prometheus) get WritePrometheus instead,
+// so the same endpoint serves both dashboards and a stock Prometheus
+// scraper.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if WantsPrometheus(req) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = r.WriteJSON(w)
 	})

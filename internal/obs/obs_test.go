@@ -42,7 +42,10 @@ func TestCounterGaugeConcurrent(t *testing.T) {
 	}
 }
 
-func TestHistogramBucketsAndSum(t *testing.T) {
+// TestHistogramBucketsCumulative pins the `le` semantics of the
+// exposition: every bucket counts observations <= its bound, so counts
+// are non-decreasing and the +Inf bucket equals the total count.
+func TestHistogramBucketsCumulative(t *testing.T) {
 	h := NewHistogram([]float64{1, 10, 100})
 	for _, v := range []float64{0.5, 1, 5, 50, 500} {
 		h.Observe(v)
@@ -53,13 +56,25 @@ func TestHistogramBucketsAndSum(t *testing.T) {
 	if h.Sum() != 556.5 {
 		t.Fatalf("sum = %v", h.Sum())
 	}
+	bounds, cum := h.Cumulative()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("cumulative shape: %v %v", bounds, cum)
+	}
+	for i, want := range []int64{2, 3, 4, 5} {
+		if cum[i] != want {
+			t.Fatalf("cum[%d] = %d, want %d (all: %v)", i, cum[i], want, cum)
+		}
+	}
 	snap := h.snapshot()
 	buckets := snap["buckets"].(map[string]int64)
-	want := map[string]int64{"le_1": 2, "le_10": 1, "le_100": 1, "le_inf": 1}
+	want := map[string]int64{"le_1": 2, "le_10": 3, "le_100": 4, "le_inf": 5}
 	for k, v := range want {
 		if buckets[k] != v {
 			t.Fatalf("bucket %s = %d, want %d (all: %v)", k, buckets[k], v, buckets)
 		}
+	}
+	if buckets["le_inf"] != h.Count() {
+		t.Fatalf("le_inf %d != count %d", buckets["le_inf"], h.Count())
 	}
 }
 
@@ -96,12 +111,13 @@ func TestRegistryJSONHandler(t *testing.T) {
 	}
 }
 
-func TestTraceRing(t *testing.T) {
+func TestTraceRingBasic(t *testing.T) {
 	r := NewTraceRing(3)
 	for i := 0; i < 5; i++ {
-		tr := Trace{Endpoint: "detect", Code: 200 + i, Total: time.Duration(i)}
-		tr.AddPhase("decode", time.Millisecond)
-		r.Record(tr)
+		root := NewSpan("detect")
+		root.End()
+		node := root.Node()
+		r.Record(Trace{Endpoint: "detect", Code: 200 + i, Total: time.Duration(i), Spans: &node})
 	}
 	got := r.Recent()
 	if len(got) != 3 {
@@ -112,8 +128,8 @@ func TestTraceRing(t *testing.T) {
 		if tr.Code != 202+i {
 			t.Fatalf("ring order: got %d at %d", tr.Code, i)
 		}
-		if len(tr.Phases) != 1 || tr.Phases[0].Name != "decode" {
-			t.Fatalf("phases lost: %+v", tr)
+		if tr.Spans == nil || tr.Spans.Name != "detect" {
+			t.Fatalf("span tree lost: %+v", tr)
 		}
 	}
 	// nil ring is a no-op recorder.
@@ -121,5 +137,79 @@ func TestTraceRing(t *testing.T) {
 	nilRing.Record(Trace{})
 	if nilRing.Recent() != nil {
 		t.Fatal("nil ring should return nil")
+	}
+}
+
+// TestTraceRingWraparound sweeps every fill level across the `full`
+// boundary and asserts Recent is always oldest-first with the right
+// survivors — the off-by-one regression surface of a ring buffer.
+func TestTraceRingWraparound(t *testing.T) {
+	const depth = 4
+	for total := 0; total <= 3*depth+1; total++ {
+		r := NewTraceRing(depth)
+		for i := 0; i < total; i++ {
+			r.Record(Trace{Code: i})
+		}
+		got := r.Recent()
+		wantLen := total
+		if wantLen > depth {
+			wantLen = depth
+		}
+		if len(got) != wantLen {
+			t.Fatalf("after %d records: len = %d, want %d", total, len(got), wantLen)
+		}
+		first := total - wantLen
+		for i, tr := range got {
+			if tr.Code != first+i {
+				t.Fatalf("after %d records: position %d = %d, want %d (oldest-first)",
+					total, i, tr.Code, first+i)
+			}
+		}
+	}
+}
+
+// TestTraceRingConcurrent hammers Record and Recent from many
+// goroutines; run under -race this is the ring's data-race guard.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Trace{Endpoint: "detect", Code: w*1000 + i})
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				traces := r.Recent()
+				if len(traces) > 8 {
+					panic("ring overflow")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Recent(); len(got) != 8 {
+		t.Fatalf("final len = %d, want 8", len(got))
+	}
+	if _, ok := r.Find("nope"); ok {
+		t.Fatal("Find matched a missing id")
+	}
+}
+
+func TestTraceRingFind(t *testing.T) {
+	r := NewTraceRing(4)
+	r.Record(Trace{RequestID: "a", Code: 1})
+	r.Record(Trace{RequestID: "b", Code: 2})
+	r.Record(Trace{RequestID: "a", Code: 3})
+	tr, ok := r.Find("a")
+	if !ok || tr.Code != 3 {
+		t.Fatalf("Find(a) = %+v %v, want most recent (code 3)", tr, ok)
+	}
+	if _, ok := r.Find("z"); ok {
+		t.Fatal("Find(z) should miss")
 	}
 }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition
+// format (version 0.0.4) so a stock Prometheus server can scrape
+// /metrics directly. Dotted metric names are sanitized to the
+// [a-zA-Z0-9_:] charset ("sched.blocks.run" -> "sched_blocks_run"),
+// histograms emit the cumulative `le` bucket series plus _sum/_count,
+// and every family carries a # TYPE line. The JSON exposition stays the
+// default; the server content-negotiates between the two.
+
+// PromName sanitizes a registry metric name into a valid Prometheus
+// metric name: every character outside [a-zA-Z0-9_:] becomes '_', and a
+// leading digit is prefixed with '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation; +Inf/-Inf/NaN spelled out).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the text exposition format,
+// families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.m))
+	vals := make(map[string]any, len(r.m))
+	for name, v := range r.m {
+		names = append(names, name)
+		vals[name] = v
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		switch v := vals[name].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, v.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, v.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writePromHistogram(w, pn, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn string, h *Histogram) error {
+	bounds, cum := h.Cumulative()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	for i, b := range bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatFloat(b), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum[len(cum)-1]); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, formatFloat(h.Sum()), pn, h.Count())
+	return err
+}
+
+// WantsPrometheus reports whether the request asked for the Prometheus
+// text format: an explicit ?format=prometheus (or prom), or an Accept
+// header naming text/plain or OpenMetrics (what a stock Prometheus
+// scraper sends). ?format=json forces JSON regardless of Accept.
+func WantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prometheus", "prom":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}

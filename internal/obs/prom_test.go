@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition for a fixed
+// registry: family ordering, name sanitization, cumulative le buckets,
+// +Inf, _sum/_count. Any format drift breaks real scrapers, so this is
+// a byte-for-byte golden.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sched.blocks.run").Add(42)
+	r.Gauge("server.inflight").Set(-3)
+	h := r.Histogram("server.detect.latency_ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# TYPE sched_blocks_run counter
+sched_blocks_run 42
+# TYPE server_detect_latency_ms histogram
+server_detect_latency_ms_bucket{le="1"} 2
+server_detect_latency_ms_bucket{le="10"} 3
+server_detect_latency_ms_bucket{le="100"} 4
+server_detect_latency_ms_bucket{le="+Inf"} 5
+server_detect_latency_ms_sum 556.5
+server_detect_latency_ms_count 5
+# TYPE server_inflight gauge
+server_inflight -3
+`
+	if got := buf.String(); got != golden {
+		t.Fatalf("prometheus exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// promLine matches one sample line of the text exposition.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9.eE+-]+$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? \+Inf$`)
+
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kernel.pixels").Add(7)
+	r.Histogram("tile.pad.waste_pct", nil).Observe(12)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sched.blocks.run":         "sched_blocks_run",
+		"server.detect.latency_ms": "server_detect_latency_ms",
+		"9lives":                   "_9lives",
+		"a-b/c":                    "a_b_c",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHandlerContentNegotiation: JSON stays the default; Accept:
+// text/plain (what Prometheus sends) or ?format=prometheus switches to
+// the text exposition; ?format=json forces JSON back.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(1)
+
+	get := func(target, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := get("/metrics", ""); !strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("default content type %q", rec.Header().Get("Content-Type"))
+	}
+	rec := get("/metrics", "text/plain;version=0.0.4")
+	if !strings.HasPrefix(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("accept text/plain content type %q", rec.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(rec.Body.String(), "a_count 1") {
+		t.Fatalf("prometheus body: %s", rec.Body.String())
+	}
+	if rec := get("/metrics?format=prometheus", ""); !strings.Contains(rec.Body.String(), "# TYPE a_count counter") {
+		t.Fatalf("format=prometheus body: %s", rec.Body.String())
+	}
+	if rec := get("/metrics?format=json", "text/plain"); !strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		t.Fatal("format=json must override Accept")
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime sampler: a background goroutine publishing process-level
+// gauges (goroutines, heap, GC) into a registry so /metrics explains
+// not just the workload but the process serving it — the difference
+// between "the batch endpoint is slow" and "the heap doubled and GC
+// pauses are eating the latency budget".
+
+// SampleRuntime reads the runtime counters once into r. Exposed so
+// tests (and one-shot tools) can sample without the goroutine.
+func SampleRuntime(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("runtime.heap.alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("runtime.heap.sys_bytes").Set(int64(ms.Sys))
+	r.Gauge("runtime.gc.count").Set(int64(ms.NumGC))
+	r.Gauge("runtime.gc.pause_total_ns").Set(int64(ms.PauseTotalNs))
+	if ms.NumGC > 0 {
+		r.Gauge("runtime.gc.last_pause_ns").Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+}
+
+// StartRuntimeSampler samples the runtime into r every interval
+// (<= 0 means 10s) until the returned stop function is called. Stop is
+// idempotent and waits for the sampler goroutine to exit.
+func StartRuntimeSampler(r *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		SampleRuntime(r) // one immediate sample so gauges exist right away
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				SampleRuntime(r)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	snap := r.Snapshot()
+	for _, key := range []string{
+		"runtime.goroutines", "runtime.heap.alloc_bytes", "runtime.heap.sys_bytes",
+		"runtime.gc.count", "runtime.gc.pause_total_ns",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("missing %q after sample", key)
+		}
+	}
+	if g, _ := snap["runtime.goroutines"].(int64); g < 1 {
+		t.Fatalf("goroutines = %v, want >= 1", snap["runtime.goroutines"])
+	}
+	if b, _ := snap["runtime.heap.alloc_bytes"].(int64); b <= 0 {
+		t.Fatalf("heap alloc = %v, want > 0", snap["runtime.heap.alloc_bytes"])
+	}
+}
+
+func TestStartRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := r.Snapshot()["runtime.goroutines"]; ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never published")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("request")
+	ctx := ContextWithSpan(context.Background(), root)
+
+	dctx, decode := StartSpan(ctx, "decode")
+	if decode == nil {
+		t.Fatal("StartSpan under a root must create a span")
+	}
+	if SpanFromContext(dctx) != decode {
+		t.Fatal("child context must carry the child span")
+	}
+	decode.SetAttr("bytes", 123)
+	decode.End()
+
+	kctx, kernel := StartSpan(ctx, "kernel")
+	_, inner := StartSpan(kctx, "invert")
+	inner.SetAttr("tiles", 7)
+	time.Sleep(time.Millisecond)
+	inner.End()
+	kernel.End()
+	root.End()
+
+	n := root.Node()
+	if n.Name != "request" || len(n.Children) != 2 {
+		t.Fatalf("tree shape: %+v", n)
+	}
+	if got := n.Find("decode"); got == nil || got.Attrs["bytes"] != 123 {
+		t.Fatalf("decode node: %+v", got)
+	}
+	inv := n.Find("invert")
+	if inv == nil || inv.Attrs["tiles"] != 7 {
+		t.Fatalf("invert node: %+v", inv)
+	}
+	if inv.DurNs <= 0 {
+		t.Fatalf("invert duration %d, want > 0", inv.DurNs)
+	}
+	if k := n.Find("kernel"); k == nil || len(k.Children) != 1 {
+		t.Fatalf("kernel node: %+v", k)
+	}
+	if n.Find("missing") != nil {
+		t.Fatal("Find invented a node")
+	}
+	if n.DurNs < inv.DurNs {
+		t.Fatalf("root %dns shorter than child %dns", n.DurNs, inv.DurNs)
+	}
+}
+
+// TestSpanDisabledPath pins the no-op contract the overhead guard
+// relies on: no span in the context means StartSpan returns a nil span,
+// the context unchanged, and every method is a safe no-op.
+func TestSpanDisabledPath(t *testing.T) {
+	ctx := context.Background()
+	got, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("StartSpan without a root must return nil")
+	}
+	if got != ctx {
+		t.Fatal("disabled StartSpan must not wrap the context")
+	}
+	sp.SetAttr("k", "v") // all nil-safe
+	sp.End()
+	if sp.Duration() != 0 {
+		t.Fatal("nil span duration must be 0")
+	}
+	if n := sp.Node(); n.Name != "" || n.Children != nil {
+		t.Fatalf("nil span node: %+v", n)
+	}
+	if ContextWithSpan(ctx, nil) != ctx {
+		t.Fatal("ContextWithSpan(nil) must be identity")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty context must carry no span")
+	}
+}
+
+// TestSpanConcurrentChildren attaches children from many goroutines —
+// the scheduler-loop case where helpers of a stage share its context.
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("loop")
+	ctx := ContextWithSpan(context.Background(), root)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, sp := StartSpan(ctx, "unit")
+				sp.SetAttr("i", i)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if n := root.Node(); len(n.Children) != 400 {
+		t.Fatalf("children = %d, want 400", len(n.Children))
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	sp := NewSpan("x")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	d := sp.Duration()
+	if d <= 0 {
+		t.Fatal("duration not captured")
+	}
+	time.Sleep(2 * time.Millisecond)
+	sp.End() // second End must not restretch the span
+	if sp.Duration() != d {
+		t.Fatalf("duration moved after second End: %v -> %v", d, sp.Duration())
+	}
+}

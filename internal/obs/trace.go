@@ -5,30 +5,23 @@ import (
 	"time"
 )
 
-// Phase is one named span inside a request trace — the serving-layer
-// analogue of the per-phase decomposition core.ProcessTrace and
-// pipeline.Phases use for the detection math (DESIGN.md §6).
-type Phase struct {
-	Name string        `json:"name"`
-	Dur  time.Duration `json:"ns"`
-}
-
-// Trace is the record of one served request: endpoint, outcome, sizes
-// and the per-phase breakdown (decode, detect, encode, ...).
+// Trace is the record of one served request: correlation id, endpoint,
+// outcome, sizes, and the span tree of where the time went (decode →
+// detect → scheduler loops → kernel phases). The RequestID matches the
+// X-Request-ID response header and the request_id field of the
+// request's log lines, so logs, traces and metrics correlate.
 type Trace struct {
-	Start    time.Time     `json:"start"`
-	Endpoint string        `json:"endpoint"`
-	Code     int           `json:"code"`
-	Err      string        `json:"err,omitempty"`
-	Bytes    int64         `json:"bytes"`
-	Pixels   int           `json:"pixels,omitempty"`
-	Total    time.Duration `json:"total_ns"`
-	Phases   []Phase       `json:"phases,omitempty"`
-}
-
-// AddPhase appends a named span of the given duration.
-func (t *Trace) AddPhase(name string, d time.Duration) {
-	t.Phases = append(t.Phases, Phase{Name: name, Dur: d})
+	RequestID string        `json:"request_id,omitempty"`
+	Start     time.Time     `json:"start"`
+	Endpoint  string        `json:"endpoint"`
+	Code      int           `json:"code"`
+	Err       string        `json:"err,omitempty"`
+	Bytes     int64         `json:"bytes"`
+	Pixels    int           `json:"pixels,omitempty"`
+	Total     time.Duration `json:"total_ns"`
+	// Spans is the request's finished span tree (nil when tracing was
+	// off for the request). It replaces the old flat Phases list.
+	Spans *SpanNode `json:"spans,omitempty"`
 }
 
 // TraceRing is a bounded, concurrency-safe ring of recent request
@@ -82,4 +75,16 @@ func (r *TraceRing) Recent() []Trace {
 	out = append(out, r.buf[r.next:]...)
 	out = append(out, r.buf[:r.next]...)
 	return out
+}
+
+// Find returns the most recent trace with the given request id, or
+// false. Safe on a nil receiver.
+func (r *TraceRing) Find(requestID string) (Trace, bool) {
+	traces := r.Recent()
+	for i := len(traces) - 1; i >= 0; i-- {
+		if traces[i].RequestID == requestID {
+			return traces[i], true
+		}
+	}
+	return Trace{}, false
 }

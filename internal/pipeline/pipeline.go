@@ -22,6 +22,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"bfast/internal/cube"
 	"bfast/internal/gpusim"
 	"bfast/internal/kernels"
+	"bfast/internal/obs"
 	"bfast/internal/sched"
 )
 
@@ -54,6 +56,16 @@ type Config struct {
 	// ≈SampleM pixels. The returned break map then only covers sampled
 	// pixels; leave 0 for full maps.
 	SampleM int
+	// Logger receives per-chunk debug logging. nil disables logging —
+	// the pipeline never logs through a global logger.
+	Logger *slog.Logger
+}
+
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return obs.NopLogger()
 }
 
 func (c Config) withDefaults() Config {
@@ -117,9 +129,15 @@ func Run(ctx context.Context, c *cube.Cube, cfg Config) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, spRun := obs.StartSpan(ctx, "pipeline.run")
+	spRun.SetAttr("chunks", cfg.Chunks)
+	spRun.SetAttr("strategy", cfg.Strategy.String())
+	defer spRun.End()
+	lg := cfg.logger()
 
 	// Phase: preprocessing (host, measured).
 	work := c
+	_, spPre := obs.StartSpan(ctx, "pipeline.preprocess")
 	start := time.Now()
 	if cfg.DropEmpty {
 		compact, kept, err := c.DropEmptySlices()
@@ -130,6 +148,7 @@ func Run(ctx context.Context, c *cube.Cube, cfg Config) (*Result, error) {
 		res.KeptDates = kept
 	}
 	res.Phases.Preprocess = time.Since(start)
+	spPre.End()
 
 	if err := cfg.Options.Validate(work.Dates); err != nil {
 		return nil, err
@@ -138,9 +157,11 @@ func Run(ctx context.Context, c *cube.Cube, cfg Config) (*Result, error) {
 	res.Map = cube.NewBreakMap(c.Width, c.Height, monLen)
 
 	// Phase: chunk split (host, measured).
+	_, spSplit := obs.StartSpan(ctx, "pipeline.chunking")
 	start = time.Now()
 	chunks := work.Chunks(cfg.Chunks)
 	res.Phases.Chunking = time.Since(start)
+	spSplit.End()
 
 	// Chunk staging (float32 upload buffers, host, measured; charged to
 	// the chunking phase like the paper's host-side chunk prep) is
@@ -167,6 +188,9 @@ func Run(ctx context.Context, c *cube.Cube, cfg Config) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		_, spCh := obs.StartSpan(ctx, "pipeline.chunk")
+		spCh.SetAttr("idx", idx)
+		spCh.SetAttr("pixels", ch.Pixels)
 		// Kick off staging of the next chunk before simulating this one.
 		var (
 			next      *kernels.Batch32
@@ -197,6 +221,7 @@ func Run(ctx context.Context, c *cube.Cube, cfg Config) (*Result, error) {
 			if nextTask != nil {
 				_ = nextTask.Wait()
 			}
+			spCh.End()
 			return nil, err
 		}
 		res.Phases.Kernel += app.KernelTime
@@ -212,6 +237,14 @@ func Run(ctx context.Context, c *cube.Cube, cfg Config) (*Result, error) {
 				res.Map.Magnitude[ch.Start+p] = float64(app.Means[p])
 			}
 		}
+
+		spCh.SetAttr("stage_ns", int64(curStage))
+		spCh.SetAttr("transfer_ns", int64(transfer))
+		spCh.SetAttr("kernel_ns", int64(app.KernelTime))
+		spCh.End()
+		lg.Debug("pipeline chunk done",
+			"idx", idx, "pixels", ch.Pixels,
+			"stage", curStage, "transfer", transfer, "kernel", app.KernelTime)
 
 		if nextTask != nil {
 			if err := nextTask.Wait(); err != nil {
@@ -265,6 +298,11 @@ func RunFile(ctx context.Context, path string, cfg Config) (*Result, error) {
 	if cfg.DropEmpty {
 		return nil, fmt.Errorf("pipeline: DropEmpty is not supported in streaming mode")
 	}
+	ctx, spRun := obs.StartSpan(ctx, "pipeline.run_file")
+	spRun.SetAttr("chunks", cfg.Chunks)
+	spRun.SetAttr("strategy", cfg.Strategy.String())
+	defer spRun.End()
+	lg := cfg.logger()
 	res := &Result{Chunks: cfg.Chunks}
 	var hostPerChunk, devPerChunk []time.Duration
 
@@ -275,9 +313,11 @@ func RunFile(ctx context.Context, path string, cfg Config) (*Result, error) {
 	// goroutine, so the break map and phase sums stay deterministic.
 	pool := sched.Shared()
 	var (
-		pending    *sched.Task
-		pendingCh  cube.Chunk
-		pendingApp *kernels.AppResult
+		pending     *sched.Task
+		pendingCh   cube.Chunk
+		pendingApp  *kernels.AppResult
+		pendingSpan *obs.Span
+		pendingIdx  int
 	)
 	flush := func() error {
 		if pending == nil {
@@ -285,6 +325,7 @@ func RunFile(ctx context.Context, path string, cfg Config) (*Result, error) {
 		}
 		err := pending.Wait()
 		pending = nil
+		defer pendingSpan.End()
 		if err != nil {
 			return err
 		}
@@ -297,6 +338,9 @@ func RunFile(ctx context.Context, path string, cfg Config) (*Result, error) {
 				res.Map.Magnitude[pendingCh.Start+p] = float64(pendingApp.Means[p])
 			}
 		}
+		pendingSpan.SetAttr("kernel_ns", int64(pendingApp.KernelTime))
+		lg.Debug("pipeline chunk retired",
+			"idx", pendingIdx, "pixels", pendingCh.Pixels, "kernel", pendingApp.KernelTime)
 		return nil
 	}
 	err := cube.StreamChunks(path, cfg.Chunks, func(h cube.Header, ch cube.Chunk) error {
@@ -329,6 +373,14 @@ func RunFile(ctx context.Context, path string, cfg Config) (*Result, error) {
 		if err := flush(); err != nil {
 			return err
 		}
+		pendingIdx = len(hostPerChunk) - 1
+		_, pendingSpan = obs.StartSpan(ctx, "pipeline.chunk")
+		pendingSpan.SetAttr("idx", pendingIdx)
+		pendingSpan.SetAttr("pixels", ch.Pixels)
+		pendingSpan.SetAttr("stage_ns", int64(stage))
+		pendingSpan.SetAttr("transfer_ns", int64(transfer))
+		lg.Debug("pipeline chunk staged",
+			"idx", pendingIdx, "pixels", ch.Pixels, "stage", stage, "transfer", transfer)
 		pendingCh = ch
 		pending = pool.Go(func() error {
 			dev := gpusim.NewDevice(cfg.Profile)

@@ -1,14 +1,18 @@
 package pipeline
 
 import (
+	"bytes"
 	"context"
 
 	"math"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"bfast/internal/core"
 	"bfast/internal/cube"
 	"bfast/internal/gpusim"
+	"bfast/internal/obs"
 	"bfast/internal/workload"
 )
 
@@ -279,4 +283,95 @@ func TestSwathSceneDropsEmptySlices(t *testing.T) {
 		t.Fatal("no kernel work on compacted scene")
 	}
 	t.Logf("swath scene: %d of 160 slices kept, history %d -> %d", len(kept), 80, newHist)
+}
+
+// TestRunObservability: under a root span, Run must emit the
+// pipeline.run tree (preprocess, chunking, one pipeline.chunk per
+// chunk with phase-ns attrs), and a configured logger must receive one
+// debug line per chunk carrying the chunk index.
+func TestRunObservability(t *testing.T) {
+	c := sceneCube(t, 12, 12, 96, 48, 0.4, 0.3, 63)
+	var logBuf bytes.Buffer
+	lg, err := obs.NewLogger(&logBuf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := obs.NewSpan("request")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	if _, err := Run(ctx, c, Config{Options: core.DefaultOptions(48), Chunks: 3, Logger: lg}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	n := root.Node()
+	run := n.Find("pipeline.run")
+	if run == nil {
+		t.Fatal("no pipeline.run span")
+	}
+	if run.Find("pipeline.preprocess") == nil || run.Find("pipeline.chunking") == nil {
+		t.Fatalf("missing host-phase spans: %+v", run)
+	}
+	chunks := 0
+	for _, ch := range run.Children {
+		if ch.Name != "pipeline.chunk" {
+			continue
+		}
+		chunks++
+		for _, attr := range []string{"idx", "pixels", "stage_ns", "transfer_ns", "kernel_ns"} {
+			if _, ok := ch.Attrs[attr]; !ok {
+				t.Fatalf("pipeline.chunk missing attr %q: %v", attr, ch.Attrs)
+			}
+		}
+	}
+	if chunks != 3 {
+		t.Fatalf("chunk spans = %d, want 3", chunks)
+	}
+	if got := strings.Count(logBuf.String(), `"msg":"pipeline chunk done"`); got != 3 {
+		t.Fatalf("chunk debug lines = %d, want 3: %s", got, logBuf.String())
+	}
+}
+
+// TestRunFileObservability: the streaming driver must emit the same
+// per-chunk spans (kernel_ns attached at retire time) and staged/retired
+// log pairs.
+func TestRunFileObservability(t *testing.T) {
+	c := sceneCube(t, 10, 10, 96, 48, 0.4, 0.3, 64)
+	path := filepath.Join(t.TempDir(), "scene.bfc")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	lg, err := obs.NewLogger(&logBuf, "debug", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := obs.NewSpan("request")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	if _, err := RunFile(ctx, path, Config{Options: core.DefaultOptions(48), Chunks: 2, Logger: lg}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	node := root.Node()
+	run := node.Find("pipeline.run_file")
+	if run == nil {
+		t.Fatal("no pipeline.run_file span")
+	}
+	chunks := 0
+	for _, ch := range run.Children {
+		if ch.Name != "pipeline.chunk" {
+			continue
+		}
+		chunks++
+		if _, ok := ch.Attrs["kernel_ns"]; !ok {
+			t.Fatalf("streamed chunk span missing kernel_ns: %v", ch.Attrs)
+		}
+	}
+	if chunks != 2 {
+		t.Fatalf("chunk spans = %d, want 2", chunks)
+	}
+	if strings.Count(logBuf.String(), "pipeline chunk staged") != 2 ||
+		strings.Count(logBuf.String(), "pipeline chunk retired") != 2 {
+		t.Fatalf("staged/retired log pairs missing: %s", logBuf.String())
+	}
 }

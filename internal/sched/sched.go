@@ -43,6 +43,18 @@ var (
 	StatHelpersSpawned  = obs.Default().Counter("sched.helpers.spawned")
 )
 
+// Workload-skew introspection (DESIGN.md §7). StatWorkerBlocks is the
+// distribution of steal units executed per worker per loop — flat for a
+// balanced loop, long-tailed when a NaN-skewed scene makes some blocks
+// much heavier than others. StatImbalancePct records, per multi-worker
+// loop, how much extra the busiest worker carried over the mean
+// (100·(max−mean)/mean): near 0 means stealing equalized the skew,
+// large values mean block granularity is too coarse for the skew.
+var (
+	StatWorkerBlocks = obs.Default().Histogram("sched.worker.blocks", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024})
+	StatImbalancePct = obs.Default().Histogram("sched.loop.imbalance_pct", []float64{1, 2, 5, 10, 25, 50, 100, 200})
+)
+
 // DefaultGrain is the default number of items per block-cyclic block.
 // Small enough to balance NaN-skewed per-pixel costs, large enough that
 // pixels of a block still share cache lines of the staged batch arrays
@@ -139,12 +151,19 @@ func (p *Pool) ForEachCtx(ctx context.Context, m, workers, grain int, body func(
 	if w > blocks {
 		w = blocks
 	}
+	_, sp := obs.StartSpan(ctx, "sched.foreach")
+	sp.SetAttr("items", m)
+	sp.SetAttr("blocks", blocks)
+	sp.SetAttr("workers", w)
+	sp.SetAttr("grain", g)
+	counts := make([]int64, w)
 	var next atomic.Int64
 	run := func(id int) {
+		n := int64(0)
 		for ctx.Err() == nil {
 			b := int(next.Add(1)) - 1
 			if b >= blocks {
-				return
+				break
 			}
 			lo := b * g
 			hi := lo + g
@@ -153,7 +172,9 @@ func (p *Pool) ForEachCtx(ctx context.Context, m, workers, grain int, body func(
 			}
 			StatBlocksRun.Inc()
 			body(id, lo, hi)
+			n++
 		}
+		counts[id] = n
 	}
 	if w <= 1 {
 		run(0)
@@ -175,17 +196,43 @@ func (p *Pool) ForEachCtx(ctx context.Context, m, workers, grain int, body func(
 			}
 		}
 		run(0)
-		wg.Wait()
+		wg.Wait() // also the happens-before edge for the helpers' counts[id] writes
 	}
+	recordLoopSkew(sp, counts)
 	if err := ctx.Err(); err != nil {
 		claimed := int(next.Load())
 		if claimed > blocks {
 			claimed = blocks
 		}
-		StatBlocksAbandoned.Add(int64(blocks - claimed))
+		abandoned := int64(blocks - claimed)
+		StatBlocksAbandoned.Add(abandoned)
+		sp.SetAttr("abandoned", abandoned)
+		sp.End()
 		return err
 	}
+	sp.End()
 	return nil
+}
+
+// recordLoopSkew publishes the per-worker steal counts of one finished
+// loop into the skew histograms and onto its span. A worker that claimed
+// zero blocks (pool saturated before it got a slot, or the loop drained
+// first) still counts: an all-but-one-idle loop IS the skew signal.
+func recordLoopSkew(sp *obs.Span, counts []int64) {
+	var total, max int64
+	for _, c := range counts {
+		StatWorkerBlocks.Observe(float64(c))
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if len(counts) > 1 && total > 0 {
+		mean := float64(total) / float64(len(counts))
+		imb := 100 * (float64(max) - mean) / mean
+		StatImbalancePct.Observe(imb)
+		sp.SetAttr("imbalance_pct", imb)
+	}
 }
 
 // ForEachScratch is ForEach with a per-worker scratch lifecycle: mk is

@@ -254,3 +254,46 @@ func TestSharedIsSingletonAndBounded(t *testing.T) {
 		t.Fatal("shared pool must have positive bound")
 	}
 }
+
+// TestLoopSkewMetrics: per-worker steal counts must sum to the block
+// count, and a multi-worker loop must record one imbalance sample.
+func TestLoopSkewMetrics(t *testing.T) {
+	beforeBlocks := StatWorkerBlocks.Count()
+	beforeImb := StatImbalancePct.Count()
+
+	p := New(4)
+	var ran atomic.Int64
+	p.ForEach(1000, 4, 8, func(_, lo, hi int) { ran.Add(int64(hi - lo)) })
+	if ran.Load() != 1000 {
+		t.Fatalf("ran %d items, want 1000", ran.Load())
+	}
+
+	afterBlocks := StatWorkerBlocks.Count()
+	afterImb := StatImbalancePct.Count()
+	// 1000 items at grain 8 -> 125 blocks; one count sample per worker.
+	// Other loops (helpers of other tests) may land concurrently, so
+	// assert >= rather than ==.
+	if afterBlocks-beforeBlocks < 1 {
+		t.Fatalf("no per-worker block samples recorded (%d -> %d)", beforeBlocks, afterBlocks)
+	}
+	if afterImb-beforeImb < 1 {
+		t.Fatalf("no imbalance sample recorded for a multi-worker loop")
+	}
+}
+
+// TestRecordLoopSkew pins the imbalance computation directly.
+func TestRecordLoopSkew(t *testing.T) {
+	sumBefore := StatImbalancePct.Sum()
+	// max=30, mean=15 -> 100*(30-15)/15 = 100%.
+	recordLoopSkew(nil, []int64{0, 30})
+	nAfter := StatImbalancePct.Count()
+	if got := StatImbalancePct.Sum() - sumBefore; got != 100 {
+		t.Fatalf("imbalance sample = %v, want 100", got)
+	}
+	// Single-worker and empty loops must not record imbalance.
+	recordLoopSkew(nil, []int64{7})
+	recordLoopSkew(nil, []int64{0, 0})
+	if StatImbalancePct.Count() != nAfter {
+		t.Fatal("single-worker or empty loop recorded an imbalance sample")
+	}
+}

@@ -68,12 +68,11 @@ type errorDetail struct {
 	Message string `json:"message"`
 }
 
-// writeError emits the structured error response.
+// writeError emits the structured error response. Response headers that
+// depend on server configuration (429's Retry-After) are set by the
+// caller before this runs.
 func writeError(w http.ResponseWriter, e *apiError) {
 	w.Header().Set("Content-Type", "application/json")
-	if e.Status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	w.WriteHeader(e.Status)
 	_ = json.NewEncoder(w).Encode(errorBody{Error: errorDetail{Code: e.Code, Message: e.Message}})
 }

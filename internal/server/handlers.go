@@ -5,9 +5,7 @@ import (
 	"errors"
 	"math"
 	"net/http"
-	"time"
 
-	"bfast/internal/baseline"
 	"bfast/internal/core"
 	"bfast/internal/obs"
 	"bfast/internal/stats"
@@ -94,15 +92,17 @@ func toFloats(in []*float64) []float64 {
 	return out
 }
 
-// decodeRequest parses and bounds the body. The decode time lands on the
-// trace so oversized-JSON cost is visible next to kernel cost.
-func (s *Server) decodeRequest(r *http.Request, tr *obs.Trace) (*DetectRequest, *apiError) {
-	t0 := time.Now()
+// decodeRequest parses and bounds the body. The decode span lands on
+// the request's trace so oversized-JSON cost is visible next to kernel
+// cost.
+func (s *Server) decodeRequest(r *http.Request) (*DetectRequest, *apiError) {
+	_, sp := obs.StartSpan(r.Context(), "decode")
+	sp.SetAttr("bytes", r.ContentLength)
 	var req DetectRequest
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	err := dec.Decode(&req)
-	tr.AddPhase("decode", time.Since(t0))
+	sp.End()
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -146,7 +146,7 @@ func resultJSON(res core.Result) DetectResponse {
 }
 
 func (s *Server) handleDetect(r *http.Request, tr *obs.Trace) (any, *apiError) {
-	req, apiErr := s.decodeRequest(r, tr)
+	req, apiErr := s.decodeRequest(r)
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -163,9 +163,9 @@ func (s *Server) handleDetect(r *http.Request, tr *obs.Trace) (any, *apiError) {
 	if err := r.Context().Err(); err != nil {
 		return nil, ctxError(r.Context(), err)
 	}
-	t0 := time.Now()
+	_, sp := obs.StartSpan(r.Context(), "detect")
 	res, err := core.Detect(y, x, opt)
-	tr.AddPhase("detect", time.Since(t0))
+	sp.End()
 	if err != nil {
 		return nil, ctxError(r.Context(), err)
 	}
@@ -173,7 +173,7 @@ func (s *Server) handleDetect(r *http.Request, tr *obs.Trace) (any, *apiError) {
 }
 
 func (s *Server) handleTrace(r *http.Request, tr *obs.Trace) (any, *apiError) {
-	req, apiErr := s.decodeRequest(r, tr)
+	req, apiErr := s.decodeRequest(r)
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -190,9 +190,9 @@ func (s *Server) handleTrace(r *http.Request, tr *obs.Trace) (any, *apiError) {
 	if err := r.Context().Err(); err != nil {
 		return nil, ctxError(r.Context(), err)
 	}
-	t0 := time.Now()
+	_, sp := obs.StartSpan(r.Context(), "trace")
 	res, err := core.Trace(y, x, opt)
-	tr.AddPhase("trace", time.Since(t0))
+	sp.End()
 	if err != nil {
 		return nil, ctxError(r.Context(), err)
 	}
@@ -206,7 +206,7 @@ func (s *Server) handleTrace(r *http.Request, tr *obs.Trace) (any, *apiError) {
 }
 
 func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, *apiError) {
-	req, apiErr := s.decodeRequest(r, tr)
+	req, apiErr := s.decodeRequest(r)
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -226,23 +226,28 @@ func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, *apiError) {
 			"series has %d dates, limit is %d", n, s.cfg.MaxSeriesLen)
 	}
 	tr.Pixels = len(req.Pixels)
-	t0 := time.Now()
+	_, sp := obs.StartSpan(r.Context(), "pack")
 	flat := make([]float64, 0, len(req.Pixels)*n)
 	for i, p := range req.Pixels {
 		if len(p) != n {
+			sp.End()
 			return nil, errf(http.StatusBadRequest, CodeLengthMismatch,
 				"pixel %d has %d dates, expected %d", i, len(p), n)
 		}
 		flat = append(flat, toFloats(p)...)
 	}
 	b, err := core.NewBatch(len(req.Pixels), n, flat)
-	tr.AddPhase("pack", time.Since(t0))
+	sp.End()
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 	}
-	t0 = time.Now()
-	results, err := baseline.CLike(r.Context(), b, req.options(), s.cfg.Workers)
-	tr.AddPhase("detect", time.Since(t0))
+	// The batched strategies (paper organization, PR 2 tiling) replace
+	// the per-pixel C-like baseline here; results are bit-identical
+	// (pinned by the equivalence tests) and the kernel-phase spans light
+	// up under this request's span tree.
+	dctx, sp := obs.StartSpan(r.Context(), "detect")
+	results, err := core.DetectBatch(dctx, b, req.options(), core.BatchConfig{Workers: s.cfg.Workers})
+	sp.End()
 	if err != nil {
 		return nil, ctxError(r.Context(), err)
 	}

@@ -354,3 +354,24 @@ func TestDisableDebug(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryAfterConfigurable: the 429 Retry-After hint must follow
+// Config.RetryAfterSeconds (default 1).
+func TestRetryAfterConfigurable(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, RetryAfterSeconds: 7})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	resp, body := post(t, ts, "/v1/detect", map[string]any{"series": make([]float64, 30), "history": 10})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\"", got)
+	}
+	if got := New(Config{}).Config().RetryAfterSeconds; got != 1 {
+		t.Fatalf("default RetryAfterSeconds = %d, want 1", got)
+	}
+}

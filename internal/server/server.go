@@ -6,8 +6,9 @@
 //	POST /v1/trace   same body                               -> process trajectory
 //	POST /v1/batch   {"pixels": [[...],[...]], "history": …} -> one Result per pixel
 //	GET  /v1/healthz                                         -> ok (503 while draining)
-//	GET  /metrics                                            -> expvar-style metric JSON
+//	GET  /metrics                                            -> metric JSON (Prometheus text via Accept or ?format=prometheus)
 //	GET  /debug/bfast                                        -> config, recent request traces
+//	GET  /debug/bfast/traces                                 -> recent span trees (?request_id= filters)
 //
 // NaN cannot be represented in JSON; missing observations are sent as
 // null (the natural encoding for "no measurement").
@@ -22,18 +23,32 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bfast/internal/obs"
 )
+
+// HeaderRequestID is the request/response header carrying the request's
+// correlation ID. A client-supplied value (≤ 128 chars) is honored;
+// otherwise the server generates one. The same ID appears on the
+// response, in every log line of the request, and on its trace in
+// /debug/bfast/traces — the join key across logs, traces and metrics.
+const HeaderRequestID = "X-Request-ID"
+
+const maxRequestIDLen = 128
 
 // Config parameterizes the service. The zero value serves with
 // production defaults; see the field comments for what 0 means.
@@ -60,8 +75,23 @@ type Config struct {
 	// process-wide obs.Default(), which also carries the scheduler and
 	// kernel-phase counters).
 	Metrics *obs.Registry
-	// DisableDebug removes /metrics and /debug/bfast from the mux.
+	// DisableDebug removes /metrics, /debug/bfast and /debug/pprof from
+	// the mux.
 	DisableDebug bool
+	// RetryAfterSeconds is the Retry-After hint on 429 responses
+	// (default 1).
+	RetryAfterSeconds int
+	// Logger receives structured request logging (nil = no logging).
+	// Every line carries request_id and endpoint; level follows the
+	// outcome (5xx → error, 4xx → warn, else info).
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (ignored
+	// when DisableDebug is set).
+	EnablePprof bool
+	// SampleRuntimeEvery, when positive, starts a background sampler
+	// publishing runtime.* gauges (goroutines, heap, GC pauses) into
+	// Metrics at that interval; Shutdown stops it.
+	SampleRuntimeEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.Default()
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 1
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -99,6 +135,8 @@ type Server struct {
 	inflight    *obs.Gauge
 	rateLimited *obs.Counter
 	reqBytes    *obs.Histogram
+
+	stopSampler func()
 }
 
 // New returns the service. The zero Config is production-ready.
@@ -122,8 +160,32 @@ func New(cfg Config) *Server {
 	if !cfg.DisableDebug {
 		s.mux.Handle("/metrics", cfg.Metrics.Handler())
 		s.mux.HandleFunc("/debug/bfast", s.handleDebug)
+		s.mux.HandleFunc("/debug/bfast/traces", s.handleTraces)
+		if cfg.EnablePprof {
+			s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+			s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+	}
+	if cfg.SampleRuntimeEvery > 0 {
+		s.stopSampler = obs.StartRuntimeSampler(cfg.Metrics, cfg.SampleRuntimeEvery)
 	}
 	return s
+}
+
+// requestID returns the client-supplied correlation ID when acceptable,
+// otherwise a fresh random one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get(HeaderRequestID); id != "" && len(id) <= maxRequestIDLen {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Config returns the server's resolved configuration (defaults applied).
@@ -163,13 +225,32 @@ func (s *Server) handleDebug(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleTraces serves the recent span trees: all recent traces
+// (oldest first), or — with ?request_id= — the most recent trace of
+// that request (404 when it has rotated out of the ring or never ran).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("request_id"); id != "" {
+		tr, ok := s.ring.Find(id)
+		if !ok {
+			writeError(w, errf(http.StatusNotFound, CodeInvalidArgument,
+				"no trace for request_id %q (rotated out or never traced)", id))
+			return
+		}
+		writeJSON(w, tr)
+		return
+	}
+	writeJSON(w, map[string]any{"traces": s.ring.Recent()})
+}
+
 // endpointFunc computes one request. It returns the response value to
-// encode (ignored when it returns an error) and may record phases on tr.
+// encode (ignored when it returns an error); phase timings are emitted
+// as spans on the request context.
 type endpointFunc func(r *http.Request, tr *obs.Trace) (any, *apiError)
 
-// endpoint wraps a handler with the serving spine: method check,
-// concurrency limiting with 429 backpressure, per-endpoint
-// request/outcome/latency metrics and the phase-trace ring.
+// endpoint wraps a handler with the serving spine: request-ID
+// correlation, method check, concurrency limiting with 429 backpressure,
+// per-endpoint request/outcome/latency metrics, span tracing and the
+// trace ring, and structured request logging.
 func (s *Server) endpoint(name string, post bool, fn endpointFunc) http.Handler {
 	m := s.cfg.Metrics
 	requests := m.Counter("server." + name + ".requests")
@@ -180,7 +261,17 @@ func (s *Server) endpoint(name string, post bool, fn endpointFunc) http.Handler 
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		requests.Inc()
-		tr := obs.Trace{Start: start, Endpoint: name, Bytes: r.ContentLength}
+		id := requestID(r)
+		w.Header().Set(HeaderRequestID, id)
+		lg := s.cfg.Logger.With("request_id", id, "endpoint", name)
+		tr := obs.Trace{RequestID: id, Start: start, Endpoint: name, Bytes: r.ContentLength}
+		// Span tracing rides the trace ring's switch: with tracing off the
+		// context carries no span and every StartSpan below it is a no-op.
+		var root *obs.Span
+		if s.ring != nil {
+			root = obs.NewSpan("server." + name)
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), root))
+		}
 		if r.ContentLength > 0 {
 			s.reqBytes.Observe(float64(r.ContentLength))
 		}
@@ -191,7 +282,22 @@ func (s *Server) endpoint(name string, post bool, fn endpointFunc) http.Handler 
 				tr.Err = apiErr.Code
 			}
 			latency.Observe(float64(tr.Total) / 1e6)
+			if root != nil {
+				root.End()
+				node := root.Node()
+				tr.Spans = &node
+			}
 			s.ring.Record(tr)
+			level := slog.LevelInfo
+			switch {
+			case code >= 500:
+				level = slog.LevelError
+			case code >= 400:
+				level = slog.LevelWarn
+			}
+			lg.Log(r.Context(), level, "request served",
+				"code", code, "err", tr.Err, "pixels", tr.Pixels,
+				"bytes", tr.Bytes, "duration", tr.Total)
 		}
 		if post && r.Method != http.MethodPost {
 			e := errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
@@ -210,6 +316,7 @@ func (s *Server) endpoint(name string, post bool, fn endpointFunc) http.Handler 
 		default:
 			s.rateLimited.Inc()
 			e := errf(http.StatusTooManyRequests, CodeRateLimited, "concurrency limit %d reached", s.cfg.MaxConcurrent)
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
 			writeError(w, e)
 			finish(e.Status, e)
 			return
@@ -221,7 +328,9 @@ func (s *Server) endpoint(name string, post bool, fn endpointFunc) http.Handler 
 		switch {
 		case apiErr == nil:
 			oks.Inc()
+			_, sp := obs.StartSpan(r.Context(), "encode")
 			writeJSON(w, resp)
+			sp.End()
 			finish(http.StatusOK, nil)
 		case apiErr.Code == CodeCanceled:
 			// The client is gone (or its deadline passed): the write is
@@ -285,6 +394,9 @@ func (s *Server) ListenAndServe(addr string) error {
 // without a prior Serve (no-op beyond entering the draining state).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.stopSampler != nil {
+		s.stopSampler()
+	}
 	s.mu.Lock()
 	srv := s.httpSrv
 	s.mu.Unlock()

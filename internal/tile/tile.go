@@ -19,7 +19,27 @@ import (
 	"fmt"
 	"math/bits"
 
+	"bfast/internal/obs"
 	"bfast/internal/series"
+)
+
+// Workload-skew introspection (DESIGN.md §7), published at plan time —
+// planning already popcounts every pixel, so the histograms cost one
+// extra pass over the bin structure, not over the data.
+//
+//   - tile.pixel.valid: valid-observation count per pixel — the raw
+//     irregularity the binning has to absorb.
+//   - tile.pad.waste_pct: per tile, the fraction of padded kernel work
+//     wasted on invalid slots, 100·(1 − Σc_p/(P·c_max)). Near 0 means
+//     binning found near-uniform tiles; large values mean the scene's
+//     valid counts are too spread for the tile width.
+//   - tile.bin.spread: per tile, c_max − c_min of its pixels' valid
+//     counts — the residual non-uniformity inside one tile.
+var (
+	statTiles      = obs.Default().Counter("tile.tiles")
+	statPixelValid = obs.Default().Histogram("tile.pixel.valid", []float64{8, 16, 32, 64, 128, 256, 512, 1024})
+	statPadWaste   = obs.Default().Histogram("tile.pad.waste_pct", []float64{0.5, 1, 2, 5, 10, 25, 50})
+	statBinSpread  = obs.Default().Histogram("tile.bin.spread", []float64{0, 1, 2, 4, 8, 16, 32, 64})
 )
 
 // DefaultWidth is the default tile width T. Eight float64 accumulators
@@ -75,7 +95,37 @@ func NewPlan(mask *series.BatchMask, t int) *Plan {
 		pl.Order[hist[counts[i]]] = i
 		hist[counts[i]]++
 	}
+	pl.publishSkew(counts)
 	return pl
+}
+
+// publishSkew records the plan's workload-skew histograms from the
+// per-pixel valid counts (batch order; tile membership via Order).
+func (pl *Plan) publishSkew(counts []int) {
+	statTiles.Add(int64(pl.Tiles))
+	for _, c := range counts {
+		statPixelValid.Observe(float64(c))
+	}
+	for ti := 0; ti < pl.Tiles; ti++ {
+		idx := pl.Indices(ti)
+		cmin, cmax, sum := counts[idx[0]], counts[idx[0]], 0
+		for _, px := range idx {
+			c := counts[px]
+			sum += c
+			if c < cmin {
+				cmin = c
+			}
+			if c > cmax {
+				cmax = c
+			}
+		}
+		statBinSpread.Observe(float64(cmax - cmin))
+		if cmax > 0 {
+			statPadWaste.Observe(100 * (1 - float64(sum)/float64(len(idx)*cmax)))
+		} else {
+			statPadWaste.Observe(0)
+		}
+	}
 }
 
 // Width returns the number of pixels in tile ti (T, or the ragged tail).

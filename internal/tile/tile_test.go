@@ -206,3 +206,60 @@ func TestPlanWidthClamping(t *testing.T) {
 		t.Fatalf("T=1000 → %d", pl.T)
 	}
 }
+
+// TestPlanSkewMetrics: planning must publish the workload-skew
+// histograms — one pixel sample per pixel, one waste/spread sample per
+// tile — and a uniform scene must show zero padding waste while a
+// two-population scene binned into separate tiles must too.
+func TestPlanSkewMetrics(t *testing.T) {
+	pixBefore := statPixelValid.Count()
+	tilesBefore := statPadWaste.Count()
+	spreadBefore := statBinSpread.Sum()
+	wasteBefore := statPadWaste.Sum()
+
+	// 8 pixels with 30 valid dates, 8 with 60: binned by valid count,
+	// each tile is internally uniform -> zero waste, zero spread.
+	const m, n, tw = 16, 70, 8
+	y := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		valid := 30
+		if i >= 8 {
+			valid = 60
+		}
+		for t0 := 0; t0 < n; t0++ {
+			if t0 < valid {
+				y[i*n+t0] = 1
+			} else {
+				y[i*n+t0] = math.NaN()
+			}
+		}
+	}
+	pl := NewPlan(series.NewBatchMask(m, n, y), tw)
+	if pl.Tiles != 2 {
+		t.Fatalf("tiles = %d, want 2", pl.Tiles)
+	}
+	if got := statPixelValid.Count() - pixBefore; got != m {
+		t.Fatalf("pixel samples = %d, want %d", got, m)
+	}
+	if got := statPadWaste.Count() - tilesBefore; got != 2 {
+		t.Fatalf("tile samples = %d, want 2", got)
+	}
+	if d := statPadWaste.Sum() - wasteBefore; d != 0 {
+		t.Fatalf("uniform bins recorded %v%% padding waste, want 0", d)
+	}
+	if d := statBinSpread.Sum() - spreadBefore; d != 0 {
+		t.Fatalf("uniform bins recorded spread %v, want 0", d)
+	}
+
+	// A single tile mixing one 30-valid and one 60-valid pixel must show
+	// both waste (100·(1 − 90/120) = 25%) and spread (30).
+	wasteBefore = statPadWaste.Sum()
+	spreadBefore = statBinSpread.Sum()
+	NewPlan(series.NewBatchMask(2, n, y[7*n:9*n]), tw)
+	if d := statPadWaste.Sum() - wasteBefore; d != 25 {
+		t.Fatalf("mixed tile padding waste = %v%%, want 25", d)
+	}
+	if d := statBinSpread.Sum() - spreadBefore; d != 30 {
+		t.Fatalf("mixed tile spread = %v, want 30", d)
+	}
+}

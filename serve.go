@@ -1,6 +1,10 @@
 package bfast
 
 import (
+	"io"
+	"log/slog"
+
+	"bfast/internal/obs"
 	"bfast/internal/server"
 )
 
@@ -9,12 +13,24 @@ import (
 type ServerConfig = server.Config
 
 // Server is the BFAST-Monitor HTTP service: an http.Handler exposing
-// /v1/detect, /v1/trace, /v1/batch, /v1/healthz, /metrics and
-// /debug/bfast, with context cancellation plumbed into the detection
-// kernels, concurrency limiting with 429 backpressure and graceful
-// Shutdown. cmd/bfast-serve is a thin wrapper around this type.
+// /v1/detect, /v1/trace, /v1/batch, /v1/healthz, /metrics (JSON and
+// Prometheus text), /debug/bfast and /debug/bfast/traces, with context
+// cancellation plumbed into the detection kernels, concurrency limiting
+// with 429 backpressure, request-ID span tracing and graceful Shutdown.
+// cmd/bfast-serve is a thin wrapper around this type.
 type Server = server.Server
+
+// HeaderRequestID is the correlation header honored and returned by the
+// service; see internal/server.HeaderRequestID.
+const HeaderRequestID = server.HeaderRequestID
 
 // NewServer builds the HTTP service from cfg. It is the single
 // constructor shared by library embedders and cmd/bfast-serve.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewLogger builds a structured logger for ServerConfig.Logger and
+// PipelineConfig.Logger: level is debug/info/warn/error (default info),
+// format is text or json (default text).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
