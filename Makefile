@@ -1,21 +1,27 @@
-# Tier-1 verification targets. `make ci` is the full gate; `make race`
-# exercises the concurrent hot paths (scheduler, batched detection, tiled
-# kernels, C-like baseline, ROC trimming, pipeline overlap, HTTP serving,
-# metrics and span tracing) under the race detector; `make bench-smoke`
-# runs the tiles before/after experiment at a tiny sample so CI catches
-# harness regressions without paying benchmark time; `make serve-smoke`
-# boots bfast-serve, hits /v1/healthz and /metrics, and verifies a clean
-# SIGTERM shutdown; `make metrics-smoke` validates both /metrics
-# expositions (JSON default, Prometheus text) against the pinned family
-# golden file.
+# Tier-1 verification targets. `make ci` is the full gate; `make lint`
+# runs gofmt, go vet and the repo's own analyzer suite (bfast-lint:
+# nanguard, kernelalloc, ctxfirst, spanpair, nodeprecated — see
+# DESIGN.md §8); `make race` exercises every internal package under the
+# race detector; `make fuzz-smoke` runs each native fuzz target for
+# ~10s over its corpus (dates.ParseDate and the /v1/batch decode path);
+# `make bench-smoke` runs the tiles before/after experiment at a tiny
+# sample so CI catches harness regressions without paying benchmark
+# time; `make serve-smoke` boots bfast-serve, hits /v1/healthz and
+# /metrics, and verifies a clean SIGTERM shutdown; `make metrics-smoke`
+# validates both /metrics expositions (JSON default, Prometheus text)
+# against the pinned family golden file.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: ci lint vet fmt-check build test race bench bench-smoke serve-smoke metrics-smoke
+.PHONY: ci lint bfast-lint vet fmt-check build test race fuzz-smoke vulncheck bench bench-smoke serve-smoke metrics-smoke
 
-ci: lint build race test
+ci: lint build race test fuzz-smoke
 
-lint: vet fmt-check
+lint: vet fmt-check bfast-lint
+
+bfast-lint:
+	$(GO) run ./cmd/bfast-lint ./...
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +38,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/baseline/... ./internal/history/... ./internal/tile/... ./internal/linalg/... ./internal/server/... ./internal/obs/... ./internal/pipeline/...
+	$(GO) test -race ./internal/...
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseDate -fuzztime=$(FUZZTIME) ./internal/dates/
+	$(GO) test -run='^$$' -fuzz=FuzzBatchDecode -fuzztime=$(FUZZTIME) ./internal/server/
+
+# vulncheck is advisory: govulncheck is not vendored, so the target
+# reports and succeeds when the tool (or network) is unavailable.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "vulncheck: findings above are advisory"; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping (advisory)"; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -34,14 +34,14 @@ func runExperiment(b *testing.B, name string, cfg benchutil.Config) {
 	if _, done := printOnce.LoadOrStore(name, true); !done {
 		cfg.Out = os.Stdout
 		fmt.Println()
-		if err := benchutil.Run(name, cfg); err != nil {
+		if err := benchutil.Run(context.Background(), name, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 	cfg.Out = io.Discard
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := benchutil.Run(name, cfg); err != nil {
+		if err := benchutil.Run(context.Background(), name, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"bfast/internal/benchutil"
 	"bfast/internal/gpusim"
@@ -52,8 +55,13 @@ func main() {
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
+	// The experiments run on the ctx-first hot path, so Ctrl-C/SIGTERM
+	// cancels the in-flight batched detection at steal-unit granularity
+	// instead of killing the process mid-measurement.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *asJSON {
-		rows, err := benchutil.RunJSON(*exp, cfg)
+		rows, err := benchutil.RunJSON(ctx, *exp, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bfast-bench:", err)
 			os.Exit(1)
@@ -76,7 +84,7 @@ func main() {
 		}
 		return
 	}
-	if err := benchutil.Run(*exp, cfg); err != nil {
+	if err := benchutil.Run(ctx, *exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bfast-bench:", err)
 		os.Exit(1)
 	}

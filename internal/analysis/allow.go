@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The //lint:allow driver. An annotation of the form
+//
+//	//lint:allow nanguard -- exact-zero pivot check, NaN propagates by design
+//
+// on the offending line (trailing comment) or on its own line directly
+// above suppresses findings of the named analyzers at that site. The
+// reason after `--` is mandatory: an allow is a documented exception to
+// a paper-level invariant, not an escape hatch. A stale allow — one
+// that suppresses nothing in a run where its analyzer executed — is
+// itself reported, so suppressions cannot outlive the code they excuse.
+
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z0-9_,-]+)(?:\s+--\s+(\S.*))?$`)
+
+// allowMark is one parsed //lint:allow comment.
+type allowMark struct {
+	pos       token.Pos
+	line      int
+	file      string
+	analyzers []string
+	used      map[string]bool // analyzer name -> suppressed something
+}
+
+// collectAllows parses every //lint:allow comment in the package's
+// non-test files. Malformed annotations (missing reason, unknown
+// analyzer name) are returned as diagnostics attributed to the pseudo
+// analyzer "allow".
+func collectAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) ([]*allowMark, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var marks []*allowMark
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//lint:allow") {
+					continue
+				}
+				if IsTestFile(fset, c.Pos()) {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil || m[2] == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "allow",
+						Message:  "malformed //lint:allow: want `//lint:allow <analyzer>[,<analyzer>...] -- <reason>` (the reason is mandatory)",
+					})
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				mark := &allowMark{
+					pos:  c.Pos(),
+					line: fset.Position(c.Pos()).Line,
+					file: fset.Position(c.Pos()).Filename,
+					used: make(map[string]bool, len(names)),
+				}
+				ok := true
+				for _, n := range names {
+					if !known[n] {
+						malformed = append(malformed, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "allow",
+							Message:  "//lint:allow names unknown analyzer " + strconvQuote(n),
+						})
+						ok = false
+						continue
+					}
+					mark.analyzers = append(mark.analyzers, n)
+				}
+				if ok || len(mark.analyzers) > 0 {
+					marks = append(marks, mark)
+				}
+			}
+		}
+	}
+	return marks, malformed
+}
+
+// filterAllowed drops diagnostics covered by an allow on the same line
+// or on the line directly above, marking the allow as used.
+func filterAllowed(fset *token.FileSet, marks []*allowMark, diags []Diagnostic) []Diagnostic {
+	if len(marks) == 0 {
+		return diags
+	}
+	byKey := make(map[string][]*allowMark)
+	for _, m := range marks {
+		for _, a := range m.analyzers {
+			byKey[m.file+"\x00"+a] = append(byKey[m.file+"\x00"+a], m)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for _, m := range byKey[p.Filename+"\x00"+d.Analyzer] {
+			if m.line == p.Line || m.line == p.Line-1 {
+				m.used[d.Analyzer] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// staleAllows reports every allowed analyzer name that suppressed
+// nothing: the code under the annotation no longer triggers the
+// finding, so the annotation must go.
+func staleAllows(marks []*allowMark) []Diagnostic {
+	var out []Diagnostic
+	for _, m := range marks {
+		for _, a := range m.analyzers {
+			if !m.used[a] {
+				out = append(out, Diagnostic{
+					Pos:      m.pos,
+					Analyzer: "allow",
+					Message:  "stale //lint:allow: " + a + " reports nothing here; remove the annotation",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The allowfix fixture exercises the //lint:allow driver end to end
+// through Check: suppression on the same line and the line above, the
+// stale-allow report, and the two malformed shapes (missing reason,
+// unknown analyzer name). Expectations are programmatic rather than
+// want comments because the annotations under test are themselves
+// comments.
+func loadAllowFixture(t *testing.T) []Diagnostic {
+	t.Helper()
+	env := newFixtureEnv()
+	pkg := env.load(t, "allowfix")
+	diags, err := Check(pkg, []*Analyzer{NanGuard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestAllowSuppressesAnnotatedSites(t *testing.T) {
+	diags := loadAllowFixture(t)
+	for _, d := range diags {
+		if strings.Contains(d.Message, "exact comparison on purpose") ||
+			strings.Contains(d.Message, "exact zero sentinel") {
+			t.Errorf("suppressed site leaked a diagnostic: %s", d.Message)
+		}
+	}
+	// The two allowed comparisons (same-line and line-above forms) must
+	// not appear; the only surviving nanguard findings are the one under
+	// the malformed (reason-less) allow and the plain unsuppressed one.
+	var nanguard int
+	for _, d := range diags {
+		if d.Analyzer == "nanguard" {
+			nanguard++
+		}
+	}
+	if nanguard != 2 {
+		t.Errorf("expected 2 surviving nanguard findings (malformed-allow site + unsuppressed site), got %d: %v", nanguard, diags)
+	}
+}
+
+func TestStaleAllowReported(t *testing.T) {
+	diags := loadAllowFixture(t)
+	var stale []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "allow" && strings.Contains(d.Message, "stale //lint:allow") {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("expected exactly 1 stale allow, got %d: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "nanguard reports nothing here") {
+		t.Errorf("stale message should name the analyzer: %s", stale[0].Message)
+	}
+}
+
+func TestMalformedAllowsReported(t *testing.T) {
+	diags := loadAllowFixture(t)
+	var missingReason, unknown bool
+	for _, d := range diags {
+		if d.Analyzer != "allow" {
+			continue
+		}
+		if strings.Contains(d.Message, "the reason is mandatory") {
+			missingReason = true
+		}
+		if strings.Contains(d.Message, `unknown analyzer "nosuchcheck"`) {
+			unknown = true
+		}
+	}
+	if !missingReason {
+		t.Error("reason-less //lint:allow not reported as malformed")
+	}
+	if !unknown {
+		t.Error("//lint:allow with unknown analyzer name not reported")
+	}
+}
+
+// A malformed allow must not suppress: the finding on the line below
+// the reason-less annotation survives.
+func TestMalformedAllowDoesNotSuppress(t *testing.T) {
+	diags := loadAllowFixture(t)
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "nanguard" && strings.Contains(d.Message, "compared with ==") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no surviving nanguard == finding; the malformed allow appears to have suppressed it")
+	}
+}
+
+// Findings and allows in _test.go fixture files are both ignored: the
+// nanguard fixture's exempt_test.go compares float64 with == and must
+// produce nothing.
+func TestTestFilesExempt(t *testing.T) {
+	env := newFixtureEnv()
+	pkg := env.load(t, "nanguard")
+	diags, err := Check(pkg, []*Analyzer{NanGuard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if IsTestFile(pkg.Fset, d.Pos) {
+			t.Errorf("diagnostic in a _test.go fixture file survived: %s", d.Message)
+		}
+	}
+}

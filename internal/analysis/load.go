@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir into fully
+// type-checked packages. One `go list -export -deps` invocation yields
+// both the target set and gc export data for every dependency, so each
+// target package type-checks independently against compiled export
+// data — the same strategy as x/tools' packages.Load in LoadTypes
+// mode, built on the stdlib gc importer.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %v matched no packages", patterns)
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			// No cgo in this repo; refuse rather than mis-typecheck.
+			return nil, fmt.Errorf("%s: cgo packages are not supported by bfast-lint", t.ImportPath)
+		}
+		var files []*ast.File
+		for _, g := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, g), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := NewTypesInfo()
+		tp, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  t.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: tp,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// NewTypesInfo allocates the full types.Info map set the analyzers
+// rely on (expression types, object uses/defs, selections).
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NanGuard enforces the paper's missing-value discipline (PAPER.md
+// §III): satellite series encode "missing" as NaN, and NaN poisons
+// `==`/`!=` — x == x is false for NaN, so a raw float64 equality in a
+// kernel or series path silently misclassifies missing observations.
+// The invariant: numeric packages that touch series, residuals or
+// fitted values never compare float64 with `==`/`!=`; they use
+// math.IsNaN, the bitset validity masks from internal/series, or a
+// tolerance. Intentional exact comparisons (the Gauss-Jordan
+// exact-zero pivot checks, where NaN==0 being false is precisely the
+// propagation the bit-identity tests pin) carry a documented
+// //lint:allow nanguard annotation. Bit-identity *tests* compare with
+// == on purpose and are exempt wholesale (test files are skipped by
+// the driver).
+var NanGuard = &Analyzer{
+	Name: "nanguard",
+	Doc:  "no ==/!= on NaN-capable float64 values in series/kernel packages; use math.IsNaN or validity masks",
+	Run:  runNanGuard,
+}
+
+// nanguardScope is the set of repo packages whose float64 values are
+// NaN-capable series data. Observability, serving and harness packages
+// compare config floats legitimately and are out of scope; non-repo
+// packages (analyzer test fixtures) are always in scope.
+var nanguardScope = map[string]bool{
+	"bfast":                   true,
+	"bfast/internal/series":   true,
+	"bfast/internal/core":     true,
+	"bfast/internal/tile":     true,
+	"bfast/internal/linalg":   true,
+	"bfast/internal/baseline": true,
+	"bfast/internal/history":  true,
+	"bfast/internal/kernels":  true,
+	"bfast/internal/stats":    true,
+	"bfast/internal/cube":     true,
+	"bfast/internal/indices":  true,
+	"bfast/internal/geotiff":  true,
+	"bfast/internal/pipeline": true,
+}
+
+func runNanGuard(pass *Pass) error {
+	if p := pass.Pkg.Path(); strings.HasPrefix(p, "bfast") && !nanguardScope[p] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded comparison, no runtime NaN
+			}
+			if !isFloat64(xt.Type) && !isFloat64(yt.Type) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"float64 values compared with %s; NaN-capable series data needs math.IsNaN, a validity mask, or a tolerance", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDeprecated fences off the compatibility shims that survive only
+// for external callers of the pre-ctx API: Detector.DetectBatchStrategy
+// and Detector.DetectBatchFused (root package) and baseline.CLikeStatic
+// (the pre-ValidMask seed path). Internal code that reaches for them
+// silently forfeits cancellation, span tracing and the tiled kernels —
+// the exact contract PR-3/PR-4 established — so any internal call site
+// is a finding. The equivalence tests that pin the deprecated paths
+// bit-for-bit live in _test.go files (exempt), and the one harness
+// that measures the seed path on purpose carries a documented
+// //lint:allow nodeprecated.
+var NoDeprecated = &Analyzer{
+	Name: "nodeprecated",
+	Doc:  "internal packages must not call the Deprecated wrappers DetectBatchStrategy/DetectBatchFused/CLikeStatic",
+	Run:  runNoDeprecated,
+}
+
+// deprecatedCalls maps wrapper name -> defining package name. Matching
+// is by (function name, package name) rather than full import path so
+// the analyzer's fixtures can model the wrappers without replicating
+// the module path.
+var deprecatedCalls = map[string]string{
+	"DetectBatchStrategy": "bfast",
+	"DetectBatchFused":    "bfast",
+	"CLikeStatic":         "baseline",
+}
+
+func runNoDeprecated(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var obj types.Object
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				obj = pass.TypesInfo.Uses[fun]
+			case *ast.SelectorExpr:
+				obj = pass.TypesInfo.Uses[fun.Sel]
+			}
+			if obj == nil || obj.Pkg() == nil || obj.Pkg() == pass.Pkg {
+				return true
+			}
+			if pkgName, bad := deprecatedCalls[obj.Name()]; bad && obj.Pkg().Name() == pkgName {
+				pass.Reportf(call.Pos(),
+					"call to deprecated %s.%s: use the ctx-first API (DetectBatch / baseline.CLike) so cancellation and spans propagate", obj.Pkg().Name(), obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

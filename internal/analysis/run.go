@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+)
+
+// RunStandalone is the `bfast-lint ./...` entry point: load every
+// package matching patterns, run the suite, print findings one per
+// line ("path:line:col: message (analyzer)") and return the process
+// exit code (0 clean, 1 findings, 2 operational failure).
+func RunStandalone(dir string, patterns []string, analyzers []*Analyzer, w io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(w, "bfast-lint: %v\n", err)
+		return 2
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := Check(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(w, "bfast-lint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(w, FormatDiagnostic(pkg.Fset, d, dir))
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(w, "bfast-lint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// FormatDiagnostic renders one finding with a path relative to dir
+// when possible (keeps CI logs readable and clickable).
+func FormatDiagnostic(fset *token.FileSet, d Diagnostic, dir string) string {
+	p := fset.Position(d.Pos)
+	name := p.Filename
+	if dir != "" {
+		if abs, err := filepath.Abs(dir); err == nil {
+			if rel, err := filepath.Rel(abs, name); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+				name = rel
+			}
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", name, p.Line, p.Column, d.Message, d.Analyzer)
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanPair keeps PR-4's trace trees leak-free: every span returned by
+// obs.StartSpan must be Ended on every path out of the enclosing
+// function, or /debug/bfast/traces accumulates forever-open spans with
+// garbage durations. The analyzer proves pairing with a conservative
+// forward scan from the StartSpan assignment through its enclosing
+// statement list:
+//
+//   - `defer sp.End()` reached before any statement that can return →
+//     paired (the dominant repo idiom);
+//   - a plain `sp.End()` reached the same way → paired (the
+//     sequential-phases idiom in core's staged kernels);
+//   - a statement containing a return is tolerated only if every such
+//     return is directly preceded by `sp.End()` in its own block (the
+//     early-exit idiom in the serving handlers and sched loops);
+//   - anything else — a reachable return without End, reassignment of
+//     the span variable before End, a goto, or falling off the scan —
+//     is reported.
+//
+// The scan is intraprocedural and syntactic on purpose: a span that
+// escapes into another function for ending is exotic enough to deserve
+// a documented //lint:allow spanpair.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "every obs.StartSpan must have End called on all paths (defer it, or End before any branch/return)",
+	Run:  runSpanPair,
+}
+
+func runSpanPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn := funcBody(n)
+			if fn == nil {
+				return true
+			}
+			checkSpansInFunc(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return nil
+}
+
+// checkSpansInFunc scans every statement list of fn (block bodies,
+// case clauses) for StartSpan assignments and verifies pairing within
+// that list. Nested function literals are handled by their own
+// funcBody visit, not here.
+func checkSpansInFunc(pass *Pass, body *ast.BlockStmt) {
+	var walkList func(list []ast.Stmt)
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkList(s.List)
+		case *ast.IfStmt:
+			walkList(s.Body.List)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *ast.ForStmt:
+			walkList(s.Body.List)
+		case *ast.RangeStmt:
+			walkList(s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkList(cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkList(cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkList(cc.Body)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt)
+		}
+	}
+	walkList = func(list []ast.Stmt) {
+		for i, s := range list {
+			if obj, assign := startSpanAssign(pass, s); assign != nil {
+				checkPairing(pass, obj, assign, list[i+1:])
+			}
+			walkStmt(s)
+		}
+	}
+	walkList(body.List)
+}
+
+// startSpanAssign matches `ctx, sp := obs.StartSpan(...)` (or `=`) and
+// returns the span variable's object. A blank span identifier is
+// reported immediately: a discarded span can never be Ended.
+func startSpanAssign(pass *Pass, s ast.Stmt) (types.Object, *ast.AssignStmt) {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil, nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isObsStartSpan(pass, call) {
+		return nil, nil
+	}
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	if id.Name == "_" {
+		pass.Reportf(as.Pos(), "obs.StartSpan result discarded: the span can never be Ended and will leak in the trace tree")
+		return nil, nil
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return nil, nil
+	}
+	return obj, as
+}
+
+func isObsStartSpan(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// checkPairing runs the forward scan over the statements following the
+// StartSpan assignment in the same list.
+func checkPairing(pass *Pass, sp types.Object, assign *ast.AssignStmt, rest []ast.Stmt) {
+	for _, s := range rest {
+		switch {
+		case isEndCall(pass, s, sp):
+			return // plain sp.End() dominates the exits seen so far
+		case isDeferEnd(pass, s, sp):
+			return // deferred: all later paths are covered
+		case reassignsSpan(pass, s, sp):
+			pass.Reportf(assign.Pos(), "span from obs.StartSpan is reassigned before End: the first span leaks")
+			return
+		}
+		if !exitSafe(pass, s, sp) {
+			pass.Reportf(assign.Pos(), "span from obs.StartSpan may leak: a path can leave the function before End (defer sp.End() right after StartSpan, or End before every return)")
+			return
+		}
+	}
+	pass.Reportf(assign.Pos(), "span from obs.StartSpan is never Ended in this block (defer sp.End() right after StartSpan)")
+}
+
+// isEndCall matches `sp.End()` as an expression statement.
+func isEndCall(pass *Pass, s ast.Stmt, sp types.Object) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	return isEndExpr(pass, es.X, sp)
+}
+
+func isDeferEnd(pass *Pass, s ast.Stmt, sp types.Object) bool {
+	ds, ok := s.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	return isEndExpr(pass, ds.Call, sp)
+}
+
+func isEndExpr(pass *Pass, e ast.Expr, sp types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == sp
+}
+
+// reassignsSpan reports whether s (at the top level, not inside a
+// nested closure) writes a new value into the span variable.
+func reassignsSpan(pass *Pass, s ast.Stmt, sp types.Object) bool {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, l := range as.Lhs {
+		if id, ok := l.(*ast.Ident); ok && (pass.TypesInfo.Uses[id] == sp || pass.TypesInfo.Defs[id] == sp) {
+			return true
+		}
+	}
+	return false
+}
+
+// exitSafe reports whether statement s cannot leave the enclosing
+// function with the span still open: either it contains no
+// return/goto at all (closures excluded — their returns do not exit
+// this function), or every return it contains is directly preceded by
+// `sp.End()` in its own statement list.
+func exitSafe(pass *Pass, s ast.Stmt, sp types.Object) bool {
+	safe := true
+	var checkList func(list []ast.Stmt)
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		if !safe {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate function; its returns don't exit ours
+		case *ast.ReturnStmt:
+			// reached only when not consumed by checkList below — a
+			// return in a position we could not prove is End-preceded.
+			safe = false
+			return false
+		case *ast.BranchStmt:
+			if n.Tok.String() == "goto" {
+				safe = false
+				return false
+			}
+		case *ast.BlockStmt:
+			checkList(n.List)
+			return false
+		case *ast.CaseClause:
+			checkList(n.Body)
+			return false
+		case *ast.CommClause:
+			checkList(n.Body)
+			return false
+		}
+		return true
+	}
+	checkList = func(list []ast.Stmt) {
+		for i, st := range list {
+			if r, ok := st.(*ast.ReturnStmt); ok {
+				if i == 0 || !isEndCall(pass, list[i-1], sp) {
+					safe = false
+					return
+				}
+				// End-preceded return: still scan the return's values
+				// for closures is unnecessary; expressions can't exit.
+				_ = r
+				continue
+			}
+			if reassignsSpan(pass, st, sp) {
+				safe = false
+				return
+			}
+			ast.Inspect(st, inspect)
+			if !safe {
+				return
+			}
+		}
+	}
+	// Wrap s so ast.Inspect dispatches block structure through checkList.
+	ast.Inspect(s, inspect)
+	return safe
+}

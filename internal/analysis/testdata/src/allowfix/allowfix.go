@@ -1,0 +1,33 @@
+// Fixture for the //lint:allow driver, checked programmatically by
+// allow_test.go (no want comments): one correctly allowed finding, one
+// stale allow, one allow missing its reason, one naming an unknown
+// analyzer, and one unsuppressed finding that must survive.
+package allowfix
+
+func allowedSameLine(a, b float64) bool {
+	return a == b //lint:allow nanguard -- fixture: exact comparison on purpose
+}
+
+func allowedLineAbove(a float64) bool {
+	//lint:allow nanguard -- fixture: exact zero sentinel on purpose
+	return a != 0
+}
+
+func staleAllow(n int) bool {
+	//lint:allow nanguard -- fixture: nothing here triggers nanguard
+	return n == 0
+}
+
+func missingReason(a float64) bool {
+	//lint:allow nanguard
+	return a == 0
+}
+
+func unknownAnalyzer(n int) int {
+	//lint:allow nosuchcheck -- fixture: analyzer name does not exist
+	return n + 1
+}
+
+func unsuppressed(a, b float64) bool {
+	return a == b
+}

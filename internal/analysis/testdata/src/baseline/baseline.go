@@ -1,0 +1,9 @@
+// Package baseline models the repo's baseline package for the
+// nodeprecated fixtures.
+package baseline
+
+// CLikeStatic is the deprecated pre-ValidMask seed path.
+func CLikeStatic() error { return nil }
+
+// CLike is the ctx-first replacement.
+func CLike() error { return nil }

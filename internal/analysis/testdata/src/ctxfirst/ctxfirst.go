@@ -1,0 +1,38 @@
+// Fixture for the ctxfirst analyzer: exported entry points take ctx
+// first, and library code never fabricates its own root context.
+package ctxfirst
+
+import "context"
+
+func BadOrder(name string, ctx context.Context) error { // want `BadOrder takes context\.Context as parameter 1`
+	_ = ctx
+	_ = name
+	return nil
+}
+
+func BadVariadic(a, b int, ctx context.Context, rest ...string) { // want `BadVariadic takes context\.Context as parameter 2`
+	_ = ctx
+}
+
+func fabricateBackground() context.Context {
+	return context.Background() // want `library code fabricates context\.Background\(\)`
+}
+
+func fabricateTODO() context.Context {
+	return context.TODO() // want `library code fabricates context\.TODO\(\)`
+}
+
+// GoodOrder is ctx-first: no finding.
+func GoodOrder(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// unexported helpers are not entry points; rule (a) does not apply.
+func unexported(name string, ctx context.Context) {
+	_ = name
+	_ = ctx
+}
+
+// NoContext entry points are fine too.
+func NoContext(a, b int) int { return a + b }

@@ -1,0 +1,41 @@
+// Fixture for the kernelalloc analyzer: a //bfast:kernel function must
+// not allocate, close over, format or log; panic arguments are exempt
+// and unmarked functions are unconstrained.
+package kernelalloc
+
+import "fmt"
+
+//bfast:kernel
+func badKernel(dst, src []float64) []float64 {
+	tmp := make([]float64, len(src)) // want `kernel badKernel calls make`
+	copy(tmp, src)
+	dst = append(dst, tmp...) // want `kernel badKernel calls append`
+	fmt.Println(len(dst))     // want `kernel badKernel calls fmt\.Println`
+	return dst
+}
+
+//bfast:kernel
+func badClosure(dst []float64) {
+	add := func(i int) { dst[i]++ } // want `kernel badClosure creates a closure`
+	add(0)
+	_ = []int{1, 2} // want `kernel badClosure builds a composite literal`
+}
+
+//bfast:kernel
+func goodKernel(dst, src []float64, n int) {
+	if len(dst) < n || len(src) < n {
+		// Precondition panics may format: the allocation happens only
+		// on the failure path.
+		panic(fmt.Sprintf("kernelalloc: buffers %d/%d below %d", len(dst), len(src), n))
+	}
+	for i := 0; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// unmarked functions allocate freely; the analyzer only binds the
+// declared kernels.
+func unmarked(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, 1)
+}

@@ -1,0 +1,8 @@
+// Bit-identity tests compare float64 with == on purpose; the driver
+// exempts _test.go files wholesale, so nothing in this file is a
+// finding (no want comments).
+package nanguard
+
+func bitIdentical(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,33 @@
+// Fixture for the nanguard analyzer: raw ==/!= on NaN-capable float64
+// is a finding; integer and constant-folded comparisons are not.
+package nanguard
+
+import "math"
+
+type reading float64 // named type with float64 underlying is still NaN-capable
+
+func bad(a, b float64) bool {
+	if a == b { // want `float64 values compared with ==`
+		return true
+	}
+	return a != 0 // want `float64 values compared with !=`
+}
+
+func badNamed(r reading) bool {
+	return r == 0 // want `float64 values compared with ==`
+}
+
+func good(a, b float64, n int) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	const eps = 1e-12
+	d := a - b
+	if d < eps && d > -eps { // ordered comparisons are NaN-safe (false)
+		return true
+	}
+	if n == 0 { // integers cannot be NaN
+		return false
+	}
+	return 1.0 == 2.0 // constant-folded, no runtime NaN
+}

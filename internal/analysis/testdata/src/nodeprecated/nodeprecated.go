@@ -1,0 +1,32 @@
+// Fixture for the nodeprecated analyzer: internal calls to the
+// deprecated seed wrappers are findings; the ctx-first replacements
+// and same-name locals are not.
+package nodeprecated
+
+import (
+	"baseline"
+	"bfast"
+)
+
+func bad() error {
+	if err := bfast.DetectBatchStrategy(); err != nil { // want `deprecated bfast\.DetectBatchStrategy`
+		return err
+	}
+	if err := bfast.DetectBatchFused(); err != nil { // want `deprecated bfast\.DetectBatchFused`
+		return err
+	}
+	return baseline.CLikeStatic() // want `deprecated baseline\.CLikeStatic`
+}
+
+func good() error {
+	if err := bfast.DetectBatch(); err != nil {
+		return err
+	}
+	return baseline.CLike()
+}
+
+// CLikeStatic here is package-local: same name, different package, no
+// finding.
+func CLikeStatic() error { return nil }
+
+func goodLocal() error { return CLikeStatic() }

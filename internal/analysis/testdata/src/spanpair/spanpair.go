@@ -1,0 +1,68 @@
+// Fixture for the spanpair analyzer: every obs.StartSpan must be Ended
+// on all paths out of the function. The negatives cover the three repo
+// idioms (defer-End, sequential End-then-reuse, End-before-return).
+package spanpair
+
+import (
+	"context"
+
+	"obs"
+)
+
+func work() {}
+
+func leakNoEnd(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "leak") // want `never Ended`
+	_ = ctx
+	_ = sp
+	work()
+}
+
+func leakEarlyReturn(ctx context.Context, err error) error {
+	_, sp := obs.StartSpan(ctx, "early") // want `may leak`
+	if err != nil {
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+func leakDiscarded(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "discard") // want `result discarded`
+}
+
+func leakReassigned(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "first") // want `reassigned before End`
+	_, sp = obs.StartSpan(ctx, "second")
+	sp.End()
+}
+
+func goodDeferred(ctx context.Context, err error) error {
+	ctx, sp := obs.StartSpan(ctx, "deferred")
+	defer sp.End()
+	if err != nil {
+		return err
+	}
+	_ = ctx
+	return nil
+}
+
+func goodSequential(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "phase1")
+	work()
+	sp.End()
+	_, sp = obs.StartSpan(ctx, "phase2")
+	work()
+	sp.End()
+}
+
+func goodEndBeforeReturn(ctx context.Context, err error) error {
+	_, sp := obs.StartSpan(ctx, "guarded")
+	if err != nil {
+		sp.End()
+		return err
+	}
+	work()
+	sp.End()
+	return nil
+}

@@ -395,6 +395,10 @@ func (s *scratch) invertGaussJordan() bool {
 		for k1 := 0; k1 < k; k1++ {
 			for k2 := 0; k2 < w; k2++ {
 				var t float64
+				// Exact-zero pivot sentinel, same contract as
+				// linalg.InvertGaussJordan: NaN pivots divide through
+				// and are rejected by the singularity check.
+				//lint:allow nanguard -- exact-zero pivot sentinel; NaN pivots propagate to the singularity check
 				if vq == 0 {
 					t = sh[k1*w+k2]
 				} else {
@@ -459,6 +463,7 @@ func (s *scratch) invertPivot() bool {
 				best, piv = v, r
 			}
 		}
+		//lint:allow nanguard -- best is math.Abs-folded and NaN is rejected explicitly in the same condition
 		if piv < 0 || best == 0 || math.IsNaN(best) {
 			return false
 		}
@@ -476,6 +481,7 @@ func (s *scratch) invertPivot() bool {
 				continue
 			}
 			f := sh[r*w+col]
+			//lint:allow nanguard -- exact-zero elimination skip; NaN factors take the eliminate path
 			if f == 0 {
 				continue
 			}

@@ -33,7 +33,7 @@ type AblationRow struct {
 //     the same work regardless);
 //   - sample-accuracy: sampled-counter extrapolation vs full execution
 //     (validates the SampleM mechanism the harness relies on).
-func Ablations(cfg Config) ([]AblationRow, error) {
+func Ablations(ctx context.Context, cfg Config) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
 	var rows []AblationRow
 
@@ -128,7 +128,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		optS := core.DefaultOptions(sampled.History)
 		optS.Solver = solver
 		start := time.Now()
-		results, err := baseline.CLike(context.Background(), cbS, optS, cfg.Workers)
+		results, err := baseline.CLike(ctx, cbS, optS, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

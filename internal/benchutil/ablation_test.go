@@ -2,13 +2,14 @@ package benchutil
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
 func TestAblations(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{Out: &buf, SampleM: 512}
-	rows, err := Ablations(cfg)
+	rows, err := Ablations(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestAblations(t *testing.T) {
 
 func TestRunDispatchAblations(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Run("ablations", Config{Out: &buf, SampleM: 256}); err != nil {
+	if err := Run(context.Background(), "ablations", Config{Out: &buf, SampleM: 256}); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() == 0 {
@@ -73,7 +74,7 @@ func TestRunDispatchAblations(t *testing.T) {
 func TestClaimsScorecard(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{Out: &buf, SampleM: 1024}
-	claims, err := Claims(cfg)
+	claims, err := Claims(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

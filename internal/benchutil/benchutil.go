@@ -68,49 +68,49 @@ func Experiments() []string {
 }
 
 // Run dispatches one experiment by name ("all" runs every one).
-func Run(name string, cfg Config) error {
+func Run(ctx context.Context, name string, cfg Config) error {
 	if name == "all" {
 		for _, e := range Experiments() {
-			if err := Run(e, cfg); err != nil {
+			if err := Run(ctx, e, cfg); err != nil {
 				return err
 			}
 			fmt.Fprintln(cfg.Out)
 		}
 		return nil
 	}
-	_, err := runOne(name, cfg)
+	_, err := runOne(ctx, name, cfg)
 	return err
 }
 
 // runOne dispatches a single experiment and returns its structured rows.
-func runOne(name string, cfg Config) (any, error) {
+func runOne(ctx context.Context, name string, cfg Config) (any, error) {
 	switch name {
 	case "table1":
-		return Table1(cfg)
+		return Table1(ctx, cfg)
 	case "fig6":
-		return Fig6(cfg)
+		return Fig6(ctx, cfg)
 	case "fig7":
-		return Fig7(cfg)
+		return Fig7(ctx, cfg)
 	case "fig8":
-		return Fig8(cfg)
+		return Fig8(ctx, cfg)
 	case "fig10":
-		return Fig10(cfg)
+		return Fig10(ctx, cfg)
 	case "maps":
-		return Maps(cfg)
+		return Maps(ctx, cfg)
 	case "masks":
-		return Masks(cfg)
+		return Masks(ctx, cfg)
 	case "tiles":
-		return Tiles(cfg)
+		return Tiles(ctx, cfg)
 	case "obsoverhead":
-		return ObsOverhead(cfg)
+		return ObsOverhead(ctx, cfg)
 	case "speedups":
-		return Speedups(cfg)
+		return Speedups(ctx, cfg)
 	case "sweep":
-		return Sweep(cfg)
+		return Sweep(ctx, cfg)
 	case "ablations":
-		return Ablations(cfg)
+		return Ablations(ctx, cfg)
 	case "claims":
-		return Claims(cfg)
+		return Claims(ctx, cfg)
 	default:
 		return nil, fmt.Errorf("benchutil: unknown experiment %q (have %v)", name, Experiments())
 	}
@@ -119,7 +119,7 @@ func runOne(name string, cfg Config) (any, error) {
 // RunJSON runs one experiment ("all" for every one) with the textual
 // report suppressed and returns the structured rows keyed by experiment
 // name, ready for JSON encoding (cmd/bfast-bench -json).
-func RunJSON(name string, cfg Config) (map[string]any, error) {
+func RunJSON(ctx context.Context, name string, cfg Config) (map[string]any, error) {
 	cfg = cfg.withDefaults()
 	cfg.Out = io.Discard
 	names := []string{name}
@@ -128,7 +128,7 @@ func RunJSON(name string, cfg Config) (map[string]any, error) {
 	}
 	out := make(map[string]any, len(names))
 	for _, n := range names {
-		rows, err := runOne(n, cfg)
+		rows, err := runOne(ctx, n, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +182,7 @@ type Table1Row struct {
 // Table1 regenerates Table I: the dataset parameters, with the realized
 // missing-value frequency of the generated (sampled) data as evidence the
 // generator hits the spec.
-func Table1(cfg Config) ([]Table1Row, error) {
+func Table1(ctx context.Context, cfg Config) ([]Table1Row, error) {
 	cfg = cfg.withDefaults()
 	specs, err := datasets(cfg)
 	if err != nil {
@@ -218,7 +218,7 @@ type FigRow struct {
 
 // Fig6 regenerates Figure 6: the batch-masked matrix multiplication in
 // its three variants, reported in GFlops^Sp (flops = 4MnK²).
-func Fig6(cfg Config) ([]FigRow, error) {
+func Fig6(ctx context.Context, cfg Config) ([]FigRow, error) {
 	cfg = cfg.withDefaults()
 	specs, err := datasets(cfg)
 	if err != nil {
@@ -261,7 +261,7 @@ func Fig6(cfg Config) ([]FigRow, error) {
 
 // Fig7 regenerates Figure 7: batched Gauss-Jordan inversion, shared-memory
 // vs global-memory, GFlops^Sp (flops = 6MK³).
-func Fig7(cfg Config) ([]FigRow, error) {
+func Fig7(ctx context.Context, cfg Config) ([]FigRow, error) {
 	cfg = cfg.withDefaults()
 	specs, err := datasets(cfg)
 	if err != nil {
@@ -314,7 +314,7 @@ func Fig7(cfg Config) ([]FigRow, error) {
 // strategies (modeled) and the parallel CPU baseline (measured on this
 // host). The paper's C column ran on a 16-core Xeon; absolute CPU numbers
 // differ with the host, the ordering should not.
-func Fig8(cfg Config) ([]FigRow, error) {
+func Fig8(ctx context.Context, cfg Config) ([]FigRow, error) {
 	cfg = cfg.withDefaults()
 	specs, err := datasets(cfg)
 	if err != nil {
@@ -357,7 +357,7 @@ func Fig8(cfg Config) ([]FigRow, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := baseline.CLike(context.Background(), cb, opt, cfg.Workers); err != nil {
+		if _, err := baseline.CLike(ctx, cb, opt, cfg.Workers); err != nil {
 			return nil, err
 		}
 		cpu := time.Since(start)
@@ -401,7 +401,7 @@ type Fig10Row struct {
 // three Section V scenarios (Peru Small full-size; Peru Large and the
 // Africa per-image scenario geometry-preserved at reduced pixel count —
 // see workload.SectionV — with the paper's 50-chunk split).
-func Fig10(cfg Config) ([]Fig10Row, error) {
+func Fig10(ctx context.Context, cfg Config) ([]Fig10Row, error) {
 	cfg = cfg.withDefaults()
 	fmt.Fprintf(cfg.Out, "FIGURE 10 — pipeline phase breakdown (Peru Large / Africa chunked in 50)\n")
 	fmt.Fprintf(cfg.Out, "paper: transfer < kernel; preprocess+chunking ≈ kernel; interleaved wall ≈ kernel-dominated\n")
@@ -441,7 +441,7 @@ func Fig10(cfg Config) ([]Fig10Row, error) {
 			Chunks:  sc.chunks,
 			SampleM: cfg.SampleM,
 		}
-		res, err := pipeline.Run(context.Background(), c, pcfg)
+		res, err := pipeline.Run(ctx, c, pcfg)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package benchutil
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"runtime"
 	"strings"
@@ -15,7 +16,7 @@ func quickCfg(buf *bytes.Buffer) Config {
 func TestTable1(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{Out: &buf, SampleM: 512}
-	rows, err := Table1(cfg)
+	rows, err := Table1(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestTable1(t *testing.T) {
 
 func TestFig6RowsAndOrdering(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Fig6(quickCfg(&buf))
+	rows, err := Fig6(context.Background(), quickCfg(&buf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFig6RowsAndOrdering(t *testing.T) {
 
 func TestFig7RowsAndOrdering(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Fig7(quickCfg(&buf))
+	rows, err := Fig7(context.Background(), quickCfg(&buf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestFig7RowsAndOrdering(t *testing.T) {
 
 func TestFig8RowsAndOrdering(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Fig8(quickCfg(&buf))
+	rows, err := Fig8(context.Background(), quickCfg(&buf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFig8RowsAndOrdering(t *testing.T) {
 func TestFig10Phases(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{Out: &buf, SampleM: 128}
-	rows, err := Fig10(cfg)
+	rows, err := Fig10(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestMapsScoring(t *testing.T) {
 	var buf bytes.Buffer
 	dir := t.TempDir()
 	cfg := Config{Out: &buf, SampleM: 256, MapsDir: dir}
-	res, err := Maps(cfg)
+	res, err := Maps(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestMapsScoring(t *testing.T) {
 func TestSpeedups(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{Out: &buf, SampleM: 256}
-	res, err := Speedups(cfg)
+	res, err := Speedups(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSpeedups(t *testing.T) {
 func TestSweep(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{Out: &buf, SampleM: 256}
-	rows, err := Sweep(cfg)
+	rows, err := Sweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,10 +188,10 @@ func TestSweep(t *testing.T) {
 func TestRunDispatch(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{Out: &buf, SampleM: 128, Datasets: []string{"D4"}}
-	if err := Run("table1", cfg); err != nil {
+	if err := Run(context.Background(), "table1", cfg); err != nil {
 		t.Fatal(err)
 	}
-	if err := Run("nope", cfg); err == nil {
+	if err := Run(context.Background(), "nope", cfg); err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
 }
@@ -203,7 +204,7 @@ func TestExperimentsListed(t *testing.T) {
 
 func TestObsOverheadRows(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := ObsOverhead(Config{Out: &buf, SampleM: 256})
+	rows, err := ObsOverhead(context.Background(), Config{Out: &buf, SampleM: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestObsOverheadRows(t *testing.T) {
 
 func TestMasksIdenticalRows(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Masks(Config{Out: &buf, SampleM: 256})
+	rows, err := Masks(context.Background(), Config{Out: &buf, SampleM: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestMasksIdenticalRows(t *testing.T) {
 }
 
 func TestRunJSONCollects(t *testing.T) {
-	out, err := RunJSON("masks", Config{SampleM: 128})
+	out, err := RunJSON(context.Background(), "masks", Config{SampleM: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestRunJSONCollects(t *testing.T) {
 	if _, err := json.Marshal(out); err != nil {
 		t.Fatalf("RunJSON payload must marshal: %v", err)
 	}
-	if _, err := RunJSON("nope", Config{}); err == nil {
+	if _, err := RunJSON(context.Background(), "nope", Config{}); err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
 }

@@ -29,7 +29,7 @@ type Claim struct {
 // paper's evaluation is checked programmatically against the simulated/
 // measured system and reported PASS/FAIL. This is the one-shot answer to
 // "did the reproduction work?" — EXPERIMENTS.md narrates the details.
-func Claims(cfg Config) ([]Claim, error) {
+func Claims(ctx context.Context, cfg Config) ([]Claim, error) {
 	cfg = cfg.withDefaults()
 	var out []Claim
 	add := func(id, text, observed string, holds bool) {
@@ -178,7 +178,7 @@ func Claims(cfg Config) ([]Claim, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref, err := core.DetectBatch(context.Background(), cb, opt, core.BatchConfig{})
+	ref, err := core.DetectBatch(ctx, cb, opt, core.BatchConfig{})
 	if err != nil {
 		return nil, err
 	}

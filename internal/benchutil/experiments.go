@@ -34,7 +34,7 @@ type MapsResult struct {
 // Maps runs detection over the Peru (Small)-like scene, renders the
 // break-timing and magnitude maps, and scores detections against the
 // injected ground truth. With MapsDir empty the maps are not written.
-func Maps(cfg Config) (*MapsResult, error) {
+func Maps(ctx context.Context, cfg Config) (*MapsResult, error) {
 	cfg = cfg.withDefaults()
 	spec, err := workload.Preset("PeruSmallScene")
 	if err != nil {
@@ -50,7 +50,7 @@ func Maps(cfg Config) (*MapsResult, error) {
 		return nil, err
 	}
 	opt := core.DefaultOptions(spec.History)
-	results, err := baseline.CLike(context.Background(), b, opt, cfg.Workers)
+	results, err := baseline.CLike(ctx, b, opt, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +117,7 @@ type SpeedupsResult struct {
 // hyperthreads), and the R-style implementation (paper: >5000x vs GPU —
 // of which only the algorithmic/allocation part reproduces here; the R
 // interpreter's constant factor is documented, not simulated).
-func Speedups(cfg Config) (*SpeedupsResult, error) {
+func Speedups(ctx context.Context, cfg Config) (*SpeedupsResult, error) {
 	cfg = cfg.withDefaults()
 	spec, err := workload.Preset("D2")
 	if err != nil {
@@ -160,13 +160,13 @@ func Speedups(cfg Config) (*SpeedupsResult, error) {
 		return time.Duration(float64(time.Since(start)) * scale), nil
 	}
 	if res.CPUParallel, err = measure(func() error {
-		_, e := baseline.CLike(context.Background(), cb, opt, cfg.Workers)
+		_, e := baseline.CLike(ctx, cb, opt, cfg.Workers)
 		return e
 	}); err != nil {
 		return nil, err
 	}
 	if res.CPUSingle, err = measure(func() error {
-		_, e := baseline.CLike(context.Background(), cb, opt, 1)
+		_, e := baseline.CLike(ctx, cb, opt, 1)
 		return e
 	}); err != nil {
 		return nil, err
@@ -207,7 +207,7 @@ type SweepRow struct {
 // 16-day cadence makes a year 23 dates; the injected deforestation events
 // all occur after the base history, so later periods accumulate more
 // detected (negative) breaks.
-func Sweep(cfg Config) ([]SweepRow, error) {
+func Sweep(ctx context.Context, cfg Config) ([]SweepRow, error) {
 	cfg = cfg.withDefaults()
 	spec, err := workload.Preset("PeruSmallScene")
 	if err != nil {
@@ -240,7 +240,7 @@ func Sweep(cfg Config) ([]SweepRow, error) {
 			return nil, err
 		}
 		opt := core.DefaultOptions(history)
-		results, err := baseline.CLike(context.Background(), b, opt, cfg.Workers)
+		results, err := baseline.CLike(ctx, b, opt, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

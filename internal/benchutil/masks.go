@@ -41,7 +41,7 @@ const masksReps = 3
 // the retained seed implementations on a 50%-NaN spatially-correlated
 // (MaskClouds) scene — the skewed regime where static chunking leaves
 // workers idle and per-element NaN tests dominate the inner loops.
-func Masks(cfg Config) ([]MasksRow, error) {
+func Masks(ctx context.Context, cfg Config) ([]MasksRow, error) {
 	cfg = cfg.withDefaults()
 	spec := workload.Spec{
 		Name: "skew50", M: cfg.SampleM, N: 412, History: 206,
@@ -71,13 +71,17 @@ func Masks(cfg Config) ([]MasksRow, error) {
 	pairs := []pair{
 		{"batch-staged",
 			func() ([]core.Result, error) { return core.DetectBatchReference(b, opt, stagedCfg) },
-			func() ([]core.Result, error) { return core.DetectBatch(context.Background(), b, opt, stagedCfg) }},
+			func() ([]core.Result, error) { return core.DetectBatch(ctx, b, opt, stagedCfg) }},
 		{"batch-fused",
 			func() ([]core.Result, error) { return core.DetectBatchReference(b, opt, fusedCfg) },
-			func() ([]core.Result, error) { return core.DetectBatch(context.Background(), b, opt, fusedCfg) }},
+			func() ([]core.Result, error) { return core.DetectBatch(ctx, b, opt, fusedCfg) }},
 		{"clike-baseline",
+			// The masks experiment exists to measure the bitset masks
+			// against the pre-mask seed path, so the deprecated seed
+			// implementation is called here on purpose.
+			//lint:allow nodeprecated -- the experiment's "before" side is the deprecated seed path by design
 			func() ([]core.Result, error) { return baseline.CLikeStatic(b, opt, cfg.Workers) },
-			func() ([]core.Result, error) { return baseline.CLike(context.Background(), b, opt, cfg.Workers) }},
+			func() ([]core.Result, error) { return baseline.CLike(ctx, b, opt, cfg.Workers) }},
 	}
 
 	var rows []MasksRow

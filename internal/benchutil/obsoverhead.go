@@ -39,7 +39,7 @@ const obsReps = 5
 // tracing (root span + kernel-phase children + ring record), on the
 // 50%-NaN cloud-masked scene where the scheduler and kernel phases emit
 // the most spans and skew samples.
-func ObsOverhead(cfg Config) ([]ObsOverheadRow, error) {
+func ObsOverhead(ctx context.Context, cfg Config) ([]ObsOverheadRow, error) {
 	cfg = cfg.withDefaults()
 	spec := workload.Spec{
 		Name: "skew50", M: cfg.SampleM, N: 412, History: 206,
@@ -64,14 +64,14 @@ func ObsOverhead(cfg Config) ([]ObsOverheadRow, error) {
 	for _, st := range []core.Strategy{core.StrategyOurs, core.StrategyRgTlEfSeq} {
 		bcfg := core.BatchConfig{Strategy: st, Workers: cfg.Workers}
 		plainRes, plainT, err := bestOf(obsReps, func() ([]core.Result, error) {
-			return core.DetectBatch(context.Background(), b, opt, bcfg)
+			return core.DetectBatch(ctx, b, opt, bcfg)
 		})
 		if err != nil {
 			return nil, err
 		}
 		instRes, instT, err := bestOf(obsReps, func() ([]core.Result, error) {
 			root := obs.NewSpan("bench.detect_batch")
-			ctx := obs.ContextWithSpan(context.Background(), root)
+			ctx := obs.ContextWithSpan(ctx, root)
 			res, err := core.DetectBatch(ctx, b, opt, bcfg)
 			root.End()
 			ring.Record(obs.Trace{Endpoint: "bench", Spans: func() *obs.SpanNode { n := root.Node(); return &n }()})

@@ -42,7 +42,7 @@ const tilesReps = 3
 // masks give binned tiles aligned column masks, so whole-tile dates take
 // the dense register-blocked path and the design matrix is streamed once
 // per tile instead of once per pixel.
-func Tiles(cfg Config) ([]TilesRow, error) {
+func Tiles(ctx context.Context, cfg Config) ([]TilesRow, error) {
 	cfg = cfg.withDefaults()
 	spec := workload.Spec{
 		Name: "skew50", M: cfg.SampleM, N: 412, History: 206,
@@ -66,13 +66,13 @@ func Tiles(cfg Config) ([]TilesRow, error) {
 	for _, st := range []core.Strategy{core.StrategyOurs, core.StrategyRgTlEfSeq} {
 		bcfg := core.BatchConfig{Strategy: st, Workers: cfg.Workers}
 		maskRes, maskT, err := bestOf(tilesReps, func() ([]core.Result, error) {
-			return core.DetectBatchMasked(context.Background(), b, opt, bcfg)
+			return core.DetectBatchMasked(ctx, b, opt, bcfg)
 		})
 		if err != nil {
 			return nil, err
 		}
 		tileRes, tileT, err := bestOf(tilesReps, func() ([]core.Result, error) {
-			return core.DetectBatch(context.Background(), b, opt, bcfg)
+			return core.DetectBatch(ctx, b, opt, bcfg)
 		})
 		if err != nil {
 			return nil, err

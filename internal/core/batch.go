@@ -109,6 +109,7 @@ func (b *Batch) Row(i int) []float64 { return b.Y[i*b.N : (i+1)*b.N] }
 // elements with math.IsNaN — the paper's "discover the NaN structure
 // once" principle (§III-C) applied to the host path.
 func (b *Batch) Mask(workers int) *series.BatchMask {
+	//lint:allow ctxfirst -- pre-ctx compat wrapper; cancellable callers use MaskCtx
 	bm, _ := b.MaskCtx(context.Background(), workers)
 	return bm
 }

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"bfast/internal/series"
 	"bfast/internal/stats"
@@ -145,9 +146,18 @@ func (o Options) Validate(n int) error {
 	if o.HFrac <= 0 || o.HFrac > 1 {
 		return fmt.Errorf("core: HFrac must be in (0,1], got %g", o.HFrac)
 	}
+	if math.IsNaN(o.Lambda) {
+		// NaN slips past both ordered checks below (NaN<0 and NaN==0
+		// are false) and would poison the boundary test downstream —
+		// exactly the class of bug nanguard exists to catch.
+		return errors.New("core: Lambda must not be NaN")
+	}
 	if o.Lambda < 0 {
 		return errors.New("core: Lambda must be non-negative")
 	}
+	// Zero is the documented "resolve from the critical-value table"
+	// sentinel, set exactly, never computed.
+	//lint:allow nanguard -- exact zero-value config sentinel; NaN rejected above
 	if o.Lambda == 0 {
 		if _, err := o.ResolveLambda(); err != nil {
 			return err

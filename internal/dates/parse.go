@@ -1,0 +1,30 @@
+package dates
+
+import (
+	"fmt"
+	"time"
+)
+
+// acquisitionFormats are the timestamp shapes real scene metadata
+// carries: RFC 3339 (the ImageDescription convention bfast-stack
+// writes), plain ISO dates, and the compact YYYYMMDD form common in
+// Landsat product identifiers. Order matters only for error reporting;
+// the formats are mutually unambiguous.
+var acquisitionFormats = []string{
+	time.RFC3339,
+	"2006-01-02",
+	"20060102",
+}
+
+// ParseDate parses an acquisition timestamp from external metadata
+// (TIFF tags, file names, API inputs) in any accepted format,
+// normalized to UTC. This is the single entry point for date strings
+// crossing the trust boundary, so the fuzz harness covers every caller.
+func ParseDate(s string) (time.Time, error) {
+	for _, layout := range acquisitionFormats {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UTC(), nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("dates: unparsable acquisition date %q (want RFC 3339, YYYY-MM-DD or YYYYMMDD)", s)
+}

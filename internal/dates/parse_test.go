@@ -1,0 +1,77 @@
+package dates
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseDateFormats(t *testing.T) {
+	want := time.Date(2010, 7, 2, 0, 0, 0, 0, time.UTC)
+	for _, s := range []string{"2010-07-02", "20100702", "2010-07-02T00:00:00Z"} {
+		got, err := ParseDate(s)
+		if err != nil {
+			t.Fatalf("ParseDate(%q): %v", s, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("ParseDate(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestParseDateTimezoneNormalized(t *testing.T) {
+	got, err := ParseDate("2010-07-02T10:30:00+02:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2010, 7, 2, 8, 30, 0, 0, time.UTC)
+	if !got.Equal(want) || got.Location() != time.UTC {
+		t.Errorf("ParseDate = %v (loc %v), want %v UTC", got, got.Location(), want)
+	}
+}
+
+func TestParseDateRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"", "yesterday", "2010-13-02", "2010-07-32", "20101302",
+		"2010-07-02T25:00:00Z", "2010-07-02 extra", "2010/07/02",
+	} {
+		if _, err := ParseDate(s); err == nil {
+			t.Errorf("ParseDate(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+// FuzzParseDate hammers the external-input parser: it must never
+// panic, and every accepted input must normalize to UTC and survive an
+// RFC 3339 round trip at the same instant.
+func FuzzParseDate(f *testing.F) {
+	for _, seed := range []string{
+		"2010-07-02",
+		"20100702",
+		"2010-07-02T10:30:00Z",
+		"2010-07-02T10:30:00+02:00",
+		"0000-01-01",
+		"9999-12-31",
+		"not a date",
+		"2010-07-02T10:30:00.123456789Z",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		parsed, err := ParseDate(s)
+		if err != nil {
+			return
+		}
+		if parsed.Location() != time.UTC {
+			t.Fatalf("ParseDate(%q) not normalized to UTC: %v", s, parsed)
+		}
+		rt, err := ParseDate(parsed.Format(time.RFC3339Nano))
+		if err != nil {
+			t.Fatalf("ParseDate(%q) round trip failed to re-parse %q: %v",
+				s, parsed.Format(time.RFC3339Nano), err)
+		}
+		if !rt.Equal(parsed) {
+			t.Fatalf("ParseDate(%q) round trip drifted: %v != %v", s, rt, parsed)
+		}
+	})
+}

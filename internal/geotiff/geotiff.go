@@ -7,7 +7,8 @@
 // paper's measured pipeline starts after decompression, see DESIGN.md).
 //
 // The acquisition date can be carried in the ImageDescription tag as
-// RFC 3339 text, which Stack uses to order images into a data cube.
+// RFC 3339, YYYY-MM-DD or YYYYMMDD text (see dates.ParseDate), which
+// Stack uses to order images into a data cube.
 package geotiff
 
 import (
@@ -17,6 +18,8 @@ import (
 	"math"
 	"os"
 	"time"
+
+	"bfast/internal/dates"
 )
 
 // Image is a single-band float32 raster; NaN encodes missing pixels.
@@ -48,9 +51,12 @@ func (im *Image) At(x, y int) float32 { return im.Pixels[y*im.Width+x] }
 // Set assigns the pixel at (x, y).
 func (im *Image) Set(x, y int, v float32) { im.Pixels[y*im.Width+x] = v }
 
-// Date parses the Description as an acquisition timestamp.
+// Date parses the Description as an acquisition timestamp, accepting
+// the formats dates.ParseDate knows (RFC 3339, YYYY-MM-DD, YYYYMMDD) —
+// TIFF tags come from external tooling, so the parser behind the fuzz
+// harness handles them.
 func (im *Image) Date() (time.Time, error) {
-	t, err := time.Parse(time.RFC3339, im.Description)
+	t, err := dates.ParseDate(im.Description)
 	if err != nil {
 		return time.Time{}, fmt.Errorf("geotiff: image has no parsable date (description %q): %w",
 			im.Description, err)

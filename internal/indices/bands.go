@@ -44,6 +44,7 @@ func GenerateBandScene(spec BandSceneSpec) (*BandScene, error) {
 	if spec.History <= 0 || spec.History >= spec.Dates {
 		return nil, fmt.Errorf("indices: history %d out of range", spec.History)
 	}
+	//lint:allow nanguard -- exact zero-value config default for a spec field, not series data
 	if spec.Noise == 0 {
 		spec.Noise = 0.01
 	}

@@ -21,6 +21,7 @@ func normalizedDifference(a, b float64) float64 {
 		return math.NaN()
 	}
 	den := a + b
+	//lint:allow nanguard -- exact-zero denominator guard; NaN operands already returned above
 	if den == 0 {
 		return math.NaN()
 	}

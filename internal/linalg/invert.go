@@ -36,6 +36,11 @@ func InvertGaussJordan(a *Matrix) (*Matrix, error) {
 		for k1 := 0; k1 < k; k1++ {
 			for k2 := 0; k2 < w; k2++ {
 				var t float64
+				// Exact-zero pivot test on purpose: a NaN pivot is != 0,
+				// so NaN flows through the division and poisons the left
+				// block, which the identity check below rejects — the
+				// same propagation the Futhark kernel relies on.
+				//lint:allow nanguard -- exact-zero pivot sentinel; NaN pivots propagate and are caught by the identity check
 				if vq == 0 {
 					t = sh[k1*w+k2]
 				} else {
@@ -109,6 +114,7 @@ func InvertPivot(a *Matrix) (*Matrix, error) {
 				best, piv = v, r
 			}
 		}
+		//lint:allow nanguard -- best is math.Abs-folded and NaN/Inf are rejected explicitly in the same condition
 		if piv < 0 || best == 0 || math.IsNaN(best) || math.IsInf(best, 0) {
 			// A non-finite pivot means the input carried ±Inf; scaling by
 			// 1/±Inf would zero the row and silently yield a garbage
@@ -130,6 +136,9 @@ func InvertPivot(a *Matrix) (*Matrix, error) {
 				continue
 			}
 			f := sh[r*w+col]
+			// Exact-zero skip: NaN factors are != 0 and eliminate
+			// normally, so missing-value poison still spreads.
+			//lint:allow nanguard -- exact-zero elimination skip; NaN factors take the eliminate path
 			if f == 0 {
 				continue
 			}

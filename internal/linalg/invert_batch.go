@@ -49,6 +49,8 @@ func NewGJBatch(k, lanes int) *GJBatch {
 // written for singular lanes too (with whatever the reduction produced),
 // mirroring the scalar routine's returned matrix; callers must test the
 // flag.
+//
+//bfast:kernel
 func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
 	k, T := g.K, g.Lanes
 	w := 2 * k
@@ -85,6 +87,11 @@ func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
 		anyZero := false
 		for p := 0; p < cnt; p++ {
 			vq[p] = sh[q*T+p] // row 0, column q
+			// Exact-zero pivot sentinel, mirroring the scalar
+			// InvertGaussJordan: NaN pivots are != 0, take the divide
+			// path and poison the lane, which the left-block identity
+			// check downstream rejects.
+			//lint:allow nanguard -- exact-zero pivot sentinel; NaN lanes propagate to the singularity check
 			if vq[p] == 0 {
 				anyZero = true
 			}
@@ -121,6 +128,7 @@ func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
 			src := k2 * T // row 0, column k2
 			dst := k2 * T
 			for p := 0; p < cnt; p++ {
+				//lint:allow nanguard -- exact-zero pivot sentinel (slow path of the lane pivot test above)
 				if vq[p] != 0 {
 					g.xr[dst+p] = sh[src+p] / vq[p]
 				}
@@ -133,6 +141,7 @@ func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
 				xrow := g.xr[k2*T : k2*T+T]
 				if last {
 					for p := 0; p < cnt; p++ {
+						//lint:allow nanguard -- exact-zero pivot sentinel (lane-masked update)
 						if vq[p] == 0 {
 							tmp[dst+p] = sh[dst+p]
 						} else {
@@ -144,6 +153,7 @@ func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
 				src := ((k1+1)*w + k2) * T
 				srcq := ((k1+1)*w + q) * T
 				for p := 0; p < cnt; p++ {
+					//lint:allow nanguard -- exact-zero pivot sentinel (lane-masked update)
 					if vq[p] == 0 {
 						tmp[dst+p] = sh[dst+p]
 					} else {
@@ -199,6 +209,8 @@ func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
 // k-vectors: out[i*lanes+p] = Σ_j a[(i*k+j)*lanes+p] · x[j*lanes+p],
 // accumulating in increasing j (MatVec's order, so lane results are
 // bit-identical to the scalar path).
+//
+//bfast:kernel
 func MatVecBatch(k, lanes, cnt int, a, x, out []float64) {
 	if cnt < 0 || cnt > lanes {
 		panic(fmt.Sprintf("linalg: MatVecBatch count %d for %d lanes", cnt, lanes))

@@ -20,6 +20,8 @@ const allOnes = ^uint64(0)
 // validity bit is set, writing the K×K result into out (length K²).
 // X_h is K×n; words must cover at least n bits. Bit-identical to
 // MaskedCrossProduct with a NaN mask of the same validity pattern.
+//
+//bfast:kernel
 func MaskedCrossProductBits(xh *Matrix, words []uint64, out []float64) {
 	k := xh.Rows
 	n := xh.Cols
@@ -42,6 +44,8 @@ func MaskedCrossProductBits(xh *Matrix, words []uint64, out []float64) {
 
 // MaskedMatVecBits computes X_h · y over the dates whose validity bit is
 // set, writing into out (length K). Bit-identical to MaskedMatVec.
+//
+//bfast:kernel
 func MaskedMatVecBits(xh *Matrix, y []float64, words []uint64, out []float64) {
 	k := xh.Rows
 	n := xh.Cols
@@ -61,6 +65,8 @@ func MaskedMatVecBits(xh *Matrix, y []float64, words []uint64, out []float64) {
 
 // maskedDot accumulates sum_q a[q]*b[q] over the set bits q < n of
 // words, in increasing q. Fully-set words take the dense inner loop.
+//
+//bfast:kernel
 func maskedDot(a, b []float64, words []uint64, n int) float64 {
 	var acc float64
 	full := n / 64

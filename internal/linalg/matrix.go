@@ -103,6 +103,10 @@ func MatMul(a, b *Matrix) *Matrix {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
 		for k, av := range arow {
+			// Sparse skip over the design matrix's structural zeros
+			// (intercept/harmonic columns). Inputs here are generated
+			// design entries, never NaN-coded series data.
+			//lint:allow nanguard -- exact-zero sparsity skip; MatMul operands are NaN-free design matrices
 			if av == 0 {
 				continue
 			}

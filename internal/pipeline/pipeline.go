@@ -142,6 +142,7 @@ func Run(ctx context.Context, c *cube.Cube, cfg Config) (*Result, error) {
 	if cfg.DropEmpty {
 		compact, kept, err := c.DropEmptySlices()
 		if err != nil {
+			spPre.End()
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
 		work = compact
@@ -374,6 +375,10 @@ func RunFile(ctx context.Context, path string, cfg Config) (*Result, error) {
 			return err
 		}
 		pendingIdx = len(hostPerChunk) - 1
+		// The chunk span deliberately outlives this callback: it stays
+		// open while the kernel task runs and is Ended by flush() (or
+		// by the error path below) when the chunk retires.
+		//lint:allow spanpair -- cross-iteration span; flush() and the StreamChunks error path End it
 		_, pendingSpan = obs.StartSpan(ctx, "pipeline.chunk")
 		pendingSpan.SetAttr("idx", pendingIdx)
 		pendingSpan.SetAttr("pixels", ch.Pixels)
@@ -397,6 +402,9 @@ func RunFile(ctx context.Context, path string, cfg Config) (*Result, error) {
 		if pending != nil {
 			_ = pending.Wait()
 		}
+		// The in-flight chunk span would otherwise stay open in the
+		// trace tree (spanpair); End is nil-safe when nothing is pending.
+		pendingSpan.End()
 		return nil, err
 	}
 	if err := flush(); err != nil {

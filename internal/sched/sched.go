@@ -127,6 +127,7 @@ func (p *Pool) Workers(requested, m int) int {
 // spawned only while the pool has capacity, so nested or concurrent
 // loops degrade to fewer workers instead of deadlocking.
 func (p *Pool) ForEach(m, workers, grain int, body func(worker, lo, hi int)) {
+	//lint:allow ctxfirst -- pre-ctx compat wrapper kept for the seed reference paths; new code calls ForEachCtx
 	_ = p.ForEachCtx(context.Background(), m, workers, grain, body)
 }
 
@@ -241,6 +242,7 @@ func recordLoopSkew(sp *obs.Span, counts []int64) {
 // the pattern the paper's C baseline uses per OpenMP thread (footnote
 // 10) to keep the hot loop allocation-free.
 func ForEachScratch[S any](p *Pool, m, workers, grain int, mk func() S, body func(s S, lo, hi int)) {
+	//lint:allow ctxfirst -- pre-ctx compat wrapper kept for the seed reference paths; new code calls ForEachScratchCtx
 	_ = ForEachScratchCtx(context.Background(), p, m, workers, grain, mk, body)
 }
 

@@ -29,6 +29,8 @@ func MaskWords(n int) int { return (n + 63) / 64 }
 
 // FillMask writes y's validity bits into words (which must have
 // MaskWords(len(y)) entries); trailing bits beyond len(y) are cleared.
+//
+//bfast:kernel
 func FillMask(y []float64, words []uint64) {
 	if len(words) != MaskWords(len(y)) {
 		panic(fmt.Sprintf("series: mask has %d words for %d observations", len(words), len(y)))
@@ -72,6 +74,8 @@ func (m ValidMask) CountValidPrefix(n int) int {
 func (m ValidMask) AllValid(n int) bool { return AllValidBits(m.Words, n) }
 
 // CountBits returns the popcount of the first n bits of words.
+//
+//bfast:kernel
 func CountBits(words []uint64, n int) int {
 	if n <= 0 {
 		return 0
@@ -109,6 +113,8 @@ func AllValidBits(words []uint64, n int) bool {
 // observation among the first n dates, or -1 if fewer than k+1 exist.
 // It skips whole words by popcount and bit-scans only the final word —
 // the remapIndices step of Fig. 12 driven by the bitset.
+//
+//bfast:kernel
 func NthValid(words []uint64, n, k int) int {
 	if k < 0 {
 		return -1

@@ -33,6 +33,8 @@ import (
 // The product r1[t]*r2[t] is shared by all lanes (X is pixel-independent),
 // so each date costs one multiplication per matrix element for the whole
 // tile.
+//
+//bfast:kernel
 func CrossProduct(xh *linalg.Matrix, d *Data, out []float64) {
 	k := xh.Rows
 	n := xh.Cols
@@ -42,6 +44,9 @@ func CrossProduct(xh *linalg.Matrix, d *Data, out []float64) {
 	}
 	if len(out) != k*k*T {
 		panic(fmt.Sprintf("tile: cross product out length %d != %d", len(out), k*k*T))
+	}
+	if k > MaxK {
+		panic(fmt.Sprintf("tile: cross product with %d design rows exceeds MaxK=%d", k, MaxK))
 	}
 	full := d.FullMask()
 	cm := d.ColMask[:n]
@@ -54,7 +59,8 @@ func CrossProduct(xh *linalg.Matrix, d *Data, out []float64) {
 			}
 		}
 	}
-	xc := make([]float64, k) // one design-matrix column
+	var xcBuf [MaxK]float64
+	xc := xcBuf[:k] // one design-matrix column, on the stack
 	var lanes [MaxWidth]int
 	for t, m := range cm {
 		if m == 0 {
@@ -104,6 +110,8 @@ func CrossProduct(xh *linalg.Matrix, d *Data, out []float64) {
 // dates, lane-interleaved: out[j*T+p] is lane p's component j. Unlike the
 // cross product the right operand differs per lane, but the time-major
 // layout makes the T loads of a date contiguous.
+//
+//bfast:kernel
 func MatVecHistory(xh *linalg.Matrix, d *Data, out []float64) {
 	k := xh.Rows
 	n := xh.Cols
@@ -155,6 +163,8 @@ func MatVecHistory(xh *linalg.Matrix, d *Data, out []float64) {
 // once and updates every lane's prediction; a partial date predicts only
 // its valid lanes. Lanes whose β is unusable (unfitted pixels) still run
 // but their outputs are ignored by the caller.
+//
+//bfast:kernel
 func Residuals(x *series.DesignMatrix, d *Data, beta []float64, r []float64, ix []int32, nVal []int) {
 	k := x.K
 	N := d.N

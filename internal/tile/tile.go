@@ -51,6 +51,11 @@ const DefaultWidth = 8
 // column-mask word.
 const MaxWidth = 64
 
+// MaxK bounds the design-matrix rows the tile kernels handle with
+// stack scratch. K = 2k+2 regressors, so 32 covers every harmonic
+// order k ≤ 15 — the paper sweeps k ≤ 10.
+const MaxK = 32
+
 // Plan is the binned assignment of batch pixels to tiles: Order is a
 // permutation of [0, M) sorted by ascending validity popcount (stable, so
 // equal-count pixels keep their spatial adjacency — neighbouring pixels
