@@ -5,16 +5,20 @@
 # race detector; `make fuzz-smoke` runs each native fuzz target for
 # ~10s over its corpus (dates.ParseDate and the /v1/batch decode path);
 # `make bench-smoke` runs the tiles before/after experiment at a tiny
-# sample so CI catches harness regressions without paying benchmark
-# time; `make serve-smoke` boots bfast-serve, hits /v1/healthz and
-# /metrics, and verifies a clean SIGTERM shutdown; `make metrics-smoke`
-# validates both /metrics expositions (JSON default, Prometheus text)
-# against the pinned family golden file.
+# sample (plain, then through the startup autotuner) so CI catches
+# harness regressions without paying benchmark time; `make
+# bench-compare` diffs two bfast-bench JSON reports per strategy with a
+# regression gate (OLD=... NEW=... [TOL=pct]); `make serve-smoke` boots
+# bfast-serve, hits /v1/healthz and /metrics, and verifies a clean
+# SIGTERM shutdown; `make metrics-smoke` validates both /metrics
+# expositions (JSON default, Prometheus text) against the pinned family
+# golden file.
 
 GO ?= go
 FUZZTIME ?= 10s
+TOL ?= 10
 
-.PHONY: ci lint bfast-lint vet fmt-check build test race fuzz-smoke vulncheck bench bench-smoke serve-smoke metrics-smoke
+.PHONY: ci lint bfast-lint vet fmt-check build test race fuzz-smoke vulncheck bench bench-smoke bench-compare serve-smoke metrics-smoke
 
 ci: lint build race test fuzz-smoke
 
@@ -58,6 +62,13 @@ bench:
 
 bench-smoke:
 	$(GO) run ./cmd/bfast-bench -exp tiles -sample 64 -json > /dev/null
+	$(GO) run ./cmd/bfast-bench -exp tune -sample 64 -autotune -json > /dev/null
+
+bench-compare:
+	@if [ -z "$(OLD)" ] || [ -z "$(NEW)" ]; then \
+		echo "usage: make bench-compare OLD=old.json NEW=new.json [TOL=10]"; exit 2; \
+	fi
+	./scripts/bench-compare.sh "$(OLD)" "$(NEW)" "$(TOL)"
 
 serve-smoke:
 	./scripts/serve-smoke.sh

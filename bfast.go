@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 
+	"bfast/internal/autotune"
 	"bfast/internal/baseline"
 	"bfast/internal/core"
 	"bfast/internal/cube"
@@ -133,6 +134,12 @@ type BatchOptions struct {
 	// TileWidth is T, the pixels per time-major tile of the staged
 	// strategies (0 = default, see core.BatchConfig).
 	TileWidth int
+	// Autotune replaces Strategy/Workers/TileWidth with this host's
+	// measured best for the batch's shape (internal/autotune): the first
+	// call per (host, K, N, history) runs a sub-second micro-benchmark
+	// sweep, later calls hit the in-process or on-disk cache
+	// (os.UserCacheDir()/bfast/autotune.json).
+	Autotune bool
 }
 
 // Detect runs BFAST-Monitor on a single pixel series (length must match
@@ -162,11 +169,17 @@ func (d *Detector) DetectBatch(ctx context.Context, b *Batch, opts BatchOptions)
 	if b.N != d.n {
 		return nil, fmt.Errorf("bfast: batch has %d dates, detector built for %d", b.N, d.n)
 	}
-	return core.DetectBatch(ctx, b, d.opt, core.BatchConfig{
+	cfg := core.BatchConfig{
 		Strategy:  opts.Strategy,
 		Workers:   opts.Workers,
 		TileWidth: opts.TileWidth,
-	})
+		Autotune:  opts.Autotune,
+	}
+	cfg, err := autotune.Resolve(ctx, cfg, d.n, d.opt)
+	if err != nil {
+		return nil, fmt.Errorf("bfast: autotune: %w", err)
+	}
+	return core.DetectBatch(ctx, b, d.opt, cfg)
 }
 
 // DetectBatchStrategy runs the batch under an explicit execution strategy.

@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
 	"bfast/internal/benchutil"
+	"bfast/internal/core"
 	"bfast/internal/gpusim"
 )
 
@@ -33,15 +35,17 @@ func main() {
 		device   = flag.String("device", "rtx2080ti", "simulated device: rtx2080ti or titanz")
 		workers  = flag.Int("workers", 0, "host workers for measured baselines (0 = all cores)")
 		mapsDir  = flag.String("maps-dir", "", "write PPM/PGM maps here (maps experiment)")
+		tune     = flag.Bool("autotune", false, "run the startup autotuner and measure host experiments at its chosen tile/worker geometry")
 		asJSON   = flag.Bool("json", false, "emit structured rows as JSON on stdout instead of tables")
 	)
 	flag.Parse()
 
 	cfg := benchutil.Config{
-		Out:     os.Stdout,
-		SampleM: *sample,
-		Workers: *workers,
-		MapsDir: *mapsDir,
+		Out:      os.Stdout,
+		SampleM:  *sample,
+		Workers:  *workers,
+		MapsDir:  *mapsDir,
+		Autotune: *tune,
 	}
 	switch *device {
 	case "rtx2080ti":
@@ -66,6 +70,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bfast-bench:", err)
 			os.Exit(1)
 		}
+		// The config section records *effective* values, not the raw flags:
+		// workers=0 means "all cores" at run time and the default tile
+		// width lives in core, so resolving both here keeps BENCH_*.json
+		// self-describing when read on another machine.
+		effWorkers := *workers
+		if effWorkers <= 0 {
+			effWorkers = runtime.GOMAXPROCS(0)
+		}
 		report := struct {
 			Experiment string `json:"experiment"`
 			SampleM    int    `json:"sample_m"`
@@ -74,8 +86,11 @@ func main() {
 			SimulatedDevice string         `json:"simulated_device"`
 			Host            hostInfo       `json:"host"`
 			Workers         int            `json:"workers"`
+			TileWidth       int            `json:"tile_width"`
+			Autotune        bool           `json:"autotune"`
 			Results         map[string]any `json:"results"`
-		}{*exp, *sample, cfg.Profile.Name, collectHostInfo(), *workers, rows}
+		}{*exp, *sample, cfg.Profile.Name, collectHostInfo(), effWorkers,
+			core.BatchConfig{}.ResolvedTileWidth(), *tune, rows}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {

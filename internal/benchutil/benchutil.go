@@ -45,6 +45,10 @@ type Config struct {
 	// MapsDir, when non-empty, is where the maps experiment writes its
 	// PPM/PGM outputs.
 	MapsDir string
+	// Autotune runs the startup autotuner (internal/autotune) before the
+	// measured host experiments that accept a tile/worker geometry and
+	// uses its per-strategy choice instead of the defaults.
+	Autotune bool
 }
 
 func (c Config) withDefaults() Config {
@@ -64,7 +68,7 @@ func (c Config) withDefaults() Config {
 
 // Experiments lists the experiment names accepted by Run, in order.
 func Experiments() []string {
-	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "masks", "tiles", "obsoverhead", "speedups", "sweep", "ablations", "claims"}
+	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "masks", "tiles", "tune", "obsoverhead", "speedups", "sweep", "ablations", "claims"}
 }
 
 // Run dispatches one experiment by name ("all" runs every one).
@@ -101,6 +105,8 @@ func runOne(ctx context.Context, name string, cfg Config) (any, error) {
 		return Masks(ctx, cfg)
 	case "tiles":
 		return Tiles(ctx, cfg)
+	case "tune":
+		return Tune(ctx, cfg)
 	case "obsoverhead":
 		return ObsOverhead(ctx, cfg)
 	case "speedups":

@@ -197,8 +197,8 @@ func TestRunDispatch(t *testing.T) {
 }
 
 func TestExperimentsListed(t *testing.T) {
-	if len(Experiments()) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(Experiments()))
 	}
 }
 

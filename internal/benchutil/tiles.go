@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"bfast/internal/autotune"
 	"bfast/internal/core"
 	"bfast/internal/workload"
 )
@@ -59,12 +60,29 @@ func Tiles(ctx context.Context, cfg Config) ([]TilesRow, error) {
 	}
 	opt := core.DefaultOptions(spec.History)
 
+	// With Config.Autotune, each strategy runs at the geometry the startup
+	// autotuner measured best for this host instead of the defaults.
+	var tuned *autotune.Choice
+	if cfg.Autotune {
+		tuned, err = autotune.Tune(ctx, autotune.Config{
+			N: spec.N, Opt: opt,
+			SampleM: min(512, spec.M),
+			Workers: workerCandidates(cfg.Workers),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	fmt.Fprintf(cfg.Out, "TILES — time-major pixel tiles + batched tile GJ vs PR-1 masked path (50%% NaN clouds, M=%d N=%d)\n", spec.M, spec.N)
 	fmt.Fprintf(cfg.Out, "%-12s %3s %10s %10s %8s %10s\n", "strategy", "T", "masked", "tiled", "speedup", "identical")
 
 	var rows []TilesRow
 	for _, st := range []core.Strategy{core.StrategyOurs, core.StrategyRgTlEfSeq} {
 		bcfg := core.BatchConfig{Strategy: st, Workers: cfg.Workers}
+		if tuned != nil {
+			bcfg.TileWidth, bcfg.Workers = tuned.ForStrategy(st)
+		}
 		maskRes, maskT, err := bestOf(tilesReps, func() ([]core.Result, error) {
 			return core.DetectBatchMasked(ctx, b, opt, bcfg)
 		})

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"bfast/internal/series"
+	"bfast/internal/tile"
 )
 
 // randomBatch builds an M×N batch with a mix of stable pixels, breaking
@@ -218,6 +219,32 @@ func TestSolverStrings(t *testing.T) {
 		SolverPivot.String() != "pivot" ||
 		SolverCholesky.String() != "cholesky" {
 		t.Fatal("Solver.String broken")
+	}
+}
+
+// TestResolvedTileWidthClamping pins the defaulting/clamping contract of
+// BatchConfig.ResolvedTileWidth: non-positive widths resolve to the
+// default, widths past tile.MaxWidth clamp to it, exact MaxWidth and
+// in-range widths pass through unchanged. Downstream consumers
+// (bfast-bench JSON, the autotuner sweep) rely on this being the width
+// DetectBatch actually runs with.
+func TestResolvedTileWidthClamping(t *testing.T) {
+	cases := []struct {
+		in, want int
+	}{
+		{0, tile.DefaultWidth},             // zero value → default
+		{-1, tile.DefaultWidth},            // negative → default
+		{-1000, tile.DefaultWidth},         // very negative → default
+		{1, 1},                             // minimum legal width
+		{tile.MaxWidth, tile.MaxWidth},     // exact upper bound passes
+		{tile.MaxWidth + 1, tile.MaxWidth}, // one past → clamp
+		{1 << 20, tile.MaxWidth},           // absurd → clamp
+	}
+	for _, tc := range cases {
+		got := BatchConfig{TileWidth: tc.in}.ResolvedTileWidth()
+		if got != tc.want {
+			t.Errorf("ResolvedTileWidth(TileWidth=%d) = %d, want %d", tc.in, got, tc.want)
+		}
 	}
 }
 

@@ -27,12 +27,13 @@ import (
 // gathered tile plus the lane-interleaved fit and monitoring buffers.
 type tileScratch struct {
 	data *tile.Data
-	nrm  []float64 // K×K×T lane-interleaved normal matrices
-	rhs  []float64 // K×T right-hand sides
-	inv  []float64 // K×K×T inverses
-	beta []float64 // K×T coefficients
-	sing []bool    // per-lane singularity flags
-	fit  []bool    // per-lane fittable flags
+	sc   *tile.Schedule // per-tile date segments, rebuilt per gather
+	nrm  []float64      // K×K×T lane-interleaved normal matrices
+	rhs  []float64      // K×T right-hand sides
+	inv  []float64      // K×K×T inverses
+	beta []float64      // K×T coefficients
+	sing []bool         // per-lane singularity flags
+	fit  []bool         // per-lane fittable flags
 	gj   *linalg.GJBatch
 	fm   []float64 // K×K single-lane extraction (non-GJ solvers)
 	fr   []float64 // K single-lane right-hand side
@@ -44,6 +45,7 @@ type tileScratch struct {
 func newTileScratch(k, n, t int) *tileScratch {
 	return &tileScratch{
 		data: tile.NewData(t, n),
+		sc:   tile.NewSchedule(n),
 		nrm:  make([]float64, k*k*t),
 		rhs:  make([]float64, k*t),
 		inv:  make([]float64, k*k*t),
@@ -197,13 +199,14 @@ func batchTiledFused(ctx context.Context, b *Batch, mask *series.BatchMask, x *s
 				}
 				t0 := time.Now()
 				s.data.Gather(b.Y, mask, idx)
-				tile.CrossProduct(xh, s.data, s.nrm)
-				tile.MatVecHistory(xh, s.data, s.rhs)
+				s.sc.Build(s.data)
+				tile.CrossProduct(xh, s.data, s.sc, s.nrm)
+				tile.MatVecHistory(xh, s.data, s.sc, s.rhs)
 				t1 := time.Now()
 				solveTile(s, K, opt, idx, out)
 				publishBeta(s, K, idx, out)
 				t2 := time.Now()
-				tile.Residuals(x, s.data, s.beta, s.rbuf, s.ix, s.nVal)
+				tile.Residuals(x, s.data, s.sc, s.beta, s.rbuf, s.ix, s.nVal)
 				t3 := time.Now()
 				monitorTile(s, n, N, opt, lambda, idx, out)
 				acc.cross += int64(t1.Sub(t0))
@@ -272,15 +275,21 @@ func batchTiledStaged(ctx context.Context, b *Batch, mask *series.BatchMask, x *
 		return nil, err
 	}
 
-	// Stage 2 (ker 1–2): register-blocked masked cross products.
+	// Stage 2 (ker 1–2): register-blocked masked cross products. The
+	// per-tile date schedule is per-worker scratch, rebuilt per tile
+	// (an O(N) scan, negligible next to the K×K×N sweep it feeds).
 	sctx, sp = obs.StartSpan(ctx, "kernel.cross_product")
-	err = pool.ForEachCtx(sctx, tiles, workers, 1, func(_, lo, hi int) {
-		t0 := time.Now()
-		for ti := lo; ti < hi; ti++ {
-			tile.CrossProduct(xh, view(ti), nrm[ti*K*K*T:(ti+1)*K*K*T])
-		}
-		statCrossNs.Add(sinceNs(t0))
-	})
+	err = sched.ForEachScratchCtx(sctx, pool, tiles, workers, 1,
+		func() *tile.Schedule { return tile.NewSchedule(N) },
+		func(sc *tile.Schedule, lo, hi int) {
+			t0 := time.Now()
+			for ti := lo; ti < hi; ti++ {
+				d := view(ti)
+				sc.Build(d)
+				tile.CrossProduct(xh, d, sc, nrm[ti*K*K*T:(ti+1)*K*K*T])
+			}
+			statCrossNs.Add(sinceNs(t0))
+		})
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -295,10 +304,11 @@ func batchTiledStaged(ctx context.Context, b *Batch, mask *series.BatchMask, x *
 			for ti := lo; ti < hi; ti++ {
 				idx := plan.Indices(ti)
 				s.data = view(ti)
+				s.sc.Build(s.data)
 				copy(s.fit, fit[ti*T:ti*T+len(idx)])
 				s.nrm = nrm[ti*K*K*T : (ti+1)*K*K*T]
 				s.beta = beta[ti*K*T : (ti+1)*K*T]
-				tile.MatVecHistory(xh, s.data, s.rhs)
+				tile.MatVecHistory(xh, s.data, s.sc, s.rhs)
 				solveTile(s, K, opt, idx, out)
 				publishBeta(s, K, idx, out)
 				copy(fit[ti*T:ti*T+len(idx)], s.fit)
@@ -312,14 +322,18 @@ func batchTiledStaged(ctx context.Context, b *Batch, mask *series.BatchMask, x *
 
 	// Stage 4 (ker 6–7): register-blocked residuals + compaction.
 	sctx, sp = obs.StartSpan(ctx, "kernel.residual")
-	err = pool.ForEachCtx(sctx, tiles, workers, 1, func(_, lo, hi int) {
-		t0 := time.Now()
-		for ti := lo; ti < hi; ti++ {
-			tile.Residuals(x, view(ti), beta[ti*K*T:(ti+1)*K*T],
-				residual[ti*T*N:(ti+1)*T*N], index[ti*T*N:(ti+1)*T*N], nVal[ti*T:(ti+1)*T])
-		}
-		statResidualNs.Add(sinceNs(t0))
-	})
+	err = sched.ForEachScratchCtx(sctx, pool, tiles, workers, 1,
+		func() *tile.Schedule { return tile.NewSchedule(N) },
+		func(sc *tile.Schedule, lo, hi int) {
+			t0 := time.Now()
+			for ti := lo; ti < hi; ti++ {
+				d := view(ti)
+				sc.Build(d)
+				tile.Residuals(x, d, sc, beta[ti*K*T:(ti+1)*K*T],
+					residual[ti*T*N:(ti+1)*T*N], index[ti*T*N:(ti+1)*T*N], nVal[ti*T:(ti+1)*T])
+			}
+			statResidualNs.Add(sinceNs(t0))
+		})
 	sp.End()
 	if err != nil {
 		return nil, err

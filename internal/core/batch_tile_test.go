@@ -26,6 +26,7 @@ func TestDetectBatchTiledBitIdentical(t *testing.T) {
 			{24, 8, "aligned"},   // exact multiple
 			{13, 4, "T4-ragged"}, // narrow tiles, ragged
 			{7, 1, "T1"},         // degenerate: every tile one pixel
+			{70, 64, "Tmax"},     // widest legal tile + ragged tail
 		} {
 			b := randomBatch(rng, tc.m, N, nanFrac)
 			opt := defaultTestOpts(n)

@@ -20,12 +20,23 @@ import (
 // singularity test (non-finite entries or a left block that is not the
 // identity within 1e-6) — so lane results are bit-identical to the
 // scalar routine.
+//
+// The reduction runs in place: instead of double-buffering the K×2K
+// systems (which streams 2·K·2K·T floats through the cache per step),
+// the rotate-up schedule is virtual — after step q the current pivot row
+// is physical row (q+1) mod K — and each step updates rows where they
+// lie, with only the pivot row's column-q values copied aside. After K
+// steps the rotation offset is 0 again, so extraction reads physical
+// indices. This halves the elimination's memory traffic and drops the
+// second K×2K×T scratch buffer.
 type GJBatch struct {
 	// K is the matrix order; Lanes is the interleaving stride T.
 	K, Lanes int
-	sh, tmp  []float64 // K × 2K × Lanes adjoined systems
+	sh       []float64 // K × 2K × Lanes adjoined systems, reduced in place
 	xr       []float64 // 2K × Lanes hoisted pivot-row quotients
 	vq       []float64 // Lanes pivot values of the current step
+	qs       []float64 // Lanes column-q values of the row being updated
+	rowbuf   []float64 // 2K × Lanes saved row for the zero-pivot path
 }
 
 // NewGJBatch allocates scratch for inverting k×k matrices, lanes at a
@@ -37,8 +48,9 @@ func NewGJBatch(k, lanes int) *GJBatch {
 	w := 2 * k
 	return &GJBatch{
 		K: k, Lanes: lanes,
-		sh: make([]float64, k*w*lanes), tmp: make([]float64, k*w*lanes),
+		sh: make([]float64, k*w*lanes),
 		xr: make([]float64, w*lanes), vq: make([]float64, lanes),
+		qs: make([]float64, lanes), rowbuf: make([]float64, w*lanes),
 	}
 }
 
@@ -60,7 +72,7 @@ func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
 	if len(a) < k*k*T || len(inv) < k*k*T || len(singular) < cnt {
 		panic("linalg: GJBatch buffers too small")
 	}
-	sh, tmp := g.sh, g.tmp
+	sh := g.sh
 	// Adjoin the identity: sh = [A | I], lane-interleaved.
 	for i := 0; i < k; i++ {
 		for j := 0; j < k; j++ {
@@ -79,14 +91,21 @@ func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
 			}
 		}
 	}
+	// The rotate-up schedule runs in place: at step q the current
+	// (virtual) row 0 is physical row q, and the step writes new virtual
+	// row i-1 over physical row (q+i) mod k — advancing the rotation
+	// offset by one without moving any row. The arithmetic per lane is
+	// exactly the double-buffered schedule's: same values, same order.
 	for q := 0; q < k; q++ {
-		// Pivot values of row 0 and the hoisted quotients x = row0/vq.
-		// The scalar routine recomputes x per target row; hoisting it is
-		// the same division, so lane arithmetic is unchanged.
+		// Pivot values of the pivot row and the hoisted quotients
+		// x = pivotrow/vq. The scalar routine recomputes x per target
+		// row; hoisting it is the same division, so lane arithmetic is
+		// unchanged.
 		vq := g.vq
+		rowq := sh[q*w*T : (q*w+w)*T]
 		anyZero := false
 		for p := 0; p < cnt; p++ {
-			vq[p] = sh[q*T+p] // row 0, column q
+			vq[p] = rowq[q*T+p] // pivot row, column q
 			// Exact-zero pivot sentinel, mirroring the scalar
 			// InvertGaussJordan: NaN pivots are != 0, take the divide
 			// path and poison the lane, which the left-block identity
@@ -101,70 +120,105 @@ func (g *GJBatch) Invert(a, inv []float64, singular []bool, cnt int) {
 			// a BFAST normal matrix ever does is by being singular), so
 			// every inner loop is branch-free.
 			for k2 := 0; k2 < w; k2++ {
-				src := sh[k2*T : k2*T+cnt] // row 0, column k2
+				src := rowq[k2*T : k2*T+cnt]
 				dst := g.xr[k2*T : k2*T+cnt]
+				src = src[:len(dst)]
 				for p := range dst {
 					dst[p] = src[p] / vq[p]
 				}
 			}
-			for k1 := 0; k1 < k-1; k1++ {
+			qs := g.qs[:cnt]
+			for i := 1; i < k; i++ {
+				phys := q + i
+				if phys >= k {
+					phys -= k
+				}
+				row := sh[phys*w*T : (phys*w+w)*T]
+				// The k2 sweep overwrites the row's column q, so its
+				// pre-update values are copied aside first.
+				copy(qs, row[q*T:q*T+cnt])
 				for k2 := 0; k2 < w; k2++ {
-					dst := tmp[(k1*w+k2)*T : (k1*w+k2)*T+cnt]
+					dst := row[k2*T : k2*T+cnt]
 					xrow := g.xr[k2*T : k2*T+cnt]
-					src := sh[((k1+1)*w+k2)*T : ((k1+1)*w+k2)*T+cnt]
-					srcq := sh[((k1+1)*w+q)*T : ((k1+1)*w+q)*T+cnt]
+					xrow = xrow[:len(dst)]
 					for p := range dst {
-						dst[p] = src[p] - srcq[p]*xrow[p]
+						dst[p] = dst[p] - qs[p]*xrow[p]
 					}
 				}
 			}
+			// New virtual last row = x, written over the old pivot row
+			// (read only through xr and qs above).
 			for k2 := 0; k2 < w; k2++ {
-				copy(tmp[((k-1)*w+k2)*T:((k-1)*w+k2)*T+cnt], g.xr[k2*T:k2*T+cnt])
+				copy(rowq[k2*T:k2*T+cnt], g.xr[k2*T:k2*T+cnt])
 			}
-			sh, tmp = tmp, sh
 			continue
 		}
+		// Slow path: a lane hit a zero pivot. Such a lane's matrix must
+		// stay (virtually) unchanged while the global rotation offset
+		// still advances, so its rows physically rotate down by one:
+		// new physical row r = old physical row (r-1) mod k. Writing rows
+		// in descending schedule order makes each copy's source still
+		// untouched; the first-written row (q+k-1) is saved beforehand as
+		// the final source for row q.
 		for k2 := 0; k2 < w; k2++ {
-			src := k2 * T // row 0, column k2
-			dst := k2 * T
+			src := rowq[k2*T : k2*T+cnt]
 			for p := 0; p < cnt; p++ {
 				//lint:allow nanguard -- exact-zero pivot sentinel (slow path of the lane pivot test above)
 				if vq[p] != 0 {
-					g.xr[dst+p] = sh[src+p] / vq[p]
+					g.xr[k2*T+p] = src[p] / vq[p]
 				}
 			}
 		}
-		for k1 := 0; k1 < k; k1++ {
-			last := k1 == k-1
+		lastPhys := q + k - 1
+		if lastPhys >= k {
+			lastPhys -= k
+		}
+		copy(g.rowbuf[:w*T], sh[lastPhys*w*T:(lastPhys*w+w)*T])
+		qs := g.qs[:cnt]
+		for i := k - 1; i >= 1; i-- {
+			phys := q + i
+			if phys >= k {
+				phys -= k
+			}
+			prev := phys - 1
+			if prev < 0 {
+				prev += k
+			}
+			row := sh[phys*w*T : (phys*w+w)*T]
+			prow := sh[prev*w*T : (prev*w+w)*T]
+			copy(qs, row[q*T:q*T+cnt])
 			for k2 := 0; k2 < w; k2++ {
-				dst := (k1*w + k2) * T
-				xrow := g.xr[k2*T : k2*T+T]
-				if last {
-					for p := 0; p < cnt; p++ {
-						//lint:allow nanguard -- exact-zero pivot sentinel (lane-masked update)
-						if vq[p] == 0 {
-							tmp[dst+p] = sh[dst+p]
-						} else {
-							tmp[dst+p] = xrow[p]
-						}
-					}
-					continue
-				}
-				src := ((k1+1)*w + k2) * T
-				srcq := ((k1+1)*w + q) * T
-				for p := 0; p < cnt; p++ {
+				dst := row[k2*T : k2*T+cnt]
+				xrow := g.xr[k2*T : k2*T+cnt]
+				psrc := prow[k2*T : k2*T+cnt]
+				xrow = xrow[:len(dst)]
+				psrc = psrc[:len(dst)]
+				for p := range dst {
 					//lint:allow nanguard -- exact-zero pivot sentinel (lane-masked update)
 					if vq[p] == 0 {
-						tmp[dst+p] = sh[dst+p]
+						dst[p] = psrc[p]
 					} else {
-						tmp[dst+p] = sh[src+p] - sh[srcq+p]*xrow[p]
+						dst[p] = dst[p] - qs[p]*xrow[p]
 					}
 				}
 			}
 		}
-		sh, tmp = tmp, sh
+		for k2 := 0; k2 < w; k2++ {
+			dst := rowq[k2*T : k2*T+cnt]
+			xrow := g.xr[k2*T : k2*T+cnt]
+			bsrc := g.rowbuf[k2*T : k2*T+cnt]
+			xrow = xrow[:len(dst)]
+			bsrc = bsrc[:len(dst)]
+			for p := range dst {
+				//lint:allow nanguard -- exact-zero pivot sentinel (lane-masked update)
+				if vq[p] == 0 {
+					dst[p] = bsrc[p]
+				} else {
+					dst[p] = xrow[p]
+				}
+			}
+		}
 	}
-	g.sh, g.tmp = sh, tmp
 	for p := 0; p < cnt; p++ {
 		singular[p] = false
 	}

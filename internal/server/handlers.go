@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 
+	"bfast/internal/autotune"
 	"bfast/internal/core"
 	"bfast/internal/obs"
 	"bfast/internal/stats"
@@ -246,7 +247,16 @@ func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, *apiError) {
 	// (pinned by the equivalence tests) and the kernel-phase spans light
 	// up under this request's span tree.
 	dctx, sp := obs.StartSpan(r.Context(), "detect")
-	results, err := core.DetectBatch(dctx, b, req.options(), core.BatchConfig{Workers: s.cfg.Workers})
+	bcfg := core.BatchConfig{Workers: s.cfg.Workers, Autotune: s.cfg.Autotune}
+	opt := req.options()
+	// With Config.Autotune, the first batch of a given shape pays for a
+	// sub-second sweep; later batches hit the in-process or on-disk
+	// cache. Resolution failure falls back to the explicit defaults —
+	// tuning is an optimization, never an availability risk.
+	if resolved, rerr := autotune.Resolve(dctx, bcfg, n, opt); rerr == nil {
+		bcfg = resolved
+	}
+	results, err := core.DetectBatch(dctx, b, opt, bcfg)
 	sp.End()
 	if err != nil {
 		return nil, ctxError(r.Context(), err)
