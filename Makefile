@@ -12,15 +12,17 @@
 # bfast-serve, hits /v1/healthz and /metrics, and verifies a clean
 # SIGTERM shutdown; `make metrics-smoke` validates both /metrics
 # expositions (JSON default, Prometheus text) against the pinned family
-# golden file.
+# golden file; `make coalesce-smoke` boots bfast-serve with and without
+# -coalesce, fires the same concurrent small /v1/batch requests at both
+# and asserts the responses are byte-identical.
 
 GO ?= go
 FUZZTIME ?= 10s
 TOL ?= 10
 
-.PHONY: ci lint bfast-lint vet fmt-check build test race fuzz-smoke vulncheck bench bench-smoke bench-compare serve-smoke metrics-smoke
+.PHONY: ci lint bfast-lint vet fmt-check build test race fuzz-smoke vulncheck bench bench-smoke bench-compare serve-smoke metrics-smoke coalesce-smoke
 
-ci: lint build race test fuzz-smoke
+ci: lint build race test fuzz-smoke coalesce-smoke
 
 lint: vet fmt-check bfast-lint
 
@@ -75,3 +77,6 @@ serve-smoke:
 
 metrics-smoke:
 	./scripts/metrics-smoke.sh
+
+coalesce-smoke:
+	./scripts/coalesce-smoke.sh

@@ -211,3 +211,10 @@ func BenchmarkAblations(b *testing.B) {
 func BenchmarkClaimsScorecard(b *testing.B) {
 	runExperiment(b, "claims", benchCfg())
 }
+
+// BenchmarkCoalesceServing measures micro-batched serving against the
+// per-request path under concurrent 1–4-pixel /v1/batch load, asserting
+// the responses stay byte-identical (see BENCH_PR7.json).
+func BenchmarkCoalesceServing(b *testing.B) {
+	runExperiment(b, "coalesce", benchCfg())
+}

@@ -41,6 +41,9 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	runtimeSample := flag.Duration("runtime-sample", 10*time.Second, "runtime.* gauge sampling interval (0 disables)")
+	coalesceFlag := flag.Bool("coalesce", false, "merge concurrent small /v1/batch requests into shared detection batches (bit-identical responses, higher throughput under small-request load)")
+	coalescePixels := flag.Int("coalesce-pixels", 0, "merged-batch size that flushes immediately (0 = default 64)")
+	coalesceWait := flag.Duration("coalesce-wait", 0, "max time a queued request waits for co-riders (0 = default 2ms)")
 	flag.Parse()
 
 	logger, err := bfast.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -50,16 +53,19 @@ func main() {
 	}
 
 	srv := bfast.NewServer(bfast.ServerConfig{
-		Workers:            *workers,
-		Autotune:           *autotuneFlag,
-		MaxConcurrent:      *maxConcurrent,
-		MaxBatchPixels:     *maxBatch,
-		MaxBodyBytes:       *maxBody,
-		DisableDebug:       *noDebug,
-		RetryAfterSeconds:  *retryAfter,
-		Logger:             logger,
-		EnablePprof:        *enablePprof,
-		SampleRuntimeEvery: *runtimeSample,
+		Workers:             *workers,
+		Autotune:            *autotuneFlag,
+		MaxConcurrent:       *maxConcurrent,
+		MaxBatchPixels:      *maxBatch,
+		MaxBodyBytes:        *maxBody,
+		DisableDebug:        *noDebug,
+		RetryAfterSeconds:   *retryAfter,
+		Logger:              logger,
+		EnablePprof:         *enablePprof,
+		SampleRuntimeEvery:  *runtimeSample,
+		Coalesce:            *coalesceFlag,
+		CoalesceBatchPixels: *coalescePixels,
+		CoalesceMaxWait:     *coalesceWait,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bfast/internal/obs"
+)
+
+// coalesceBody builds a small /v1/batch request body with seeded pixels so
+// the same (seed, pixels) pair always serializes identically.
+func coalesceBody(seed int64, pixels, n, history int) DetectRequest {
+	rng := rand.New(rand.NewSource(seed))
+	px := make([]Series, pixels)
+	for i := range px {
+		px[i] = jsonSeries(rng, n, n*2/3, 0.4)
+	}
+	return DetectRequest{Pixels: px, History: history}
+}
+
+// TestCoalescedBatchBitIdentical: every coalesced response must be
+// byte-for-byte the response the per-request path produces for the same
+// body — the serving-layer face of the repo's batch-composition
+// invariant. Concurrent callers mix 1–4 pixel requests over two option
+// sets so merged flushes span multiple callers and queues stay isolated.
+func TestCoalescedBatchBitIdentical(t *testing.T) {
+	direct := httptest.NewServer(New(Config{MaxConcurrent: 128}))
+	defer direct.Close()
+	coalesced := httptest.NewServer(New(Config{
+		MaxConcurrent: 128,
+		Coalesce:      true,
+		// A roomy deadline so slow CI schedulers still overlap callers.
+		CoalesceMaxWait: 20 * time.Millisecond,
+		Metrics:         obs.NewRegistry(),
+	}))
+	defer coalesced.Close()
+
+	const callers = 32
+	type job struct {
+		req  DetectRequest
+		want []byte
+	}
+	jobs := make([]job, callers)
+	for i := range jobs {
+		req := coalesceBody(int64(100+i), 1+i%4, 240, 120)
+		if i%3 == 0 {
+			hf := 0.5
+			req.HFrac = &hf // second option set → separate queue
+		}
+		resp, body := post(t, direct, "/v1/batch", req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("direct request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		jobs[i] = job{req: req, want: body}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			resp, body := post(t, coalesced, "/v1/batch", j.req)
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("coalesced request %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			if !bytes.Equal(body, j.want) {
+				errs <- fmt.Errorf("request %d: coalesced response differs from per-request response\n got: %s\nwant: %s", i, body, j.want)
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCoalesceMetricsAndTraces: the coalesce.* metric families register
+// eagerly on /metrics, flushes are counted, and the trace ring stitches
+// the per-request view — the caller's trace carries a coalesce.wait
+// span and the ring holds the synthetic coalesce-flush-<id> trace.
+func TestCoalesceMetricsAndTraces(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Coalesce: true, MaxConcurrent: 16, Metrics: reg})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	raw, _ := json.Marshal(coalesceBody(1, 2, 240, 120))
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", bytes.NewReader(raw))
+	hreq.Header.Set(HeaderRequestID, "stitch-me")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := buf.String()
+	for _, name := range []string{
+		"coalesce.requests", "coalesce.flushes", "coalesce.queue.depth",
+		"coalesce.flush.pixels", "coalesce.flush.wait_ms",
+		"coalesce.flush.reason.size", "coalesce.flush.reason.deadline",
+		"coalesce.flush.reason.idle", "coalesce.flush.reason.close",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics lacks %q after a coalesced request", name)
+		}
+	}
+
+	// The caller's own trace must carry the wait span that names its flush.
+	tr, ok := findTrace(s, "stitch-me")
+	if !ok {
+		t.Fatal("request trace missing from ring")
+	}
+	spans := spanNames(tr)
+	if !spans["coalesce.wait"] {
+		t.Fatalf("request trace lacks coalesce.wait span: %v", spans)
+	}
+	// And the shared flush recorded its synthetic trace.
+	flush, ok := findTrace(s, "coalesce-flush-1")
+	if !ok {
+		t.Fatal("synthetic coalesce-flush-1 trace missing from ring")
+	}
+	if flush.Endpoint != "coalesce.flush" || flush.Pixels != 2 {
+		t.Fatalf("flush trace: %+v", flush)
+	}
+}
+
+func findTrace(s *Server, id string) (obs.Trace, bool) {
+	for _, tr := range s.Traces() {
+		if tr.RequestID == id {
+			return tr, true
+		}
+	}
+	return obs.Trace{}, false
+}
+
+func spanNames(tr obs.Trace) map[string]bool {
+	out := map[string]bool{}
+	var walk func(n obs.SpanNode)
+	walk = func(n obs.SpanNode) {
+		out[n.Name] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if tr.Spans != nil {
+		walk(*tr.Spans)
+	}
+	return out
+}
+
+// TestCoalesceOffByDefault: without Config.Coalesce no batcher exists
+// and no coalesce.* family ever registers — the default serving path is
+// untouched.
+func TestCoalesceOffByDefault(t *testing.T) {
+	s := New(Config{Metrics: obs.NewRegistry()})
+	if s.batcher != nil {
+		t.Fatal("batcher constructed without Config.Coalesce")
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, body := post(t, ts, "/v1/batch", coalesceBody(2, 2, 240, 120))
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if strings.Contains(buf.String(), "coalesce") {
+		t.Error("coalesce.* metrics registered with coalescing disabled")
+	}
+}
+
+// TestCoalesceSurvivesShutdown: Shutdown closes the batcher (pending
+// queues flush, later calls run direct); a request arriving after
+// drain began still gets correct results instead of hanging on a dead
+// queue.
+func TestCoalesceSurvivesShutdown(t *testing.T) {
+	direct := httptest.NewServer(New(Config{}))
+	defer direct.Close()
+	s := New(Config{Coalesce: true, Metrics: obs.NewRegistry()})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := coalesceBody(3, 3, 240, 120)
+	_, want := post(t, direct, "/v1/batch", req)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, got := post(t, ts, "/v1/batch", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-shutdown batch status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-shutdown response differs:\n got: %s\nwant: %s", got, want)
+	}
+}

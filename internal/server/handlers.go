@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
-	"math"
+	"io"
 	"net/http"
+	"strconv"
 
 	"bfast/internal/autotune"
+	"bfast/internal/coalesce"
 	"bfast/internal/core"
 	"bfast/internal/obs"
 	"bfast/internal/stats"
@@ -16,9 +19,9 @@ import (
 // uses the same options with Pixels instead of Series.
 type DetectRequest struct {
 	// Series is the pixel time series; null = missing observation.
-	Series []*float64 `json:"series,omitempty"`
+	Series Series `json:"series,omitempty"`
 	// Pixels carries many series for /v1/batch.
-	Pixels [][]*float64 `json:"pixels,omitempty"`
+	Pixels []Series `json:"pixels,omitempty"`
 	// N optionally declares the series length; when present it must match
 	// the data actually sent (every pixel row for /v1/batch), or the
 	// request fails with length_mismatch. Lets generated clients assert
@@ -80,36 +83,95 @@ func (r *DetectRequest) options() core.Options {
 	return opt
 }
 
-// toFloats converts the null-for-missing JSON encoding to NaN.
-func toFloats(in []*float64) []float64 {
-	out := make([]float64, len(in))
-	for i, v := range in {
-		if v == nil {
-			out[i] = math.NaN()
-		} else {
-			out[i] = *v
+// maxPooledBody bounds what readBody keeps for reuse — one outsized
+// request must not pin its buffer in the pool forever.
+const maxPooledBody = 1 << 20
+
+// readBody drains the request body into a pooled buffer, presized from
+// Content-Length when the client declared one. Decoding copies every
+// value out of the raw bytes, so the buffer goes back to the pool as
+// soon as decodeRequest returns.
+func (s *Server) readBody(r *http.Request) ([]byte, error) {
+	size := 512
+	if r.ContentLength > 0 && r.ContentLength < maxPooledBody {
+		size = int(r.ContentLength) + 1
+	}
+	var buf []byte
+	if v := s.bodyPool.Get(); v != nil {
+		buf = (*v.(*[]byte))[:0]
+	}
+	if cap(buf) < size {
+		buf = make([]byte, 0, size)
+	}
+	src := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := src.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
 		}
 	}
-	return out
+}
+
+func (s *Server) putBodyBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBody {
+		return
+	}
+	s.bodyPool.Put(&b)
+}
+
+// getPackBuf returns a pooled buffer of exactly size values; putPackBuf
+// recycles it. Detection never retains the pack buffer past its return
+// (results carry their own storage, and the coalescer copies pixels out
+// at enqueue), so handleBatch can recycle immediately.
+func (s *Server) getPackBuf(size int) []float64 {
+	if v := s.packPool.Get(); v != nil {
+		if b := *v.(*[]float64); cap(b) >= size {
+			return b[:size]
+		}
+	}
+	return make([]float64, size)
+}
+
+func (s *Server) putPackBuf(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	s.packPool.Put(&b)
 }
 
 // decodeRequest parses and bounds the body. The decode span lands on
 // the request's trace so oversized-JSON cost is visible next to kernel
-// cost.
+// cost. Well-formed bodies take the single-scan fast path (see
+// reqjson.go); everything else re-parses with the stock decoder so
+// accept/reject behavior and error text never diverge from it.
 func (s *Server) decodeRequest(r *http.Request) (*DetectRequest, *apiError) {
 	_, sp := obs.StartSpan(r.Context(), "decode")
 	sp.SetAttr("bytes", r.ContentLength)
-	var req DetectRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	err := dec.Decode(&req)
-	sp.End()
+	defer sp.End()
+	raw, err := s.readBody(r)
+	defer s.putBodyBuf(raw)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			return nil, errf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
 		}
+		return nil, errf(http.StatusBadRequest, CodeInvalidJSON, "bad request body: %v", err)
+	}
+	if req, ok := parseDetectRequest(raw); ok {
+		return &req, nil
+	}
+	var req DetectRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		return nil, errf(http.StatusBadRequest, CodeInvalidJSON, "bad request body: %v", err)
 	}
 	return &req, nil
@@ -130,6 +192,29 @@ func (s *Server) checkSeries(req *DetectRequest) *apiError {
 			"declared n=%d but series has %d dates", *req.N, len(req.Series))
 	}
 	return nil
+}
+
+// appendResultJSON emits exactly the bytes encoding/json produces for
+// resultJSON(res) — /v1/batch responses carry one object per pixel, and
+// hand-building them skips a reflection walk per element on the hot
+// serving path. resultJSON stays the schema's source of truth; the
+// equivalence is pinned by TestAppendResultJSONMatchesEncoder.
+func appendResultJSON(dst []byte, res core.Result) []byte {
+	dst = append(dst, `{"status":"`...)
+	dst = append(dst, res.Status.String()...)
+	dst = append(dst, `","breakIndex":`...)
+	dst = strconv.AppendInt(dst, int64(res.BreakIndex), 10)
+	if res.Status == core.StatusOK {
+		dst = append(dst, `,"magnitude":`...)
+		dst = appendJSONFloat(dst, res.MosumMean)
+		dst = append(dst, `,"sigma":`...)
+		dst = appendJSONFloat(dst, res.Sigma)
+	}
+	dst = append(dst, `,"validHistory":`...)
+	dst = strconv.AppendInt(dst, int64(res.ValidHistory), 10)
+	dst = append(dst, `,"valid":`...)
+	dst = strconv.AppendInt(dst, int64(res.Valid), 10)
+	return append(dst, '}')
 }
 
 func resultJSON(res core.Result) DetectResponse {
@@ -155,7 +240,7 @@ func (s *Server) handleDetect(r *http.Request, tr *obs.Trace) (any, *apiError) {
 		return nil, apiErr
 	}
 	tr.Pixels = 1
-	y := toFloats(req.Series)
+	y := []float64(req.Series)
 	opt := req.options()
 	x, err := core.DesignFor(opt, len(y))
 	if err != nil {
@@ -182,7 +267,7 @@ func (s *Server) handleTrace(r *http.Request, tr *obs.Trace) (any, *apiError) {
 		return nil, apiErr
 	}
 	tr.Pixels = 1
-	y := toFloats(req.Series)
+	y := []float64(req.Series)
 	opt := req.options()
 	x, err := core.DesignFor(opt, len(y))
 	if err != nil {
@@ -207,6 +292,16 @@ func (s *Server) handleTrace(r *http.Request, tr *obs.Trace) (any, *apiError) {
 }
 
 func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, *apiError) {
+	// Announce the request to the coalescer before decoding: queues stay
+	// open while any batch request is still on its way to enqueueing, so
+	// concurrent small requests merge even though they never overlap
+	// inside the batcher itself. Done is idempotent — the defer covers
+	// every error return, Detect consumes the arrival on the happy path.
+	var arr *coalesce.Arrival
+	if s.batcher != nil {
+		arr = s.batcher.Arrive()
+		defer arr.Done()
+	}
 	req, apiErr := s.decodeRequest(r)
 	if apiErr != nil {
 		return nil, apiErr
@@ -226,22 +321,20 @@ func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, *apiError) {
 		return nil, errf(http.StatusBadRequest, CodeInvalidArgument,
 			"series has %d dates, limit is %d", n, s.cfg.MaxSeriesLen)
 	}
-	tr.Pixels = len(req.Pixels)
+	m := len(req.Pixels)
+	tr.Pixels = m
 	_, sp := obs.StartSpan(r.Context(), "pack")
-	flat := make([]float64, 0, len(req.Pixels)*n)
+	flat := s.getPackBuf(m * n)
+	defer s.putPackBuf(flat)
 	for i, p := range req.Pixels {
 		if len(p) != n {
 			sp.End()
 			return nil, errf(http.StatusBadRequest, CodeLengthMismatch,
 				"pixel %d has %d dates, expected %d", i, len(p), n)
 		}
-		flat = append(flat, toFloats(p)...)
+		copy(flat[i*n:(i+1)*n], p)
 	}
-	b, err := core.NewBatch(len(req.Pixels), n, flat)
 	sp.End()
-	if err != nil {
-		return nil, errf(http.StatusBadRequest, CodeInvalidArgument, "%v", err)
-	}
 	// The batched strategies (paper organization, PR 2 tiling) replace
 	// the per-pixel C-like baseline here; results are bit-identical
 	// (pinned by the equivalence tests) and the kernel-phase spans light
@@ -252,18 +345,42 @@ func (s *Server) handleBatch(r *http.Request, tr *obs.Trace) (any, *apiError) {
 	// With Config.Autotune, the first batch of a given shape pays for a
 	// sub-second sweep; later batches hit the in-process or on-disk
 	// cache. Resolution failure falls back to the explicit defaults —
-	// tuning is an optimization, never an availability risk.
+	// tuning is an optimization, never an availability risk — but the
+	// cause should reach operators chasing why a host serves untuned.
 	if resolved, rerr := autotune.Resolve(dctx, bcfg, n, opt); rerr == nil {
 		bcfg = resolved
+	} else {
+		s.cfg.Logger.Debug("autotune resolution failed; serving with explicit defaults",
+			"request_id", tr.RequestID, "endpoint", "batch", "err", rerr)
 	}
-	results, err := core.DetectBatch(dctx, b, opt, bcfg)
+	var results []core.Result
+	var err error
+	if s.batcher != nil {
+		// Coalesced path: this request's pixels may ride a merged batch
+		// with concurrent equivalent requests. The batcher's wait span
+		// (child of the detect span above) records which flush they rode
+		// in; results are bit-identical to the direct path.
+		results, _, err = s.batcher.Detect(dctx, arr, flat, m, n, opt, bcfg)
+	} else {
+		var b *core.Batch
+		if b, err = core.NewBatch(m, n, flat); err != nil {
+			sp.End()
+			return nil, errf(http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+		}
+		results, err = core.DetectBatch(dctx, b, opt, bcfg)
+	}
 	sp.End()
 	if err != nil {
 		return nil, ctxError(r.Context(), err)
 	}
-	out := make([]DetectResponse, len(results))
+	out := make([]byte, 0, 48+len(results)*96)
+	out = append(out, '[')
 	for i, res := range results {
-		out[i] = resultJSON(res)
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = appendResultJSON(out, res)
 	}
-	return out, nil
+	out = append(out, ']')
+	return json.RawMessage(out), nil
 }

@@ -136,7 +136,7 @@ func TestBatchCancellationMidRequest(t *testing.T) {
 	s := New(Config{MaxConcurrent: 1})
 
 	rng := rand.New(rand.NewSource(11))
-	pixels := make([][]*float64, 64)
+	pixels := make([]Series, 64)
 	for i := range pixels {
 		pixels[i] = jsonSeries(rng, 200, -1, 0.2)
 	}
@@ -189,7 +189,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	go func() { serveErr <- s.Serve(l) }()
 
 	rng := rand.New(rand.NewSource(12))
-	pixels := make([][]*float64, 2048)
+	pixels := make([]Series, 2048)
 	for i := range pixels {
 		pixels[i] = jsonSeries(rng, 300, -1, 0.2)
 	}
@@ -272,7 +272,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	defer ts.Close()
 
 	rng := rand.New(rand.NewSource(13))
-	pixels := [][]*float64{jsonSeries(rng, 200, 150, 0.3), jsonSeries(rng, 200, -1, 0.3)}
+	pixels := []Series{jsonSeries(rng, 200, 150, 0.3), jsonSeries(rng, 200, -1, 0.3)}
 	if resp, body := post(t, ts, "/v1/batch", DetectRequest{Pixels: pixels, History: 100}); resp.StatusCode != 200 {
 		t.Fatalf("batch: %d %s", resp.StatusCode, body)
 	}

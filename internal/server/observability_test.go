@@ -58,7 +58,7 @@ func postWithHeaders(t *testing.T, ts *httptest.Server, path string, body any, h
 }
 
 func batchBody(rng *rand.Rand, m, n int) map[string]any {
-	pixels := make([][]*float64, m)
+	pixels := make([]Series, m)
 	for i := range pixels {
 		pixels[i] = jsonSeries(rng, n, n/2+10, 0.3)
 	}

@@ -1,0 +1,345 @@
+package server
+
+import (
+	"math"
+	"strconv"
+)
+
+// parseDetectRequest is a single-scan fast path for the request body.
+// encoding/json costs three passes over every pixel array — a validity
+// pre-scan, a skip pass to delimit the value for the custom unmarshaler,
+// and the unmarshaler's own scan — which under small-request traffic
+// makes body decode rival kernel time. This parser does one pass.
+//
+// It is deliberately strict: it accepts a body only when it is certain
+// encoding/json would decode it into the identical struct — plain
+// unescaped ASCII keys matching the wire names exactly, canonical JSON
+// number/literal grammar, no trailing data. Anything else (escaped or
+// case-folded keys, unknown fields, type mismatches, syntax errors)
+// returns ok=false and the caller re-parses with the stock decoder, so
+// every accept/reject decision and every error message stays exactly
+// what it was before this fast path existed.
+func parseDetectRequest(data []byte) (req DetectRequest, ok bool) {
+	p := reqParser{in: data}
+	p.space()
+	if !p.eat('{') {
+		return req, false
+	}
+	for {
+		p.space()
+		if p.eat('}') {
+			break
+		}
+		if p.first && !p.eat(',') {
+			return req, false
+		}
+		p.first = true
+		p.space()
+		key, kok := p.key()
+		if !kok {
+			return req, false
+		}
+		p.space()
+		if !p.eat(':') {
+			return req, false
+		}
+		p.space()
+		if !p.field(&req, key) {
+			return req, false
+		}
+	}
+	p.space()
+	if p.pos != len(p.in) {
+		// The streaming decoder ignores trailing bytes after the first
+		// value; defer to it rather than reason about them here.
+		return req, false
+	}
+	return req, true
+}
+
+type reqParser struct {
+	in    []byte
+	pos   int
+	first bool // a field has been consumed; commas required from now on
+	hint  int  // last parsed series length; pre-sizes sibling pixel rows
+}
+
+func (p *reqParser) space() {
+	for p.pos < len(p.in) && isJSONSpace(p.in[p.pos]) {
+		p.pos++
+	}
+}
+
+func (p *reqParser) eat(c byte) bool {
+	if p.pos < len(p.in) && p.in[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// key reads a plain ASCII object key; escapes or exotic bytes bail to
+// the stock decoder (which also handles its case-insensitive matching).
+func (p *reqParser) key() (string, bool) {
+	if !p.eat('"') {
+		return "", false
+	}
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '"' {
+			k := string(p.in[start:p.pos])
+			p.pos++
+			return k, true
+		}
+		if c == '\\' || c < 0x20 || c >= 0x80 {
+			return "", false
+		}
+		p.pos++
+	}
+	return "", false
+}
+
+// token reads a run of literal/number bytes up to a delimiter.
+func (p *reqParser) token() []byte {
+	start := p.pos
+	for p.pos < len(p.in) {
+		switch c := p.in[p.pos]; {
+		case c == ',' || c == ']' || c == '}' || isJSONSpace(c):
+			return p.in[start:p.pos]
+		default:
+			p.pos++
+		}
+	}
+	return p.in[start:p.pos]
+}
+
+func (p *reqParser) field(req *DetectRequest, key string) bool {
+	switch key {
+	case "series":
+		s, ok := p.series()
+		if !ok {
+			return false
+		}
+		req.Series = s
+		return true
+	case "pixels":
+		if tok := p.peekNull(); tok {
+			req.Pixels = nil
+			return true
+		}
+		if !p.eat('[') {
+			return false
+		}
+		req.Pixels = make([]Series, 0, 8) // non-nil even when empty, like the stock decoder
+		p.space()
+		if p.eat(']') {
+			return true
+		}
+		for {
+			p.space()
+			s, ok := p.series()
+			if !ok {
+				return false
+			}
+			req.Pixels = append(req.Pixels, s)
+			p.space()
+			if p.eat(']') {
+				return true
+			}
+			if !p.eat(',') {
+				return false
+			}
+		}
+	case "n":
+		return p.intField(&req.N)
+	case "history":
+		v, ok := p.intValue()
+		if !ok {
+			return false
+		}
+		req.History = v
+		return true
+	case "harmonics":
+		return p.intField(&req.Harmonics)
+	case "frequency":
+		return p.floatField(&req.Frequency)
+	case "hfrac":
+		return p.floatField(&req.HFrac)
+	case "level":
+		return p.floatField(&req.Level)
+	case "process":
+		if p.peekNull() {
+			req.Process = ""
+			return true
+		}
+		s, ok := p.key() // same grammar: a plain ASCII string
+		if !ok {
+			return false
+		}
+		req.Process = s
+		return true
+	case "noTrend":
+		switch tok := p.token(); string(tok) {
+		case "true":
+			req.NoTrend = true
+		case "false":
+			req.NoTrend = false
+		case "null": // stock decoder leaves the field untouched
+		default:
+			return false
+		}
+		return true
+	default:
+		// Unknown (or case-folded) field: the stock decoder owns the
+		// DisallowUnknownFields / fold-matching behavior.
+		return false
+	}
+}
+
+// series parses one array of numbers/nulls, or a whole-value null.
+func (p *reqParser) series() (Series, bool) {
+	if p.peekNull() {
+		return nil, true
+	}
+	if !p.eat('[') {
+		return nil, false
+	}
+	size := p.hint
+	if size < 64 {
+		size = 64
+	}
+	out := make(Series, 0, size)
+	for {
+		p.space()
+		if p.eat(']') {
+			p.hint = len(out)
+			return out, true
+		}
+		if len(out) > 0 {
+			if !p.eat(',') {
+				return nil, false
+			}
+			p.space()
+		}
+		if p.peekNull() {
+			out = append(out, math.NaN())
+			continue
+		}
+		tok, okNum := p.number()
+		if !okNum {
+			return nil, false
+		}
+		v, err := strconv.ParseFloat(string(tok), 64)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+}
+
+// number reads one number token, validating the JSON number grammar in
+// the same pass (strconv.ParseFloat alone is laxer: hex floats, leading
+// '+', Inf). Hot path — series bodies are almost entirely these tokens.
+func (p *reqParser) number() ([]byte, bool) {
+	in, i := p.in, p.pos
+	start := i
+	if i < len(in) && in[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(in) && in[i] == '0':
+		i++
+	case i < len(in) && in[i] >= '1' && in[i] <= '9':
+		for i < len(in) && isDigit(in[i]) {
+			i++
+		}
+	default:
+		return nil, false
+	}
+	if i < len(in) && in[i] == '.' {
+		i++
+		if i >= len(in) || !isDigit(in[i]) {
+			return nil, false
+		}
+		for i < len(in) && isDigit(in[i]) {
+			i++
+		}
+	}
+	if i < len(in) && (in[i] == 'e' || in[i] == 'E') {
+		i++
+		if i < len(in) && (in[i] == '+' || in[i] == '-') {
+			i++
+		}
+		if i >= len(in) || !isDigit(in[i]) {
+			return nil, false
+		}
+		for i < len(in) && isDigit(in[i]) {
+			i++
+		}
+	}
+	if i < len(in) && isTokenByte(in[i]) {
+		return nil, false // e.g. "1x" — token continues past the grammar
+	}
+	p.pos = i
+	return in[start:i], true
+}
+
+func (p *reqParser) peekNull() bool {
+	if p.pos+4 <= len(p.in) && string(p.in[p.pos:p.pos+4]) == "null" {
+		if p.pos+4 == len(p.in) || !isTokenByte(p.in[p.pos+4]) {
+			p.pos += 4
+			return true
+		}
+	}
+	return false
+}
+
+func isTokenByte(c byte) bool {
+	return !(c == ',' || c == ']' || c == '}' || isJSONSpace(c))
+}
+
+// intValue parses a JSON integer the way encoding/json decodes into an
+// int field: the literal must be digits only (no fraction or exponent)
+// and fit; otherwise bail to the stock decoder's error.
+func (p *reqParser) intValue() (int, bool) {
+	tok := p.token()
+	if len(tok) == 0 || !jsonNumber(tok) {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(string(tok), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return int(v), true
+}
+
+func (p *reqParser) intField(dst **int) bool {
+	if p.peekNull() {
+		*dst = nil
+		return true
+	}
+	v, ok := p.intValue()
+	if !ok {
+		return false
+	}
+	*dst = &v
+	return true
+}
+
+func (p *reqParser) floatField(dst **float64) bool {
+	if p.peekNull() {
+		*dst = nil
+		return true
+	}
+	tok := p.token()
+	if !jsonNumber(tok) {
+		return false
+	}
+	v, err := strconv.ParseFloat(string(tok), 64)
+	if err != nil {
+		return false
+	}
+	*dst = &v
+	return true
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bfast/internal/core"
+)
+
+// TestSeriesWireCompat is the codec's contract: for any body, decoding
+// into Series must accept exactly the inputs the stock []*float64
+// encoding accepted, and produce bit-identical values (null <-> NaN).
+func TestSeriesWireCompat(t *testing.T) {
+	cases := []string{
+		`[]`, `[ ]`, `[1]`, `[1,2,3]`, `[ 1 , 2 , 3 ]`,
+		`[null]`, `[null,null]`, `[1,null,2]`, `[ null , 1.5 ]`,
+		`[0.1,0.25,-3.5e2,1e-3,0,-0]`, `[1E5,1e+5,1e-5]`,
+		`[1.7976931348623157e308,5e-324,-5e-324]`,
+		`[0.30000000000000004,0.1234567890123456789]`,
+		`[1e999]`, `[-1e999]`, // overflow: json maps to an error
+		`null`,
+		"[1,\n2,\t3]",
+		// invalid inputs — both decoders must reject
+		`[`, `]`, `[1,]`, `[,1]`, `[1,,2]`, `[01]`, `[+1]`, `[.5]`,
+		`[1.]`, `[1e]`, `[1e+]`, `[-]`, `[--1]`, `[Inf]`, `[NaN]`,
+		`[nul]`, `[nulll]`, `[true]`, `["1"]`, `[[1]]`, `[{}]`,
+		`[0x1]`, `[1 2]`, `{}`, `1`, `"a"`, ``, `[1]]`,
+	}
+	for _, c := range cases {
+		var want []*float64
+		wantErr := json.Unmarshal([]byte(c), &want) != nil
+		var got Series
+		gotErr := json.Unmarshal([]byte(c), &got) != nil
+		if wantErr != gotErr {
+			t.Errorf("%q: stock err=%v, Series err=%v", c, wantErr, gotErr)
+			continue
+		}
+		if wantErr {
+			continue
+		}
+		if (want == nil) != (got == nil) || len(want) != len(got) {
+			t.Errorf("%q: stock %v vs Series %v", c, want, got)
+			continue
+		}
+		for i := range want {
+			switch {
+			case want[i] == nil:
+				if !math.IsNaN(got[i]) {
+					t.Errorf("%q[%d]: null must decode to NaN, got %v", c, i, got[i])
+				}
+			case math.Float64bits(*want[i]) != math.Float64bits(got[i]):
+				t.Errorf("%q[%d]: %x vs %x", c, i, *want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestSeriesMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := make(Series, 300)
+	for i := range s {
+		if rng.Float64() < 0.3 {
+			s[i] = math.NaN()
+		} else {
+			s[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+		}
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bytes must match what the stock encoding produces for the
+	// equivalent []*float64...
+	ptrs := make([]*float64, len(s))
+	for i := range s {
+		if !math.IsNaN(s[i]) {
+			ptrs[i] = &s[i]
+		}
+	}
+	stock, err := json.Marshal(ptrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, stock) {
+		t.Fatalf("encodings differ:\n%s\n%s", raw, stock)
+	}
+	// ...and survive a round trip bit-identically.
+	var back Series
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("length %d vs %d", len(back), len(s))
+	}
+	for i := range s {
+		if math.Float64bits(s[i]) != math.Float64bits(back[i]) {
+			t.Fatalf("element %d: %x vs %x", i, s[i], back[i])
+		}
+	}
+}
+
+func TestSeriesMarshalRejectsInf(t *testing.T) {
+	if _, err := json.Marshal(Series{math.Inf(1)}); err == nil {
+		t.Fatal("expected an error for +Inf")
+	}
+	if raw, err := json.Marshal(Series(nil)); err != nil || string(raw) != "null" {
+		t.Fatalf("nil series: %s, %v", raw, err)
+	}
+}
+
+// decodeStock is the pre-fast-path behavior: the stock decoder with
+// unknown fields disallowed, as decodeRequest's fallback still runs it.
+func decodeStock(raw []byte) (DetectRequest, error) {
+	var req DetectRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&req)
+	return req, err
+}
+
+// TestFastParserNeverDiverges pins the fast path's safety property: on
+// any input it either produces exactly the stock decoder's result or
+// declines (ok=false) so the fallback runs. It must never accept a body
+// the stock decoder rejects, and never decode different values.
+func TestFastParserNeverDiverges(t *testing.T) {
+	cases := []string{
+		`{}`, `{ }`,
+		`{"series":[1,null,2],"history":5}`,
+		`{"pixels":[[1,2],[3,null]],"history":1}`,
+		`{"pixels":[],"history":1}`,
+		`{"pixels":null,"history":1}`,
+		`{"series":null,"history":1}`,
+		`{"series":[],"history":0}`,
+		`{"history":5,"harmonics":2,"frequency":23.5,"hfrac":0.25,"level":0.01,"process":"cusum","noTrend":true}`,
+		`{"n":3,"series":[1,2,3],"history":2}`,
+		`{"n":null,"harmonics":null,"frequency":null,"hfrac":null,"level":null,"process":null,"noTrend":null,"history":1}`,
+		`{"noTrend":false,"history":1}`,
+		`{"history":-3}`, `{"n":-1,"history":1}`,
+		"{\n  \"series\" : [ 1 , null ] ,\n  \"history\" : 2\n}",
+		`{"history":2,"history":7}`, // duplicate: last wins
+		`{"series":[0.30000000000000004,1e-7,1.7976931348623157e308],"history":1}`,
+		// bodies the fast path must hand to the fallback, which then
+		// reproduces today's accept/reject decision exactly
+		`{"unknown":1}`, `{"History":5}`, `{"SERIES":[1]}`,
+		`{"history":5}garbage`, `{"history":5} `, `{"history":5.0}`,
+		`{"history":5e0}`, `{"history":"5"}`, `{"history":1e99}`,
+		`{"series":[1,]}`, `{"series":[01],"history":1}`,
+		`{"series":"not an array"}`, `{"pixels":[null],"history":1}`,
+		`{"process":"mo\u0073um","history":1}`, `{"process":5}`,
+		`{"noTrend":"true"}`, `{"n":2.5}`, `{`, `[]`, `null`, ``, `42`,
+		`{"series":[1] "history":2}`, `{"series":[1],,"history":2}`,
+		`{,"history":1}`, `{"history":1,}`,
+	}
+	for _, c := range cases {
+		want, stockErr := decodeStock([]byte(c))
+		got, ok := parseDetectRequest([]byte(c))
+		if !ok {
+			continue // fallback covers it; nothing to compare
+		}
+		if stockErr != nil {
+			t.Errorf("%q: fast path accepted what the stock decoder rejects (%v)", c, stockErr)
+			continue
+		}
+		if !reflect.DeepEqual(normalizeReq(got), normalizeReq(want)) {
+			t.Errorf("%q:\nfast  %+v\nstock %+v", c, got, want)
+		}
+	}
+}
+
+// normalizeReq maps NaNs to a comparable sentinel (NaN != NaN defeats
+// DeepEqual) without changing any other field.
+func normalizeReq(r DetectRequest) DetectRequest {
+	fix := func(s Series) Series {
+		out := make(Series, len(s))
+		for i, v := range s {
+			if math.IsNaN(v) {
+				out[i] = -12345e67 // sentinel outside any test body
+			} else {
+				out[i] = v
+			}
+		}
+		return out
+	}
+	if r.Series != nil {
+		r.Series = fix(r.Series)
+	}
+	for i := range r.Pixels {
+		r.Pixels[i] = fix(r.Pixels[i])
+	}
+	return r
+}
+
+// TestFastParserFuzzAgainstStock hammers the divergence property with
+// random bodies, mutations included.
+func TestFastParserFuzzAgainstStock(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		raw := randomBody(rng)
+		want, stockErr := decodeStock(raw)
+		got, ok := parseDetectRequest(raw)
+		if !ok {
+			continue
+		}
+		if stockErr != nil {
+			t.Fatalf("%q: fast path accepted, stock decoder errs: %v", raw, stockErr)
+		}
+		if !reflect.DeepEqual(normalizeReq(got), normalizeReq(want)) {
+			t.Fatalf("%q:\nfast  %+v\nstock %+v", raw, got, want)
+		}
+	}
+}
+
+func randomBody(rng *rand.Rand) []byte {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	fields := []string{"series", "pixels", "n", "history", "harmonics", "frequency", "hfrac", "level", "process", "noTrend", "bogus"}
+	nf := rng.Intn(4)
+	for i := 0; i < nf; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		f := fields[rng.Intn(len(fields))]
+		b.WriteString(`"` + f + `":`)
+		switch f {
+		case "series":
+			writeRandomArray(rng, &b)
+		case "pixels":
+			b.WriteByte('[')
+			for j := rng.Intn(3); j > 0; j-- {
+				writeRandomArray(rng, &b)
+				if j > 1 {
+					b.WriteByte(',')
+				}
+			}
+			b.WriteByte(']')
+		case "process":
+			b.WriteString(`"cusum"`)
+		case "noTrend":
+			b.WriteString([]string{"true", "false", "null"}[rng.Intn(3)])
+		default:
+			b.WriteString([]string{"1", "-2", "300", "null", "0.5", "1e3"}[rng.Intn(6)])
+		}
+	}
+	b.WriteByte('}')
+	raw := b.Bytes()
+	// Mutate some bodies to exercise reject paths.
+	if rng.Intn(3) == 0 && len(raw) > 2 {
+		raw[rng.Intn(len(raw))] = byte(" ,:[]{}01.e\"x"[rng.Intn(13)])
+	}
+	return raw
+}
+
+func writeRandomArray(rng *rand.Rand, b *bytes.Buffer) {
+	b.WriteByte('[')
+	for j := rng.Intn(4); j > 0; j-- {
+		switch rng.Intn(3) {
+		case 0:
+			b.WriteString("null")
+		case 1:
+			b.WriteString("-0.123")
+		default:
+			b.WriteString("4.5e-2")
+		}
+		if j > 1 {
+			b.WriteByte(',')
+		}
+	}
+	b.WriteByte(']')
+}
+
+// TestAppendResultJSONMatchesEncoder pins the hand-built /v1/batch
+// response bytes to what encoding/json produces for the same results.
+func TestAppendResultJSONMatchesEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	results := []core.Result{
+		{Status: core.StatusOK, BreakIndex: 42, MosumMean: -0.5, Sigma: 0.125, ValidHistory: 100, Valid: 180},
+		{Status: core.StatusOK, BreakIndex: -1, MosumMean: 1e-7, Sigma: 1e20, ValidHistory: 7, Valid: 7},
+		{Status: core.StatusInsufficientHistory, BreakIndex: -1, ValidHistory: 3, Valid: 5},
+		{Status: core.StatusSingular, BreakIndex: -1, ValidHistory: 30, Valid: 60},
+	}
+	for i := 0; i < 200; i++ {
+		results = append(results, core.Result{
+			Status:       core.StatusOK,
+			BreakIndex:   rng.Intn(500) - 1,
+			MosumMean:    rng.NormFloat64() * math.Pow(10, float64(rng.Intn(30)-15)),
+			Sigma:        math.Abs(rng.NormFloat64()),
+			ValidHistory: rng.Intn(1000),
+			Valid:        rng.Intn(1000),
+		})
+	}
+	for _, res := range results {
+		want, err := json.Marshal(resultJSON(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendResultJSON(nil, res)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%+v:\ngot  %s\nwant %s", res, got, want)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bfast/internal/coalesce"
 	"bfast/internal/obs"
 )
 
@@ -99,6 +100,22 @@ type Config struct {
 	// publishing runtime.* gauges (goroutines, heap, GC pauses) into
 	// Metrics at that interval; Shutdown stops it.
 	SampleRuntimeEvery time.Duration
+	// Coalesce routes /v1/batch through the request coalescer
+	// (internal/coalesce): concurrent small requests with equivalent
+	// options merge into shared detection batches so they ride full
+	// tiles instead of each paying a near-empty kernel launch. Off by
+	// default — responses are bit-identical either way (the repo's
+	// batch-composition invariant), coalescing only changes throughput
+	// and adds at most CoalesceMaxWait of latency under load.
+	Coalesce bool
+	// CoalesceBatchPixels is the merged-batch size that triggers an
+	// immediate flush (default 64); requests at least this large bypass
+	// the queue. Ignored unless Coalesce is set.
+	CoalesceBatchPixels int
+	// CoalesceMaxWait bounds how long a queued request waits for
+	// co-riders before flushing anyway (default 2ms) — the worst-case
+	// latency coalescing can add. Ignored unless Coalesce is set.
+	CoalesceMaxWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +160,18 @@ type Server struct {
 	rateLimited *obs.Counter
 	reqBytes    *obs.Histogram
 
+	// batcher is non-nil iff Config.Coalesce: /v1/batch detection runs
+	// through it instead of calling core.DetectBatch per request.
+	batcher *coalesce.Batcher
+	// bodyPool recycles request-body read buffers; nothing decoded out of
+	// a body aliases its bytes (both parsers copy values out), so the
+	// buffer is reusable the moment decoding returns.
+	bodyPool sync.Pool
+	// packPool recycles /v1/batch pack buffers (the flat NaN-encoded
+	// pixel matrix) across requests; the batcher copies pixels out at
+	// enqueue, so a buffer is reusable the moment detection returns.
+	packPool sync.Pool
+
 	stopSampler func()
 }
 
@@ -159,6 +188,14 @@ func New(cfg Config) *Server {
 	}
 	if cfg.TraceDepth >= 0 {
 		s.ring = obs.NewTraceRing(cfg.TraceDepth)
+	}
+	if cfg.Coalesce {
+		s.batcher = coalesce.New(coalesce.Config{
+			BatchPixels: cfg.CoalesceBatchPixels,
+			MaxWait:     cfg.CoalesceMaxWait,
+			Metrics:     cfg.Metrics,
+			Traces:      s.ring,
+		})
 	}
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.Handle("/v1/detect", s.endpoint("detect", true, s.handleDetect))
@@ -226,6 +263,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, _ *http.Request) {
 			"max_concurrent":   s.cfg.MaxConcurrent,
 		},
 		"workers":  s.cfg.Workers,
+		"coalesce": s.batcher != nil,
 		"inflight": s.inflight.Value(),
 		"draining": s.draining.Load(),
 		"traces":   s.ring.Recent(),
@@ -403,6 +441,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	if s.stopSampler != nil {
 		s.stopSampler()
+	}
+	// Flush pending coalescing queues now instead of waiting out their
+	// deadline timers; requests still in flight after this run direct
+	// (unbatched but correct), so drain strands no waiter.
+	if s.batcher != nil {
+		s.batcher.Close()
 	}
 	s.mu.Lock()
 	srv := s.httpSrv

@@ -33,18 +33,20 @@ func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Respo
 	return resp, buf.Bytes()
 }
 
-// jsonSeries builds a null-for-missing series with a break.
-func jsonSeries(rng *rand.Rand, n, breakAt int, nanFrac float64) []*float64 {
-	out := make([]*float64, n)
+// jsonSeries builds a series with a break; NaN entries reach the wire
+// as null via Series's encoder.
+func jsonSeries(rng *rand.Rand, n, breakAt int, nanFrac float64) Series {
+	out := make(Series, n)
 	for t := 0; t < n; t++ {
 		if rng.Float64() < nanFrac {
-			continue // null
+			out[t] = math.NaN()
+			continue
 		}
 		v := 0.5 + 0.3*math.Sin(2*math.Pi*float64(t+1)/23) + rng.NormFloat64()*0.02
 		if breakAt >= 0 && t >= breakAt {
 			v -= 0.6
 		}
-		out[t] = &v
+		out[t] = v
 	}
 	return out
 }
@@ -76,7 +78,7 @@ func TestDetectEndpointMatchesLibrary(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The endpoint must agree with a direct library call.
-	y := toFloats(seriesJSON)
+	y := []float64(seriesJSON)
 	opt := core.DefaultOptions(150)
 	x, _ := series.MakeDesign(300, opt.Harmonics, opt.Frequency)
 	want, err := core.Detect(y, x, opt)
@@ -138,7 +140,7 @@ func TestBatchEndpoint(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(10))
-	pixels := [][]*float64{
+	pixels := []Series{
 		jsonSeries(rng, 200, 150, 0.3), // break
 		jsonSeries(rng, 200, -1, 0.3),  // stable
 		jsonSeries(rng, 200, -1, 0.99), // mostly missing

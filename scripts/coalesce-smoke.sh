@@ -1,0 +1,112 @@
+#!/bin/sh
+# Boots bfast-serve twice — once plain, once with -coalesce — fires the
+# same concurrent small /v1/batch requests at both, and asserts every
+# coalesced response is byte-identical to the per-request one. Also
+# checks that the coalesce.* metric families move and that the merged
+# server drains cleanly on SIGTERM. Used by `make coalesce-smoke` and CI.
+set -eu
+
+GO=${GO:-go}
+ADDR_DIRECT=${ADDR_DIRECT:-127.0.0.1:18090}
+ADDR_COAL=${ADDR_COAL:-127.0.0.1:18091}
+REQUESTS=${REQUESTS:-24}
+TMP=$(mktemp -d)
+trap 'kill "$PID_DIRECT" "$PID_COAL" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+$GO build -o "$TMP/bfast-serve" ./cmd/bfast-serve
+# -max-concurrent must cover the whole burst: the point is merging
+# concurrent requests, not 429ing them.
+"$TMP/bfast-serve" -addr "$ADDR_DIRECT" -max-concurrent $((2 * REQUESTS)) >"$TMP/direct.log" 2>&1 &
+PID_DIRECT=$!
+"$TMP/bfast-serve" -addr "$ADDR_COAL" -max-concurrent $((2 * REQUESTS)) -coalesce -coalesce-pixels 16 -coalesce-wait 5ms >"$TMP/coal.log" 2>&1 &
+PID_COAL=$!
+
+wait_healthy() {
+    i=0
+    until curl -fsS "http://$1/v1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "coalesce-smoke: $1 never became healthy" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+wait_healthy "$ADDR_DIRECT" "$TMP/direct.log"
+wait_healthy "$ADDR_COAL" "$TMP/coal.log"
+
+# The coalesced server must advertise the batcher on /debug/bfast.
+curl -fsS "http://$ADDR_COAL/debug/bfast" | grep -q "\"coalesce\": *true" || {
+    echo "coalesce-smoke: /debug/bfast does not report coalesce" >&2
+    exit 1
+}
+
+# Small 1-2 pixel bodies with nulls, varied per request so demux mixups
+# would be visible in the diff.
+for i in $(seq 1 "$REQUESTS"); do
+    awk -v seed="$i" 'BEGIN{
+        srand(seed); m=1+seed%2; printf "{\"pixels\":[";
+        for(p=0;p<m;p++){ if(p)printf ","; printf "[";
+            for(t=0;t<60;t++){ if(t)printf ",";
+                if(rand()<0.2){printf "null"}
+                else{printf "%.4f", 0.5+0.3*sin(2*3.14159*(t+1)/23)+(rand()-0.5)*0.05+(seed%7)*0.01} }
+            printf "]" }
+        printf "],\"history\":30}"
+    }' >"$TMP/body.$i.json"
+done
+
+# Fire the whole set at the coalesced server concurrently (so requests
+# actually merge), and at the direct server for the reference bytes.
+# Wait on the curl PIDs explicitly — a bare `wait` would block on the
+# server processes too.
+CURL_PIDS=""
+for i in $(seq 1 "$REQUESTS"); do
+    curl -fsS "http://$ADDR_COAL/v1/batch" --data-binary "@$TMP/body.$i.json" -o "$TMP/coal.$i.json" &
+    CURL_PIDS="$CURL_PIDS $!"
+done
+for pid in $CURL_PIDS; do
+    wait "$pid"
+done
+for i in $(seq 1 "$REQUESTS"); do
+    curl -fsS "http://$ADDR_DIRECT/v1/batch" --data-binary "@$TMP/body.$i.json" -o "$TMP/direct.$i.json"
+done
+
+for i in $(seq 1 "$REQUESTS"); do
+    cmp -s "$TMP/direct.$i.json" "$TMP/coal.$i.json" || {
+        echo "coalesce-smoke: response $i differs between paths" >&2
+        echo "direct: $(cat "$TMP/direct.$i.json")" >&2
+        echo "coal:   $(cat "$TMP/coal.$i.json")" >&2
+        exit 1
+    }
+done
+
+# The batcher's metric families must exist and have moved.
+metrics=$(curl -fsS "http://$ADDR_COAL/metrics")
+for key in coalesce.requests coalesce.pixels coalesce.flushes coalesce.flush.pixels; do
+    echo "$metrics" | grep -q "\"$key\"" || {
+        echo "coalesce-smoke: /metrics missing $key" >&2
+        echo "$metrics" >&2
+        exit 1
+    }
+done
+
+# Graceful drain: SIGTERM on the coalesced server must exit 0.
+kill -TERM "$PID_COAL"
+i=0
+while kill -0 "$PID_COAL" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "coalesce-smoke: coalesced server did not shut down" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$PID_COAL" && status=0 || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "coalesce-smoke: shutdown exit status $status" >&2
+    cat "$TMP/coal.log" >&2
+    exit 1
+fi
+kill -TERM "$PID_DIRECT" 2>/dev/null || true
+echo "coalesce-smoke: ok ($REQUESTS requests byte-identical across paths)"

@@ -16,7 +16,9 @@ TMP=$(mktemp -d)
 trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 $GO build -o "$TMP/bfast-serve" ./cmd/bfast-serve
-"$TMP/bfast-serve" -addr "$ADDR" -runtime-sample 50ms >"$TMP/serve.log" 2>&1 &
+# -coalesce so the coalesce.* batcher families are part of the pinned
+# exposition surface too.
+"$TMP/bfast-serve" -addr "$ADDR" -runtime-sample 50ms -coalesce >"$TMP/serve.log" 2>&1 &
 PID=$!
 
 i=0
