@@ -14,15 +14,17 @@
 # expositions (JSON default, Prometheus text) against the pinned family
 # golden file; `make coalesce-smoke` boots bfast-serve with and without
 # -coalesce, fires the same concurrent small /v1/batch requests at both
-# and asserts the responses are byte-identical.
+# and asserts the responses are byte-identical; `make nrt-smoke` fits a
+# scene, observes dates across a SIGTERM restart from the state
+# directory, and diffs the verdicts against one offline /v1/batch run.
 
 GO ?= go
 FUZZTIME ?= 10s
 TOL ?= 10
 
-.PHONY: ci lint bfast-lint vet fmt-check build test race fuzz-smoke vulncheck bench bench-smoke bench-compare serve-smoke metrics-smoke coalesce-smoke
+.PHONY: ci lint bfast-lint vet fmt-check build test race fuzz-smoke vulncheck bench bench-smoke bench-compare serve-smoke metrics-smoke coalesce-smoke nrt-smoke
 
-ci: lint build race test fuzz-smoke coalesce-smoke
+ci: lint build race test fuzz-smoke coalesce-smoke nrt-smoke
 
 lint: vet fmt-check bfast-lint
 
@@ -80,3 +82,6 @@ metrics-smoke:
 
 coalesce-smoke:
 	./scripts/coalesce-smoke.sh
+
+nrt-smoke:
+	./scripts/nrt-smoke.sh

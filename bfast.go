@@ -121,7 +121,7 @@ func (d *Detector) Options() Options { return d.opt }
 func (d *Detector) SeriesLen() int { return d.n }
 
 // BatchOptions configures a DetectBatch call — the consolidated knobs of
-// the old DetectBatch/DetectBatchStrategy family. The zero value is the
+// the old pre-context DetectBatch family. The zero value is the
 // production default: the paper's winning staged-tiled organization,
 // work-stealing across GOMAXPROCS workers, default tile width.
 type BatchOptions struct {
@@ -180,28 +180,6 @@ func (d *Detector) DetectBatch(ctx context.Context, b *Batch, opts BatchOptions)
 		return nil, fmt.Errorf("bfast: autotune: %w", err)
 	}
 	return core.DetectBatch(ctx, b, d.opt, cfg)
-}
-
-// DetectBatchStrategy runs the batch under an explicit execution strategy.
-//
-// Deprecated: use DetectBatch(ctx, b, BatchOptions{Strategy: strat,
-// Workers: workers}). Kept as a thin wrapper for the pre-context API;
-// see README "API migration".
-func (d *Detector) DetectBatchStrategy(b *Batch, strat Strategy, workers int) ([]Result, error) {
-	return d.DetectBatch(context.Background(), b, BatchOptions{Strategy: strat, Workers: workers})
-}
-
-// DetectBatchFused runs the batch through the fused C-like per-pixel
-// pass (baseline.CLike) — the behavior of the old two-argument
-// DetectBatch(b, workers). Results are bit-identical to DetectBatch.
-//
-// Deprecated: use DetectBatch(ctx, b, BatchOptions{Workers: workers});
-// see README "API migration".
-func (d *Detector) DetectBatchFused(b *Batch, workers int) ([]Result, error) {
-	if b.N != d.n {
-		return nil, fmt.Errorf("bfast: batch has %d dates, detector built for %d", b.N, d.n)
-	}
-	return baseline.CLike(context.Background(), b, d.opt, workers)
 }
 
 // MosumBoundary returns the monitoring boundary b_t for offset t given the

@@ -92,7 +92,7 @@ func TestDetectorBatchStrategyAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, st := range []Strategy{StrategyOurs, StrategyRgTlEfSeq, StrategyFullEfSeq} {
-		got, err := d.DetectBatchStrategy(b, st, 2)
+		got, err := d.DetectBatch(context.Background(), b, BatchOptions{Strategy: st, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +102,7 @@ func TestDetectorBatchStrategyAgree(t *testing.T) {
 			}
 		}
 	}
-	if _, err := d.DetectBatchStrategy(&Batch{M: 1, N: 5, Y: make([]float64, 5)}, StrategyOurs, 1); err == nil {
+	if _, err := d.DetectBatch(context.Background(), &Batch{M: 1, N: 5, Y: make([]float64, 5)}, BatchOptions{}); err == nil {
 		t.Fatal("wrong batch length must fail")
 	}
 }

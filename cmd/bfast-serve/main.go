@@ -44,6 +44,9 @@ func main() {
 	coalesceFlag := flag.Bool("coalesce", false, "merge concurrent small /v1/batch requests into shared detection batches (bit-identical responses, higher throughput under small-request load)")
 	coalescePixels := flag.Int("coalesce-pixels", 0, "merged-batch size that flushes immediately (0 = default 64)")
 	coalesceWait := flag.Duration("coalesce-wait", 0, "max time a queued request waits for co-riders (0 = default 2ms)")
+	stateDir := flag.String("state-dir", "", "directory for NRT session snapshots; sessions survive restarts when set, live in memory otherwise")
+	snapshotEvery := flag.Int("snapshot-every", 0, "persist an NRT session every k-th observe (0 = default 1 = every observe; negative disables automatic snapshots)")
+	maxSessions := flag.Int("max-sessions", 0, "max live NRT sessions before /v1/fit returns 429 (0 = default 64)")
 	flag.Parse()
 
 	logger, err := bfast.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -52,21 +55,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := bfast.NewServer(bfast.ServerConfig{
-		Workers:             *workers,
-		Autotune:            *autotuneFlag,
-		MaxConcurrent:       *maxConcurrent,
-		MaxBatchPixels:      *maxBatch,
-		MaxBodyBytes:        *maxBody,
-		DisableDebug:        *noDebug,
-		RetryAfterSeconds:   *retryAfter,
-		Logger:              logger,
-		EnablePprof:         *enablePprof,
-		SampleRuntimeEvery:  *runtimeSample,
-		Coalesce:            *coalesceFlag,
-		CoalesceBatchPixels: *coalescePixels,
-		CoalesceMaxWait:     *coalesceWait,
+	srv, err := bfast.NewServer(bfast.ServerConfig{
+		Workers:            *workers,
+		Autotune:           *autotuneFlag,
+		MaxConcurrent:      *maxConcurrent,
+		MaxBatchPixels:     *maxBatch,
+		MaxBodyBytes:       *maxBody,
+		DisableDebug:       *noDebug,
+		RetryAfterSeconds:  *retryAfter,
+		Logger:             logger,
+		EnablePprof:        *enablePprof,
+		SampleRuntimeEvery: *runtimeSample,
+		Coalesce: bfast.CoalesceConfig{
+			Enabled:     *coalesceFlag,
+			BatchPixels: *coalescePixels,
+			MaxWait:     *coalesceWait,
+		},
+		NRT: bfast.NRTConfig{
+			StateDir:      *stateDir,
+			SnapshotEvery: *snapshotEvery,
+			MaxSessions:   *maxSessions,
+		},
 	})
+	if err != nil {
+		logger.Error("bfast-serve startup", "err", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -74,8 +88,8 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("bfast-serve listening",
-			"addr", *addr, "pprof", *enablePprof,
-			"endpoints", "POST /v1/detect /v1/trace /v1/batch; GET /metrics /debug/bfast/traces")
+			"addr", *addr, "pprof", *enablePprof, "state_dir", *stateDir,
+			"endpoints", "POST /v1/detect /v1/trace /v1/batch /v1/fit /v1/observe; GET /v1/sessions /metrics /debug/bfast/traces")
 		errc <- srv.ListenAndServe(*addr)
 	}()
 

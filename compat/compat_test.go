@@ -1,0 +1,85 @@
+package compat
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"bfast"
+)
+
+// scene builds a small cloudy batch with an injected break, mirroring
+// the root package's test scene generator.
+func scene(t *testing.T, m, n, history int) (*bfast.Detector, *bfast.Batch) {
+	t.Helper()
+	s, err := bfast.GenerateScene(bfast.SceneSpec{
+		Name: "compat", M: m, N: n, History: history,
+		NaNFrac: 0.4, BreakFrac: 0.5, BreakShift: -0.7, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bfast.SceneBatch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bfast.NewDetector(n, bfast.DefaultOptions(history))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, b
+}
+
+func sameResults(t *testing.T, label string, got, want []bfast.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Status != w.Status || g.BreakIndex != w.BreakIndex ||
+			math.Float64bits(g.MosumMean) != math.Float64bits(w.MosumMean) {
+			t.Fatalf("%s: pixel %d: %+v vs %+v", label, i, g, w)
+		}
+	}
+}
+
+// TestShimsMatchDetectBatch pins the compat shims bit-for-bit to the
+// consolidated ctx-first entry point they migrated from.
+func TestShimsMatchDetectBatch(t *testing.T) {
+	d, b := scene(t, 32, 160, 80)
+	for _, st := range []bfast.Strategy{bfast.StrategyOurs, bfast.StrategyFullEfSeq} {
+		want, err := d.DetectBatch(context.Background(), b, bfast.BatchOptions{Strategy: st, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DetectBatchStrategy(d, b, st, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "DetectBatchStrategy", got, want)
+	}
+
+	want, err := d.DetectBatch(context.Background(), b, bfast.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DetectBatchFused(d, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "DetectBatchFused", got, want)
+}
+
+// TestShimLengthValidation: the shims keep the removed methods' length
+// checks.
+func TestShimLengthValidation(t *testing.T) {
+	d, _ := scene(t, 4, 160, 80)
+	bad := &bfast.Batch{M: 1, N: 5, Y: make([]float64, 5)}
+	if _, err := DetectBatchStrategy(d, bad, bfast.StrategyOurs, 1); err == nil {
+		t.Fatal("DetectBatchStrategy: wrong batch length must fail")
+	}
+	if _, err := DetectBatchFused(d, bad, 1); err == nil {
+		t.Fatal("DetectBatchFused: wrong batch length must fail")
+	}
+}

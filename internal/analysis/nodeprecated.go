@@ -5,33 +5,35 @@ import (
 	"go/types"
 )
 
-// NoDeprecated fences off the compatibility shims that survive only
-// for external callers of the pre-ctx API: Detector.DetectBatchStrategy
-// and Detector.DetectBatchFused (root package) and baseline.CLikeStatic
-// (the pre-ValidMask seed path). Internal code that reaches for them
-// silently forfeits cancellation, span tracing and the tiled kernels —
-// the exact contract PR-3/PR-4 established — so any internal call site
-// is a finding. The equivalence tests that pin the deprecated paths
-// bit-for-bit live in _test.go files (exempt), and the one harness
-// that measures the seed path on purpose carries a documented
-// //lint:allow nodeprecated.
+// NoDeprecated fences off the compat package's shims, which survive
+// only for external callers of the pre-ctx API:
+// compat.DetectBatchStrategy and compat.DetectBatchFused. Internal
+// code that reaches for them silently forfeits cancellation, span
+// tracing and the tiled kernels — the exact contract PR-3/PR-4
+// established — so any internal call site is a finding. The
+// equivalence tests that pin the shims bit-for-bit live in the compat
+// package's own _test.go files (exempt).
 var NoDeprecated = &Analyzer{
 	Name: "nodeprecated",
-	Doc:  "internal packages must not call the Deprecated wrappers DetectBatchStrategy/DetectBatchFused/CLikeStatic",
+	Doc:  "internal packages must not call the compat shims DetectBatchStrategy/DetectBatchFused",
 	Run:  runNoDeprecated,
 }
 
-// deprecatedCalls maps wrapper name -> defining package name. Matching
+// deprecatedCalls maps shim name -> defining package name. Matching
 // is by (function name, package name) rather than full import path so
-// the analyzer's fixtures can model the wrappers without replicating
-// the module path.
+// the analyzer's fixtures can model the shims without replicating the
+// module path.
 var deprecatedCalls = map[string]string{
-	"DetectBatchStrategy": "bfast",
-	"DetectBatchFused":    "bfast",
-	"CLikeStatic":         "baseline",
+	"DetectBatchStrategy": "compat",
+	"DetectBatchFused":    "compat",
 }
 
 func runNoDeprecated(pass *Pass) error {
+	// The shims may call each other and the package's tests must pin
+	// them; everything else in the module is fenced out.
+	if pass.Pkg.Name() == "compat" {
+		return nil
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -50,7 +52,7 @@ func runNoDeprecated(pass *Pass) error {
 			}
 			if pkgName, bad := deprecatedCalls[obj.Name()]; bad && obj.Pkg().Name() == pkgName {
 				pass.Reportf(call.Pos(),
-					"call to deprecated %s.%s: use the ctx-first API (DetectBatch / baseline.CLike) so cancellation and spans propagate", obj.Pkg().Name(), obj.Name())
+					"call to deprecated %s.%s: use the ctx-first API (Detector.DetectBatch) so cancellation and spans propagate", obj.Pkg().Name(), obj.Name())
 			}
 			return true
 		})

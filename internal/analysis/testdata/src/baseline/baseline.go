@@ -2,8 +2,9 @@
 // nodeprecated fixtures.
 package baseline
 
-// CLikeStatic is the deprecated pre-ValidMask seed path.
-func CLikeStatic() error { return nil }
+// CLikeSeed is the pre-ValidMask seed path — a benchmark baseline,
+// not a deprecated surface.
+func CLikeSeed() error { return nil }
 
-// CLike is the ctx-first replacement.
+// CLike is the ctx-first masked implementation.
 func CLike() error { return nil }

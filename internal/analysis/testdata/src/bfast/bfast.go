@@ -1,13 +1,5 @@
-// Package bfast models the repo root's deprecated batch wrappers for
-// the nodeprecated fixtures; matching is by (function name, package
-// name), so this stand-in triggers the same analyzer paths.
+// Package bfast models the repo root for the nodeprecated fixtures.
 package bfast
 
-// DetectBatchStrategy is the deprecated pre-ctx wrapper.
-func DetectBatchStrategy() error { return nil }
-
-// DetectBatchFused is the deprecated pre-ctx wrapper.
-func DetectBatchFused() error { return nil }
-
-// DetectBatch is the ctx-first replacement.
+// DetectBatch is the ctx-first consolidated entry point.
 func DetectBatch() error { return nil }

@@ -1,32 +1,32 @@
-// Fixture for the nodeprecated analyzer: internal calls to the
-// deprecated seed wrappers are findings; the ctx-first replacements
-// and same-name locals are not.
+// Fixture for the nodeprecated analyzer: internal calls to the compat
+// shims are findings; the ctx-first replacements and same-name locals
+// are not.
 package nodeprecated
 
 import (
 	"baseline"
 	"bfast"
+	"compat"
 )
 
 func bad() error {
-	if err := bfast.DetectBatchStrategy(); err != nil { // want `deprecated bfast\.DetectBatchStrategy`
+	if err := compat.DetectBatchStrategy(); err != nil { // want `deprecated compat\.DetectBatchStrategy`
 		return err
 	}
-	if err := bfast.DetectBatchFused(); err != nil { // want `deprecated bfast\.DetectBatchFused`
-		return err
-	}
-	return baseline.CLikeStatic() // want `deprecated baseline\.CLikeStatic`
+	return compat.DetectBatchFused() // want `deprecated compat\.DetectBatchFused`
 }
 
 func good() error {
 	if err := bfast.DetectBatch(); err != nil {
 		return err
 	}
-	return baseline.CLike()
+	// The seed baseline is a benchmark fixture, not a deprecated
+	// surface — calling it is fine.
+	return baseline.CLikeSeed()
 }
 
-// CLikeStatic here is package-local: same name, different package, no
-// finding.
-func CLikeStatic() error { return nil }
+// DetectBatchFused here is package-local: same name, different
+// package, no finding.
+func DetectBatchFused() error { return nil }
 
-func goodLocal() error { return CLikeStatic() }
+func goodLocal() error { return DetectBatchFused() }

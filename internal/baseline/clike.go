@@ -94,11 +94,13 @@ func CLike(ctx context.Context, b *core.Batch, opt core.Options, workers int) ([
 	return out, nil
 }
 
-// CLikeStatic is the pre-ValidMask seed implementation: static
+// CLikeSeed is the pre-ValidMask seed implementation: static
 // contiguous chunk partitioning and per-element NaN tests. Retained as
 // the "before" side of the bitset/work-stealing benchmarks; results are
-// bit-identical to CLike.
-func CLikeStatic(b *core.Batch, opt core.Options, workers int) ([]core.Result, error) {
+// bit-identical to CLike. (Formerly CLikeStatic; renamed when the
+// Deprecated wrappers moved to the compat package — this one is a
+// benchmark baseline, not a compatibility surface.)
+func CLikeSeed(b *core.Batch, opt core.Options, workers int) ([]core.Result, error) {
 	if err := opt.Validate(b.N); err != nil {
 		return nil, err
 	}

@@ -33,7 +33,7 @@ func genCloudBatch(t *testing.T, m, n, hist int, nanFrac float64, seed int64) *c
 func TestCLikeBitIdenticalToStaticSeed(t *testing.T) {
 	ds := genCloudBatch(t, 96, 256, 128, 0.5, 41)
 	opt := core.DefaultOptions(128)
-	want, err := CLikeStatic(ds, opt, 4)
+	want, err := CLikeSeed(ds, opt, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestCLikeEmptyBatch(t *testing.T) {
 	for _, fn := range []func(context.Context, *core.Batch, core.Options, int) ([]core.Result, error){
 		CLike,
 		func(_ context.Context, b *core.Batch, opt core.Options, w int) ([]core.Result, error) {
-			return CLikeStatic(b, opt, w)
+			return CLikeSeed(b, opt, w)
 		},
 	} {
 		res, err := fn(context.Background(), b, opt, 8)
@@ -79,7 +79,7 @@ func TestCLikeWorkersExceedPixels(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertIdentical(t, want, got, "clike-many-workers")
-		st, err := CLikeStatic(b, opt, w)
+		st, err := CLikeSeed(b, opt, w)
 		if err != nil {
 			t.Fatal(err)
 		}

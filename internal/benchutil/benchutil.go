@@ -68,7 +68,7 @@ func (c Config) withDefaults() Config {
 
 // Experiments lists the experiment names accepted by Run, in order.
 func Experiments() []string {
-	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "masks", "tiles", "tune", "obsoverhead", "coalesce", "speedups", "sweep", "ablations", "claims"}
+	return []string{"table1", "fig6", "fig7", "fig8", "fig10", "maps", "masks", "tiles", "tune", "obsoverhead", "coalesce", "nrt", "speedups", "sweep", "ablations", "claims"}
 }
 
 // Run dispatches one experiment by name ("all" runs every one).
@@ -111,6 +111,8 @@ func runOne(ctx context.Context, name string, cfg Config) (any, error) {
 		return ObsOverhead(ctx, cfg)
 	case "coalesce":
 		return Coalesce(ctx, cfg)
+	case "nrt":
+		return NRT(ctx, cfg)
 	case "speedups":
 		return Speedups(ctx, cfg)
 	case "sweep":

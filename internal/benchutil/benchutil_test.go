@@ -197,8 +197,8 @@ func TestRunDispatch(t *testing.T) {
 }
 
 func TestExperimentsListed(t *testing.T) {
-	if len(Experiments()) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(Experiments()))
 	}
 }
 

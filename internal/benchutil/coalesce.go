@@ -163,18 +163,26 @@ func Coalesce(ctx context.Context, cfg Config) ([]CoalesceRow, error) {
 		MaxConcurrent: 2 * callers,
 		Workers:       cfg.Workers,
 	}
-	direct := server.New(func() server.Config { c := scfg; c.Metrics = obs.NewRegistry(); return c }())
+	direct, err := server.New(func() server.Config { c := scfg; c.Metrics = obs.NewRegistry(); return c }())
+	if err != nil {
+		return nil, err
+	}
 	coalReg := obs.NewRegistry()
-	coalesced := server.New(func() server.Config {
+	coalesced, err := server.New(func() server.Config {
 		c := scfg
 		c.Metrics = coalReg
-		c.Coalesce = true
 		// Mostly-1-pixel traffic fills a queue slowly; flush at a couple
 		// of tiles' worth rather than idling toward the deadline.
-		c.CoalesceBatchPixels = 48
-		c.CoalesceMaxWait = time.Millisecond
+		c.Coalesce = server.CoalesceConfig{
+			Enabled:     true,
+			BatchPixels: 48,
+			MaxWait:     time.Millisecond,
+		}
 		return c
 	}())
+	if err != nil {
+		return nil, err
+	}
 
 	// Warm both servers (design cache, pack pools, JIT-ish first-request
 	// costs) before timing.

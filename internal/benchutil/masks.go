@@ -77,10 +77,9 @@ func Masks(ctx context.Context, cfg Config) ([]MasksRow, error) {
 			func() ([]core.Result, error) { return core.DetectBatch(ctx, b, opt, fusedCfg) }},
 		{"clike-baseline",
 			// The masks experiment exists to measure the bitset masks
-			// against the pre-mask seed path, so the deprecated seed
-			// implementation is called here on purpose.
-			//lint:allow nodeprecated -- the experiment's "before" side is the deprecated seed path by design
-			func() ([]core.Result, error) { return baseline.CLikeStatic(b, opt, cfg.Workers) },
+			// against the pre-mask seed path, so the seed implementation
+			// is called here on purpose.
+			func() ([]core.Result, error) { return baseline.CLikeSeed(b, opt, cfg.Workers) },
 			func() ([]core.Result, error) { return baseline.CLike(ctx, b, opt, cfg.Workers) }},
 	}
 

@@ -1,0 +1,219 @@
+package benchutil
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"bfast/internal/core"
+	"bfast/internal/nrt"
+	"bfast/internal/workload"
+)
+
+// NRTRow is one serving strategy's throughput for near-real-time
+// monitoring: folding newly arriving acquisition dates into per-pixel
+// verdicts.
+type NRTRow struct {
+	// Path is "refit-per-date" (a stateless server re-runs the full
+	// offline batch detection on the series-so-far every time a date
+	// arrives) or "observe" (stateful sessions advance resident
+	// Monitors by one date — the /v1/fit + /v1/observe pipeline).
+	Path    string `json:"path"`
+	M       int    `json:"m"`
+	N       int    `json:"n"`
+	History int    `json:"history"`
+	// Dates is the number of monitoring dates folded in (N - History).
+	Dates int `json:"dates"`
+	// Wall is the best-of-reps time to fold all Dates in, one at a time.
+	Wall time.Duration `json:"wall_ns"`
+	// DatesPerSec is Dates/Wall — scene-level acquisition throughput.
+	DatesPerSec float64 `json:"dates_per_sec"`
+	// PixelDatesPerSec is M*Dates/Wall — per-pixel update throughput.
+	PixelDatesPerSec float64 `json:"pixel_dates_per_sec"`
+	// FitWall is the one-time session fit cost (observe path only).
+	FitWall time.Duration `json:"fit_wall_ns,omitempty"`
+	// Identical reports whether the path's final verdicts match the
+	// single offline run over the full series bit-for-bit.
+	Identical bool `json:"identical"`
+	// Speedup is this row's DatesPerSec over the refit-per-date row's.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// nrtReps is the number of timed repetitions per path (best kept).
+const nrtReps = 3
+
+// NRT measures the tentpole of the stateful serving argument: when
+// acquisition dates arrive one at a time (the BFAST-Monitor deployment
+// model), a stateless server must refit the whole series-so-far per
+// date — O(K·n) per pixel per date, growing with n — while a stateful
+// session advances resident Monitors in O(K) per pixel per date. Both
+// paths must land on bit-identical verdicts (checked against one
+// offline run over the full series); the throughput gap is recorded in
+// BENCH_PR8.json.
+func NRT(ctx context.Context, cfg Config) ([]NRTRow, error) {
+	cfg = cfg.withDefaults()
+	spec := workload.Spec{
+		Name: "nrt", M: 512, N: 228, History: 114,
+		NaNFrac: 0.5, Mask: workload.MaskClouds, BreakFrac: 0.3, Seed: 21,
+	}
+	if spec.M > cfg.SampleM {
+		spec.M = cfg.SampleM
+	}
+	ds, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	M, N, n := spec.M, spec.N, spec.History
+	dates := N - n
+	opt := core.DefaultOptions(n)
+	bcfg := core.BatchConfig{Workers: cfg.Workers}
+
+	// Offline reference: one full-series batch run.
+	full, err := core.NewBatch(M, N, ds.Y)
+	if err != nil {
+		return nil, err
+	}
+	offline, err := core.DetectBatch(ctx, full, opt, bcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stateless refit-per-date: every arriving date d triggers a full
+	// offline detection over dates [0, d]. The per-date series copy is
+	// part of the path — a stateless server packs the request body into
+	// a fresh batch every time.
+	refitOnce := func() ([]core.Result, error) {
+		var last []core.Result
+		buf := make([]float64, 0, M*N)
+		for d := n + 1; d <= N; d++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			buf = buf[:0]
+			for i := 0; i < M; i++ {
+				buf = append(buf, ds.Y[i*N:i*N+d]...)
+			}
+			b, err := core.NewBatch(M, d, buf)
+			if err != nil {
+				return nil, err
+			}
+			last, err = core.DetectBatch(ctx, b, opt, bcfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return last, nil
+	}
+	refitRes, refitWall, err := bestOf(nrtReps, refitOnce)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stateful observe: fit once (untimed row field), then advance the
+	// resident monitors one date at a time — the /v1/observe hot path.
+	history := make([]float64, 0, M*n)
+	for i := 0; i < M; i++ {
+		history = append(history, ds.Y[i*N:i*N+n]...)
+	}
+	row := make([]float64, M)
+	var fitWall time.Duration
+	var lastObs nrt.ObserveResult
+	observeOnce := func() (time.Duration, error) {
+		mg := nrt.NewManager(nrt.Config{SnapshotEvery: -1})
+		fitStart := time.Now()
+		sum, err := mg.Fit(ctx, nrt.FitRequest{
+			Options: opt, Pixels: M, History: history, Capacity: N,
+		})
+		if err != nil {
+			return 0, err
+		}
+		fitWall = time.Since(fitStart)
+		start := time.Now()
+		for d := n; d < N; d++ {
+			for i := 0; i < M; i++ {
+				row[i] = ds.Y[i*N+d]
+			}
+			lastObs, err = mg.Observe(ctx, sum.ID, row, 1)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	var obsWall time.Duration
+	for rep := 0; rep < nrtReps; rep++ {
+		w, err := observeOnce()
+		if err != nil {
+			return nil, err
+		}
+		if obsWall == 0 || w < obsWall {
+			obsWall = w
+		}
+	}
+
+	refitIdentical := resultsIdentical(refitRes, offline)
+	obsIdentical := verdictsMatch(lastObs.Verdicts, offline)
+
+	refitRate := float64(dates) / refitWall.Seconds()
+	obsRate := float64(dates) / obsWall.Seconds()
+	rows := []NRTRow{
+		{
+			Path: "refit-per-date", M: M, N: N, History: n, Dates: dates,
+			Wall: refitWall, DatesPerSec: refitRate,
+			PixelDatesPerSec: float64(M) * refitRate,
+			Identical:        refitIdentical,
+		},
+		{
+			Path: "observe", M: M, N: N, History: n, Dates: dates,
+			Wall: obsWall, DatesPerSec: obsRate,
+			PixelDatesPerSec: float64(M) * obsRate,
+			FitWall:          fitWall,
+			Identical:        obsIdentical,
+			Speedup:          obsRate / refitRate,
+		},
+	}
+
+	fmt.Fprintf(cfg.Out, "NRT — stateful observe vs stateless refit-per-date (M=%d N=%d history=%d, %d arriving dates, 50%%-NaN clouds)\n",
+		M, N, n, dates)
+	fmt.Fprintf(cfg.Out, "target: >= 5x dates/sec, verdicts bit-identical to one offline run\n")
+	fmt.Fprintf(cfg.Out, "%-16s %8s %10s %12s %10s %10s %8s\n",
+		"path", "dates", "wall", "dates/s", "px-dates/s", "identical", "speedup")
+	for _, r := range rows {
+		speedCell := "-"
+		if r.Speedup > 0 {
+			speedCell = fmt.Sprintf("%.1fx", r.Speedup)
+		}
+		fmt.Fprintf(cfg.Out, "%-16s %8d %10s %12.1f %10.0f %10v %8s\n",
+			r.Path, r.Dates, shortDur(r.Wall), r.DatesPerSec, r.PixelDatesPerSec,
+			r.Identical, speedCell)
+	}
+	return rows, nil
+}
+
+// verdictsMatch compares the streaming verdict stream against offline
+// results under the documented status mapping: a session pixel never
+// reports no-monitoring-data — it is StatusOK with zero valid
+// monitoring observations.
+func verdictsMatch(verdicts []nrt.Verdict, offline []core.Result) bool {
+	if len(verdicts) != len(offline) {
+		return false
+	}
+	for i, v := range verdicts {
+		w := offline[i]
+		if w.Status == core.StatusNoMonitoringData {
+			if v.Status != core.StatusOK || v.ValidMon != 0 {
+				return false
+			}
+			continue
+		}
+		if v.Status != w.Status || v.BreakOffset != w.BreakIndex {
+			return false
+		}
+		if v.Status == core.StatusOK &&
+			math.Float64bits(v.Mean) != math.Float64bits(w.MosumMean) {
+			return false
+		}
+	}
+	return true
+}

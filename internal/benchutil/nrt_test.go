@@ -1,0 +1,38 @@
+package benchutil
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestNRTRows runs the nrt experiment at a tiny sample and pins its
+// shape: two rows, both bit-identical to the offline reference, with
+// the observe row carrying a speedup over refit-per-date.
+func TestNRTRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed experiment")
+	}
+	var buf bytes.Buffer
+	rows, err := NRT(context.Background(), Config{Out: &buf, SampleM: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Path != "refit-per-date" || rows[1].Path != "observe" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("%s: verdicts diverged from the offline run", r.Path)
+		}
+		if r.DatesPerSec <= 0 || r.Dates != rows[0].Dates {
+			t.Fatalf("%s: malformed row %+v", r.Path, r)
+		}
+	}
+	if rows[1].Speedup <= 1 {
+		t.Fatalf("observe path not faster than refit-per-date: %+v", rows[1])
+	}
+	if rows[1].FitWall <= 0 {
+		t.Fatal("observe row must record the one-time fit cost")
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bfast/internal/stats"
+)
+
+// MonitorState is the complete serializable state of a Monitor: the
+// fitted model, the fluctuation-process accumulators and the stream
+// position. ResumeMonitor(m.Snapshot()) yields a monitor whose every
+// subsequent Push is bit-identical to the original's — the durability
+// contract of the near-real-time serving layer (internal/state encodes
+// this struct into the versioned snapshot format; see DESIGN.md).
+//
+// Derived quantities (the design matrix, the normalization 1/(σ̂·√n̄),
+// the MOSUM window size h) are intentionally absent: they are exact
+// deterministic functions of the stored fields, so recomputing them on
+// resume cannot diverge and the encoding stays minimal.
+type MonitorState struct {
+	// Options is the monitor's full option set.
+	Options Options
+	// Lambda is the resolved boundary scale (λ) fixed at fit time.
+	Lambda float64
+	// SeriesLen is the designed series length N — the total number of
+	// dates the monitor can ever consume.
+	SeriesLen int
+	// Beta holds the K fitted history coefficients.
+	Beta []float64
+	// NBar is n̄, the valid history observation count.
+	NBar int
+	// Sigma is σ̂ from the history fit.
+	Sigma float64
+	// Window is the MOSUM residual ring buffer (length h); nil for CUSUM.
+	Window []float64
+	// WPos is the ring-buffer write position.
+	WPos int
+	// Acc is the un-normalized process accumulator.
+	Acc float64
+	// T is the absolute index of the next date to consume.
+	T int
+	// ValidMon is the number of valid monitoring observations seen.
+	ValidMon int
+	// Sum is the running sum of normalized process values.
+	Sum float64
+	// Break is the monitoring offset of the first flagged break, or -1.
+	Break int
+}
+
+// Snapshot captures the monitor's full state. The returned struct owns
+// copies of every slice; mutating it does not affect the monitor.
+func (m *Monitor) Snapshot() MonitorState {
+	return MonitorState{
+		Options:   m.opt,
+		Lambda:    m.lambda,
+		SeriesLen: m.x.N,
+		Beta:      append([]float64(nil), m.beta...),
+		NBar:      m.nBar,
+		Sigma:     m.sigma,
+		Window:    append([]float64(nil), m.window...),
+		WPos:      m.wPos,
+		Acc:       m.acc,
+		T:         m.t,
+		ValidMon:  m.validMon,
+		Sum:       m.sum,
+		Break:     m.brk,
+	}
+}
+
+// ResumeMonitor reconstructs a monitor from a snapshot. The design
+// matrix and derived normalizations are rebuilt from the stored fields
+// (both are exact functions of them), so the resumed monitor's future
+// pushes are bit-identical to the snapshotted one's. The snapshot is
+// validated for internal consistency; a snapshot that passed the
+// internal/state checksum but violates these invariants (a hand-edited
+// file, a foreign encoder) is rejected rather than trusted.
+func ResumeMonitor(st MonitorState) (*Monitor, error) {
+	opt := st.Options
+	if err := opt.Validate(st.SeriesLen); err != nil {
+		return nil, fmt.Errorf("core: resume: %w", err)
+	}
+	K := opt.K()
+	if len(st.Beta) != K {
+		return nil, fmt.Errorf("core: resume: snapshot has %d coefficients, options need %d", len(st.Beta), K)
+	}
+	if st.NBar < opt.minHist() {
+		return nil, fmt.Errorf("core: resume: n̄=%d below the minimum valid history %d", st.NBar, opt.minHist())
+	}
+	if !(st.Sigma > 0) {
+		return nil, fmt.Errorf("core: resume: non-positive σ̂ %v", st.Sigma)
+	}
+	if !(st.Lambda > 0) {
+		return nil, fmt.Errorf("core: resume: non-positive λ %v", st.Lambda)
+	}
+	if st.T < opt.History || st.T > st.SeriesLen {
+		return nil, fmt.Errorf("core: resume: position %d outside [%d,%d]", st.T, opt.History, st.SeriesLen)
+	}
+	if st.ValidMon < 0 || st.ValidMon > st.T-opt.History {
+		return nil, fmt.Errorf("core: resume: %d valid monitoring observations after %d dates", st.ValidMon, st.T-opt.History)
+	}
+	if st.Break < -1 || st.Break >= st.T-opt.History {
+		return nil, fmt.Errorf("core: resume: break offset %d out of range", st.Break)
+	}
+	m := &Monitor{
+		opt: opt, lambda: st.Lambda,
+		beta: append([]float64(nil), st.Beta...),
+		nBar: st.NBar, sigma: st.Sigma,
+		norm: 1 / (st.Sigma * math.Sqrt(float64(st.NBar))),
+		acc:  st.Acc, t: st.T, validMon: st.ValidMon,
+		sum: st.Sum, brk: st.Break,
+	}
+	if opt.Process == stats.ProcessCUSUM {
+		if len(st.Window) != 0 {
+			return nil, fmt.Errorf("core: resume: CUSUM snapshot carries a %d-entry MOSUM window", len(st.Window))
+		}
+	} else {
+		h := int(float64(st.NBar) * opt.HFrac)
+		if len(st.Window) != h {
+			return nil, fmt.Errorf("core: resume: MOSUM window has %d entries, ⌊%g·%d⌋=%d expected", len(st.Window), opt.HFrac, st.NBar, h)
+		}
+		if st.WPos < 0 || st.WPos >= h {
+			return nil, fmt.Errorf("core: resume: window position %d outside [0,%d)", st.WPos, h)
+		}
+		m.h = h
+		m.window = append([]float64(nil), st.Window...)
+		m.wPos = st.WPos
+	}
+	x, err := DesignFor(opt, st.SeriesLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume: %w", err)
+	}
+	m.x = x
+	return m, nil
+}
+
+// NextDate returns the absolute index of the next date Push will consume.
+func (m *Monitor) NextDate() int { return m.t }
+
+// SeriesLen returns the designed series length N (the capacity).
+func (m *Monitor) SeriesLen() int { return m.x.N }
+
+// ValidMonitoring returns the number of valid (non-NaN) monitoring
+// observations consumed so far.
+func (m *Monitor) ValidMonitoring() int { return m.validMon }
+
+// BreakOffset returns the monitoring offset of the first flagged break,
+// or -1 while no break has been detected.
+func (m *Monitor) BreakOffset() int { return m.brk }
+
+// Mean returns the running mean of the normalized process over the valid
+// monitoring observations seen so far (0 before the first one) — the
+// change-magnitude diagnostic the offline Result reports as MosumMean.
+func (m *Monitor) Mean() float64 {
+	if m.validMon == 0 {
+		return 0
+	}
+	return m.sum / float64(m.validMon)
+}

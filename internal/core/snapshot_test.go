@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bfast/internal/series"
+	"bfast/internal/stats"
+)
+
+// pushAll feeds y[from:to] into mon and returns the bit pattern of every
+// State field that matters for bit-identity (NaN-safe via Float64bits).
+func pushAll(t *testing.T, mon *Monitor, y []float64, from, to int) []State {
+	t.Helper()
+	out := make([]State, 0, to-from)
+	for i := from; i < to; i++ {
+		st, err := mon.Push(y[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func statesEqual(a, b State) bool {
+	return a.Date == b.Date &&
+		math.Float64bits(a.Process) == math.Float64bits(b.Process) &&
+		math.Float64bits(a.Boundary) == math.Float64bits(b.Boundary) &&
+		math.Float64bits(a.Mean) == math.Float64bits(b.Mean) &&
+		a.BreakDetected == b.BreakDetected &&
+		a.BreakOffset == b.BreakOffset
+}
+
+// TestMonitorSnapshotResumeBitIdentical: snapshotting mid-stream and
+// resuming must continue bit-identically to the uninterrupted monitor,
+// across NaN fractions including heavily-gapped series, for both MOSUM
+// and CUSUM processes, and at every split point.
+func TestMonitorSnapshotResumeBitIdentical(t *testing.T) {
+	N, n := 320, 160
+	for _, nanFrac := range []float64{0, 0.5, 0.9} {
+		for _, cusum := range []bool{false, true} {
+			for trial := 0; trial < 8; trial++ {
+				rng := rand.New(rand.NewSource(int64(9000 + trial)))
+				at := -1
+				if trial%2 == 0 {
+					at = 200 + rng.Intn(60)
+				}
+				y := synthSeries(rng, N, 3, 23, 0.05, at, -0.7, nanFrac)
+				opt := defaultTestOpts(n)
+				if cusum {
+					opt.Process = stats.ProcessCUSUM
+				}
+				ref, err := NewMonitor(y[:n], N, opt)
+				if err != nil {
+					// Heavily-gapped histories can be unfittable; that is a
+					// fit-classification case, not a snapshot case.
+					continue
+				}
+				split := n + (trial%4)*(N-n)/4
+				refStates := pushAll(t, ref, y, n, N)
+
+				mon, err := NewMonitor(y[:n], N, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pushAll(t, mon, y, n, split)
+				resumed, err := ResumeMonitor(mon.Snapshot())
+				if err != nil {
+					t.Fatalf("nan=%g cusum=%v trial=%d: resume: %v", nanFrac, cusum, trial, err)
+				}
+				got := pushAll(t, resumed, y, split, N)
+				for i, st := range got {
+					if want := refStates[split-n+i]; !statesEqual(st, want) {
+						t.Fatalf("nan=%g cusum=%v trial=%d: state %d diverged after resume:\n got %+v\nwant %+v",
+							nanFrac, cusum, trial, i, st, want)
+					}
+				}
+				if resumed.Sigma() != mon.Sigma() || resumed.ValidHistory() != mon.ValidHistory() {
+					t.Fatal("resumed fit diagnostics diverged")
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorSnapshotIsDeepCopy: mutating a snapshot must not affect the
+// monitor it was taken from.
+func TestMonitorSnapshotIsDeepCopy(t *testing.T) {
+	N, n := 200, 100
+	rng := rand.New(rand.NewSource(9100))
+	y := synthSeries(rng, N, 3, 23, 0.05, -1, 0, 0)
+	mon, err := NewMonitor(y[:n], N, opt9100(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mon.Snapshot()
+	for i := range st.Beta {
+		st.Beta[i] = math.NaN()
+	}
+	for i := range st.Window {
+		st.Window[i] = math.NaN()
+	}
+	got, err := mon.Push(y[n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got.Process) {
+		t.Fatal("snapshot mutation reached the live monitor")
+	}
+}
+
+func opt9100(n int) Options { return defaultTestOpts(n) }
+
+// TestResumeMonitorRejectsInvalid: a snapshot that violates internal
+// invariants (whatever checksum it arrived under) must be rejected.
+func TestResumeMonitorRejectsInvalid(t *testing.T) {
+	N, n := 200, 100
+	rng := rand.New(rand.NewSource(9200))
+	y := synthSeries(rng, N, 3, 23, 0.05, -1, 0, 0)
+	mon, err := NewMonitor(y[:n], N, defaultTestOpts(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mon.Snapshot()
+	mutate := []func(*MonitorState){
+		func(s *MonitorState) { s.Beta = s.Beta[:3] },
+		func(s *MonitorState) { s.Sigma = 0 },
+		func(s *MonitorState) { s.Sigma = math.NaN() },
+		func(s *MonitorState) { s.Lambda = -1 },
+		func(s *MonitorState) { s.T = N + 1 },
+		func(s *MonitorState) { s.T = n - 1 },
+		func(s *MonitorState) { s.ValidMon = N },
+		func(s *MonitorState) { s.Break = N },
+		func(s *MonitorState) { s.Window = s.Window[:1] },
+		func(s *MonitorState) { s.WPos = len(s.Window) },
+		func(s *MonitorState) { s.NBar = 2 },
+		func(s *MonitorState) { s.Options.History = 0 },
+	}
+	for i, f := range mutate {
+		st := base
+		st.Beta = append([]float64(nil), base.Beta...)
+		st.Window = append([]float64(nil), base.Window...)
+		f(&st)
+		if _, err := ResumeMonitor(st); err == nil {
+			t.Fatalf("mutation %d: invalid snapshot accepted", i)
+		}
+	}
+	if _, err := ResumeMonitor(base); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+}
+
+// TestFitMonitorStatuses: FitMonitor must classify data-dependent fit
+// failures with the same Status the offline Detect reports, and reserve
+// errors for caller bugs.
+func TestFitMonitorStatuses(t *testing.T) {
+	N, n := 200, 100
+	opt := defaultTestOpts(n)
+	x, err := DesignFor(opt, N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9300))
+	good := synthSeries(rng, N, 3, 23, 0.05, -1, 0, 0)
+	if m, st, err := FitMonitor(good[:n], x, opt); err != nil || st != StatusOK || m == nil {
+		t.Fatalf("good pixel: m=%v status=%v err=%v", m, st, err)
+	}
+
+	allNaN := make([]float64, n)
+	for i := range allNaN {
+		allNaN[i] = math.NaN()
+	}
+	if m, st, err := FitMonitor(allNaN, x, opt); err != nil || st != StatusInsufficientHistory || m != nil {
+		t.Fatalf("all-NaN history: m=%v status=%v err=%v", m, st, err)
+	}
+
+	// A history with exactly K valid observations interpolates exactly:
+	// σ̂ degenerates and the fit must classify like the offline Detect.
+	sparse := make([]float64, N)
+	for i := range sparse {
+		sparse[i] = math.NaN()
+	}
+	for i := 0; i < opt.K(); i++ {
+		sparse[i*11] = good[i*11]
+	}
+	sparse[n+2] = good[n+2] // one monitoring observation for Detect
+	want, err := Detect(sparse, x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := FitMonitor(sparse[:n], x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != want.Status {
+		t.Fatalf("sparse history: FitMonitor status %v, Detect status %v", st, want.Status)
+	}
+	if st == StatusOK {
+		t.Fatal("K-point interpolating fit unexpectedly reported OK")
+	}
+
+	// Caller bugs: short history, mismatched design, invalid options.
+	if _, _, err := FitMonitor(good[:10], x, opt); err == nil {
+		t.Fatal("short history must error")
+	}
+	xr, _ := series.MakeDesignTrendless(N, opt.Harmonics, opt.Frequency)
+	if _, _, err := FitMonitor(good[:n], xr, opt); err == nil {
+		t.Fatal("K-mismatched design must error")
+	}
+	bad := opt
+	bad.History = N
+	if _, _, err := FitMonitor(good[:n], x, bad); err == nil {
+		t.Fatal("invalid options must error")
+	}
+}

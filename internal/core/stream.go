@@ -49,28 +49,65 @@ func NewMonitor(history []float64, seriesLen int, opt Options) (*Monitor, error)
 	if err := opt.Validate(seriesLen); err != nil {
 		return nil, err
 	}
-	if len(history) < opt.History {
-		return nil, fmt.Errorf("core: history has %d entries, need %d", len(history), opt.History)
-	}
-	lambda, err := opt.ResolveLambda()
-	if err != nil {
-		return nil, err
-	}
 	x, err := DesignFor(opt, seriesLen)
 	if err != nil {
 		return nil, err
+	}
+	m, status, err := FitMonitor(history, x, opt)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case StatusOK:
+		return m, nil
+	case StatusInsufficientHistory:
+		return nil, fmt.Errorf("core: insufficient valid history (< %d)", opt.minHist())
+	case StatusSingular:
+		return nil, fmt.Errorf("core: singular normal matrix in history fit")
+	default: // StatusNoVariance
+		return nil, fmt.Errorf("core: zero residual variance or invalid MOSUM window in history")
+	}
+}
+
+// FitMonitor fits the history model against a caller-supplied design
+// matrix and classifies the outcome instead of collapsing every fit
+// failure into an error. This is the scene-scale entry point: a session
+// fitting M pixels shares one K×N design matrix across all monitors
+// (NewMonitor would rebuild it per pixel) and records per-pixel fit
+// failures as terminal statuses rather than aborting the scene.
+//
+// The returned error reports caller bugs only (invalid options, a design
+// matrix that does not cover opt's requirements, a short history slice).
+// Data-dependent failures return a nil Monitor and the Status the offline
+// Detect would report for the same pixel: StatusInsufficientHistory,
+// StatusSingular, or StatusNoVariance (zero σ̂ or an invalid MOSUM
+// window). On StatusOK the monitor is positioned at the first monitoring
+// date and is bit-identical in behavior to the offline refit path.
+func FitMonitor(history []float64, x *series.DesignMatrix, opt Options) (*Monitor, Status, error) {
+	if err := opt.Validate(x.N); err != nil {
+		return nil, StatusOK, err
+	}
+	if len(history) < opt.History {
+		return nil, StatusOK, fmt.Errorf("core: history has %d entries, need %d", len(history), opt.History)
+	}
+	if x.K != opt.K() {
+		return nil, StatusOK, fmt.Errorf("core: design matrix has K=%d rows, options need %d", x.K, opt.K())
+	}
+	lambda, err := opt.ResolveLambda()
+	if err != nil {
+		return nil, StatusOK, err
 	}
 	n := opt.History
 	K := opt.K()
 
 	f := series.FilterMissing(history[:n], n)
 	if f.NValidHist < opt.minHist() {
-		return nil, fmt.Errorf("core: insufficient valid history (%d < %d)", f.NValidHist, opt.minHist())
+		return nil, StatusInsufficientHistory, nil
 	}
 	xh := historySlice(x, n)
 	beta, ok := fitModel(xh, history[:n], opt)
 	if !ok {
-		return nil, fmt.Errorf("core: singular normal matrix in history fit")
+		return nil, StatusSingular, nil
 	}
 
 	// History residuals (compacted) for σ̂ and the initial MOSUM window.
@@ -85,7 +122,7 @@ func NewMonitor(history []float64, seriesLen int, opt Options) (*Monitor, error)
 	}
 	sigma := stats.Sigma(opt.Sigma, rHist, K, opt.Harmonics)
 	if sigma <= 0 {
-		return nil, fmt.Errorf("core: zero residual variance in history")
+		return nil, StatusNoVariance, nil
 	}
 	m := &Monitor{
 		opt: opt, lambda: lambda, x: x, beta: beta,
@@ -96,7 +133,7 @@ func NewMonitor(history []float64, seriesLen int, opt Options) (*Monitor, error)
 	if opt.Process != stats.ProcessCUSUM {
 		m.h = int(float64(m.nBar) * opt.HFrac)
 		if m.h < 1 || m.h > m.nBar {
-			return nil, fmt.Errorf("core: MOSUM window ⌊%g·%d⌋ invalid", opt.HFrac, m.nBar)
+			return nil, StatusNoVariance, nil
 		}
 		// Seed the window with the last h−1 history residuals: the first
 		// monitoring observation completes the first window (Fig. 12
@@ -109,7 +146,7 @@ func NewMonitor(history []float64, seriesLen int, opt Options) (*Monitor, error)
 		}
 		m.wPos = m.h - 1
 	}
-	return m, nil
+	return m, StatusOK, nil
 }
 
 // State is the monitor's standing after the latest Push.

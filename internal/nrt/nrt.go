@@ -1,0 +1,770 @@
+// Package nrt is the stateful near-real-time serving subsystem: fit a
+// scene's per-pixel monitors once, then fold each new acquisition date
+// across the whole scene in one batched scheduler-driven pass.
+//
+// The offline path (core.DetectBatch) reprocesses the full series every
+// time a new date arrives — O(n·K²) per pixel per date, almost all of it
+// redundant recomputation of an unchanged history fit. The streaming
+// monitor (core.Monitor) makes each update O(K), but serving it requires
+// the fitted state to live somewhere between requests. The Manager here
+// owns that state: a session per scene, a monitor per pixel, advanced in
+// lockstep (one session-level next-date cursor), persisted through a
+// state.Store so a restarted server resumes bit-identically to one that
+// never stopped (internal/state's codec round-trips every float64 bit).
+//
+// Sessions are deliberately dumb about time: a "date" is the next index
+// in the designed series, exactly as in the offline API. Feeding dates
+// in acquisition order is the caller's contract, the same contract the
+// offline series layout already imposes.
+//
+// Fit results are cached across sessions keyed by (canonical options,
+// capacity, history bits): re-fitting the same scene — retries, A/B
+// sessions over one tile, restarts without a snapshot store — reuses the
+// per-pixel fit instead of redoing the normal-equations solve.
+package nrt
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"bfast/internal/core"
+	"bfast/internal/obs"
+	"bfast/internal/sched"
+	"bfast/internal/state"
+)
+
+// Errors the server maps onto structured API codes.
+var (
+	// ErrNotFound reports an unknown session ID.
+	ErrNotFound = errors.New("nrt: session not found")
+	// ErrExhausted reports an observe past the session's designed
+	// capacity; the session consumed nothing.
+	ErrExhausted = errors.New("nrt: session exhausted")
+)
+
+// DefaultCacheSize bounds the fit-result cache (entries ≈ pixels).
+const DefaultCacheSize = 1 << 16
+
+// Config configures a Manager. The zero value works: in-memory store,
+// shared pool, default registry, snapshot after every observe.
+type Config struct {
+	// Store persists session snapshots; nil = in-memory only.
+	Store state.Store
+	// Pool runs the per-pixel fan-outs; nil = sched.Shared().
+	Pool *sched.Pool
+	// Metrics receives nrt.* metrics; nil = obs.Default().
+	Metrics *obs.Registry
+	// SnapshotEvery persists a session after every k-th observe call
+	// (fits always persist). 0 means 1 (every observe); negative
+	// disables automatic snapshots — SnapshotNow/Close still persist.
+	SnapshotEvery int
+	// CacheSize bounds the fit-result cache in pixel entries.
+	// 0 means DefaultCacheSize; negative disables the cache.
+	CacheSize int
+}
+
+// pixel is one scene pixel: a live monitor, or its terminal fit status.
+type pixel struct {
+	status core.Status
+	mon    *core.Monitor // nil unless status == StatusOK
+	last   core.State    // standing after the latest observed date
+}
+
+// session is one fitted scene. Its mutex serializes observes and
+// snapshots; distinct sessions proceed concurrently.
+type session struct {
+	mu        sync.Mutex
+	id        string
+	opt       core.Options // canonical
+	lambda    float64
+	history   int
+	capacity  int
+	nextDate  int
+	pixels    []pixel
+	sinceSnap int // observe calls since the last persisted snapshot
+}
+
+// Manager owns the NRT sessions of one process.
+type Manager struct {
+	cfg   Config
+	store state.Store
+	pool  *sched.Pool
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	cacheMu  sync.Mutex
+	cache    map[uint64]cachedFit
+	cacheSeq []uint64 // FIFO eviction order
+	cacheCap int
+
+	active      *obs.Gauge
+	fits        *obs.Counter
+	fitPixels   *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	observes    *obs.Counter
+	obsDates    *obs.Counter
+	obsPixels   *obs.Counter
+	snapsSaved  *obs.Counter
+	snapsLoaded *obs.Counter
+	snapsFailed *obs.Counter
+}
+
+// cachedFit is one pixel's reusable fit: its terminal status, or the
+// post-fit monitor state (T = history, nothing observed yet).
+type cachedFit struct {
+	status core.Status
+	st     core.MonitorState
+}
+
+// NewManager builds a Manager from cfg, filling zero fields with the
+// defaults documented on Config.
+func NewManager(cfg Config) *Manager {
+	if cfg.Store == nil {
+		cfg.Store = state.NewMemStore()
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = sched.Shared()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 1
+	}
+	cacheCap := cfg.CacheSize
+	if cacheCap == 0 {
+		cacheCap = DefaultCacheSize
+	}
+	reg := cfg.Metrics
+	return &Manager{
+		cfg:      cfg,
+		store:    cfg.Store,
+		pool:     cfg.Pool,
+		sessions: make(map[string]*session),
+		cache:    make(map[uint64]cachedFit),
+		cacheCap: cacheCap,
+
+		active:      reg.Gauge("nrt.sessions.active"),
+		fits:        reg.Counter("nrt.fits"),
+		fitPixels:   reg.Counter("nrt.fit.pixels"),
+		cacheHits:   reg.Counter("nrt.fit.cache_hits"),
+		cacheMisses: reg.Counter("nrt.fit.cache_misses"),
+		observes:    reg.Counter("nrt.observes"),
+		obsDates:    reg.Counter("nrt.observe.dates"),
+		obsPixels:   reg.Counter("nrt.observe.pixels"),
+		snapsSaved:  reg.Counter("nrt.snapshots.saved"),
+		snapsLoaded: reg.Counter("nrt.snapshots.loaded"),
+		snapsFailed: reg.Counter("nrt.snapshots.failed"),
+	}
+}
+
+// --- fit ------------------------------------------------------------------
+
+// FitRequest describes one scene to fit.
+type FitRequest struct {
+	// Options is the detection option set; History is the history length.
+	Options core.Options
+	// Pixels is M, the scene size.
+	Pixels int
+	// History is the M×History row-per-pixel flat history matrix
+	// (NaN = missing).
+	History []float64
+	// Capacity is the designed series length N: History plus the maximum
+	// number of monitoring dates the session will ever consume. Must
+	// exceed Options.History.
+	Capacity int
+}
+
+// FitSummary reports the outcome of a fit.
+type FitSummary struct {
+	ID        string `json:"session"`
+	Pixels    int    `json:"pixels"`
+	OK        int    `json:"ok"`
+	Failed    int    `json:"failed"`
+	History   int    `json:"history"`
+	Capacity  int    `json:"capacity"`
+	NextDate  int    `json:"next_date"`
+	CacheHits int    `json:"cache_hits"`
+}
+
+// Fit fits a scene's per-pixel monitors and registers a new session.
+// Per-pixel fit failures are not errors: they become terminal pixel
+// statuses in every verdict, mirroring the offline per-pixel Status
+// semantics. Errors are reserved for invalid requests and store
+// failures.
+func (mg *Manager) Fit(ctx context.Context, req FitRequest) (FitSummary, error) {
+	ctx, span := obs.StartSpan(ctx, "nrt.fit")
+	defer span.End()
+
+	opt, err := req.Options.Canonical()
+	if err != nil {
+		return FitSummary{}, fmt.Errorf("nrt: %w", err)
+	}
+	if req.Capacity <= opt.History {
+		return FitSummary{}, fmt.Errorf("nrt: capacity %d must exceed history %d", req.Capacity, opt.History)
+	}
+	if err := opt.Validate(req.Capacity); err != nil {
+		return FitSummary{}, fmt.Errorf("nrt: %w", err)
+	}
+	m := req.Pixels
+	if m <= 0 {
+		return FitSummary{}, fmt.Errorf("nrt: pixel count %d must be positive", m)
+	}
+	if len(req.History) != m*opt.History {
+		return FitSummary{}, fmt.Errorf("nrt: history has %d values, %d pixels × %d dates need %d",
+			len(req.History), m, opt.History, m*opt.History)
+	}
+	x, err := core.DesignFor(opt, req.Capacity)
+	if err != nil {
+		return FitSummary{}, fmt.Errorf("nrt: %w", err)
+	}
+	queueKey, err := opt.QueueKey(req.Capacity)
+	if err != nil {
+		return FitSummary{}, fmt.Errorf("nrt: %w", err)
+	}
+
+	s := &session{
+		opt: opt, lambda: opt.Lambda,
+		history: opt.History, capacity: req.Capacity, nextDate: opt.History,
+		pixels: make([]pixel, m),
+	}
+	var hits, fitErrs int64
+	var hitsMu sync.Mutex
+	err = mg.pool.ForEachCtx(ctx, m, 0, sched.DefaultGrain, func(_, lo, hi int) {
+		localHits := int64(0)
+		for i := lo; i < hi; i++ {
+			hist := req.History[i*opt.History : (i+1)*opt.History]
+			key := fitKey(queueKey, hist)
+			if cf, ok := mg.cacheGet(key); ok {
+				if cf.status != core.StatusOK {
+					s.pixels[i] = pixel{status: cf.status}
+					localHits++
+					continue
+				}
+				mon, rerr := core.ResumeMonitor(cf.st)
+				if rerr == nil {
+					s.pixels[i] = pixel{status: core.StatusOK, mon: mon}
+					localHits++
+					continue
+				}
+				// A cache entry that fails to resume is a bug upstream;
+				// fall through to a fresh fit rather than failing the scene.
+			}
+			mon, st, ferr := core.FitMonitor(hist, x, opt)
+			if ferr != nil {
+				// Caller-bug class errors are pre-validated above; record
+				// and keep going so one pixel cannot wedge the loop.
+				hitsMu.Lock()
+				fitErrs++
+				hitsMu.Unlock()
+				s.pixels[i] = pixel{status: core.StatusSingular}
+				continue
+			}
+			s.pixels[i] = pixel{status: st, mon: mon}
+			if st == core.StatusOK {
+				mg.cachePut(key, cachedFit{status: st, st: mon.Snapshot()})
+			} else {
+				mg.cachePut(key, cachedFit{status: st})
+			}
+		}
+		hitsMu.Lock()
+		hits += localHits
+		hitsMu.Unlock()
+	})
+	if err != nil {
+		return FitSummary{}, err
+	}
+	if fitErrs > 0 {
+		return FitSummary{}, fmt.Errorf("nrt: %d pixels failed to fit with pre-validated options", fitErrs)
+	}
+
+	id, err := mg.register(s)
+	if err != nil {
+		return FitSummary{}, err
+	}
+	// Persist immediately: a restart between fit and first observe must
+	// not lose the session.
+	s.mu.Lock()
+	perr := mg.persistLocked(ctx, s)
+	s.mu.Unlock()
+	if perr != nil {
+		mg.drop(id)
+		return FitSummary{}, perr
+	}
+
+	mg.fits.Inc()
+	mg.fitPixels.Add(int64(m))
+	mg.cacheHits.Add(hits)
+	mg.cacheMisses.Add(int64(m) - hits)
+	span.SetAttr("pixels", m)
+	span.SetAttr("cache_hits", int(hits))
+	return mg.summary(id, s, int(hits)), nil
+}
+
+func (mg *Manager) summary(id string, s *session, hits int) FitSummary {
+	ok := 0
+	for i := range s.pixels {
+		if s.pixels[i].status == core.StatusOK {
+			ok++
+		}
+	}
+	return FitSummary{
+		ID: id, Pixels: len(s.pixels), OK: ok, Failed: len(s.pixels) - ok,
+		History: s.history, Capacity: s.capacity, NextDate: s.nextDate,
+		CacheHits: hits,
+	}
+}
+
+// register assigns a fresh ID and publishes the session.
+func (mg *Manager) register(s *session) (string, error) {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	for tries := 0; tries < 16; tries++ {
+		id, err := newID()
+		if err != nil {
+			return "", err
+		}
+		if _, taken := mg.sessions[id]; taken {
+			continue
+		}
+		s.id = id
+		mg.sessions[id] = s
+		mg.active.Set(int64(len(mg.sessions)))
+		return id, nil
+	}
+	return "", errors.New("nrt: could not allocate a session id")
+}
+
+func (mg *Manager) drop(id string) {
+	mg.mu.Lock()
+	delete(mg.sessions, id)
+	mg.active.Set(int64(len(mg.sessions)))
+	mg.mu.Unlock()
+}
+
+// newID returns a fresh CheckID-conformant session identifier.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("nrt: %w", err)
+	}
+	return fmt.Sprintf("s-%x", b), nil
+}
+
+// fitKey hashes (canonical option key, history bits) — the fit-cache key.
+// Two pixels with equal keys produce bit-identical fits, the same
+// guarantee Options.QueueKey gives the coalescing layer.
+func fitKey(queueKey string, hist []float64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(queueKey))
+	var buf [8]byte
+	for _, v := range hist {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func (mg *Manager) cacheGet(key uint64) (cachedFit, bool) {
+	if mg.cacheCap <= 0 {
+		return cachedFit{}, false
+	}
+	mg.cacheMu.Lock()
+	cf, ok := mg.cache[key]
+	mg.cacheMu.Unlock()
+	return cf, ok
+}
+
+func (mg *Manager) cachePut(key uint64, cf cachedFit) {
+	if mg.cacheCap <= 0 {
+		return
+	}
+	mg.cacheMu.Lock()
+	if _, exists := mg.cache[key]; !exists {
+		for len(mg.cache) >= mg.cacheCap && len(mg.cacheSeq) > 0 {
+			oldest := mg.cacheSeq[0]
+			mg.cacheSeq = mg.cacheSeq[1:]
+			delete(mg.cache, oldest)
+		}
+		mg.cacheSeq = append(mg.cacheSeq, key)
+	}
+	mg.cache[key] = cf
+	mg.cacheMu.Unlock()
+}
+
+// --- observe --------------------------------------------------------------
+
+// Verdict is one pixel's standing after an observe.
+type Verdict struct {
+	// Status is StatusOK for a monitored pixel, else the terminal fit
+	// status. A StatusOK pixel with ValidMon 0 corresponds to the offline
+	// StatusNoMonitoringData.
+	Status core.Status
+	// Break reports whether a break has been flagged (sticky).
+	Break bool
+	// BreakOffset is the monitoring offset of the first break, or -1.
+	BreakOffset int
+	// Process is the process value after the latest date (NaN when that
+	// observation was missing or the pixel is not monitored).
+	Process float64
+	// Mean is the running mean of the process — the change magnitude.
+	Mean float64
+	// ValidMon is the number of valid monitoring observations so far.
+	ValidMon int
+}
+
+// ObserveResult reports one observe pass over a scene.
+type ObserveResult struct {
+	ID        string
+	Dates     int // dates consumed by this call
+	NextDate  int // cursor after this call
+	Remaining int // dates of capacity left
+	Breaks    int // pixels currently flagged
+	Verdicts  []Verdict
+}
+
+// Observe folds `dates` new acquisition dates across the scene in one
+// scheduler-driven pass. values is date-major: values[d*M+i] is pixel
+// i's observation on the d-th new date (NaN = missing). Observes on one
+// session are serialized; the per-pixel work inside each call fans out
+// over the pool.
+func (mg *Manager) Observe(ctx context.Context, id string, values []float64, dates int) (ObserveResult, error) {
+	ctx, span := obs.StartSpan(ctx, "nrt.observe")
+	defer span.End()
+
+	s, err := mg.get(id)
+	if err != nil {
+		return ObserveResult{}, err
+	}
+	m := len(s.pixels)
+	if dates <= 0 {
+		return ObserveResult{}, fmt.Errorf("nrt: dates %d must be positive", dates)
+	}
+	if len(values) != dates*m {
+		return ObserveResult{}, fmt.Errorf("nrt: %d values, %d dates × %d pixels need %d",
+			len(values), dates, m, dates*m)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nextDate+dates > s.capacity {
+		return ObserveResult{}, fmt.Errorf("%w: %d dates requested, %d of %d remaining",
+			ErrExhausted, dates, s.capacity-s.nextDate, s.capacity-s.history)
+	}
+	var pushErr error
+	var pushMu sync.Mutex
+	err = mg.pool.ForEachCtx(ctx, m, 0, sched.DefaultGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := &s.pixels[i]
+			if p.status != core.StatusOK {
+				continue
+			}
+			for d := 0; d < dates; d++ {
+				st, err := p.mon.Push(values[d*m+i])
+				if err != nil {
+					pushMu.Lock()
+					if pushErr == nil {
+						pushErr = err
+					}
+					pushMu.Unlock()
+					return
+				}
+				p.last = st
+			}
+		}
+	})
+	if err == nil {
+		err = pushErr
+	}
+	if err != nil {
+		// A cancelled or failed pass leaves monitors at mixed dates; the
+		// session is no longer internally consistent, so drop it rather
+		// than serve skewed verdicts. The snapshot in the store (from
+		// before this pass) still allows recovery via Restore.
+		mg.drop(s.id)
+		return ObserveResult{}, fmt.Errorf("nrt: observe pass aborted, session %s dropped (recoverable from its last snapshot): %w", s.id, err)
+	}
+	s.nextDate += dates
+	s.sinceSnap++
+	if mg.cfg.SnapshotEvery > 0 && s.sinceSnap >= mg.cfg.SnapshotEvery {
+		if err := mg.persistLocked(ctx, s); err != nil {
+			return ObserveResult{}, err
+		}
+	}
+
+	mg.observes.Inc()
+	mg.obsDates.Add(int64(dates))
+	mg.obsPixels.Add(int64(dates * m))
+	span.SetAttr("dates", dates)
+	span.SetAttr("pixels", m)
+
+	res := ObserveResult{
+		ID: s.id, Dates: dates, NextDate: s.nextDate,
+		Remaining: s.capacity - s.nextDate,
+		Verdicts:  make([]Verdict, m),
+	}
+	for i := range s.pixels {
+		res.Verdicts[i] = verdictOf(&s.pixels[i])
+		if res.Verdicts[i].Break {
+			res.Breaks++
+		}
+	}
+	return res, nil
+}
+
+func verdictOf(p *pixel) Verdict {
+	if p.status != core.StatusOK {
+		return Verdict{Status: p.status, BreakOffset: -1, Process: math.NaN()}
+	}
+	return Verdict{
+		Status:      core.StatusOK,
+		Break:       p.mon.BreakOffset() >= 0,
+		BreakOffset: p.mon.BreakOffset(),
+		Process:     p.last.Process,
+		Mean:        p.mon.Mean(),
+		ValidMon:    p.mon.ValidMonitoring(),
+	}
+}
+
+// --- introspection and lifecycle ------------------------------------------
+
+// Info is a session's lightweight descriptor.
+type Info struct {
+	ID        string `json:"session"`
+	Pixels    int    `json:"pixels"`
+	OK        int    `json:"ok"`
+	History   int    `json:"history"`
+	Capacity  int    `json:"capacity"`
+	NextDate  int    `json:"next_date"`
+	Remaining int    `json:"remaining"`
+	Breaks    int    `json:"breaks"`
+}
+
+func (mg *Manager) get(id string) (*session, error) {
+	mg.mu.Lock()
+	s, ok := mg.sessions[id]
+	mg.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// Get returns one session's descriptor.
+func (mg *Manager) Get(id string) (Info, error) {
+	s, err := mg.get(id)
+	if err != nil {
+		return Info{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return infoLocked(s), nil
+}
+
+func infoLocked(s *session) Info {
+	in := Info{
+		ID: s.id, Pixels: len(s.pixels),
+		History: s.history, Capacity: s.capacity,
+		NextDate: s.nextDate, Remaining: s.capacity - s.nextDate,
+	}
+	for i := range s.pixels {
+		p := &s.pixels[i]
+		if p.status != core.StatusOK {
+			continue
+		}
+		in.OK++
+		if p.mon.BreakOffset() >= 0 {
+			in.Breaks++
+		}
+	}
+	return in
+}
+
+// List returns every live session's descriptor, ordered by ID.
+func (mg *Manager) List() []Info {
+	mg.mu.Lock()
+	ss := make([]*session, 0, len(mg.sessions))
+	for _, s := range mg.sessions {
+		ss = append(ss, s)
+	}
+	mg.mu.Unlock()
+	infos := make([]Info, 0, len(ss))
+	for _, s := range ss {
+		s.mu.Lock()
+		infos = append(infos, infoLocked(s))
+		s.mu.Unlock()
+	}
+	sortInfos(infos)
+	return infos
+}
+
+func sortInfos(infos []Info) {
+	// Insertion sort: session counts are small and this avoids pulling
+	// in sort for one call site with a struct comparator.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].ID < infos[j-1].ID; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+// Delete removes a session and its stored snapshot.
+func (mg *Manager) Delete(ctx context.Context, id string) error {
+	if _, err := mg.get(id); err != nil {
+		return err
+	}
+	mg.drop(id)
+	return mg.store.Delete(ctx, id)
+}
+
+// SnapshotNow persists a session immediately, regardless of cadence.
+func (mg *Manager) SnapshotNow(ctx context.Context, id string) error {
+	s, err := mg.get(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return mg.persistLocked(ctx, s)
+}
+
+// Close persists every live session (the SIGTERM path). The sessions
+// stay usable; Close is idempotent.
+func (mg *Manager) Close(ctx context.Context) error {
+	mg.mu.Lock()
+	ss := make([]*session, 0, len(mg.sessions))
+	for _, s := range mg.sessions {
+		ss = append(ss, s)
+	}
+	mg.mu.Unlock()
+	var firstErr error
+	for _, s := range ss {
+		s.mu.Lock()
+		if err := mg.persistLocked(ctx, s); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
+}
+
+// persistLocked encodes and saves s; the caller holds s.mu.
+func (mg *Manager) persistLocked(ctx context.Context, s *session) error {
+	_, span := obs.StartSpan(ctx, "nrt.snapshot")
+	defer span.End()
+	snap := &state.SessionSnapshot{
+		ID: s.id, History: s.history, Capacity: s.capacity, NextDate: s.nextDate,
+		Options: s.opt, Lambda: s.lambda,
+		Pixels: make([]state.PixelSnapshot, len(s.pixels)),
+	}
+	for i := range s.pixels {
+		p := &s.pixels[i]
+		if p.status != core.StatusOK {
+			snap.Pixels[i] = state.PixelSnapshot{Status: p.status}
+			continue
+		}
+		ms := p.mon.Snapshot()
+		snap.Pixels[i] = state.PixelSnapshot{
+			Status: core.StatusOK,
+			Beta:   ms.Beta, NBar: ms.NBar, Sigma: ms.Sigma,
+			Window: ms.Window, WPos: ms.WPos, Acc: ms.Acc,
+			ValidMon: ms.ValidMon, Sum: ms.Sum, Break: ms.Break,
+		}
+	}
+	if err := mg.store.Save(ctx, s.id, state.EncodeSession(snap)); err != nil {
+		return err
+	}
+	s.sinceSnap = 0
+	mg.snapsSaved.Inc()
+	return nil
+}
+
+// Restore loads every stored snapshot and resumes its session — the
+// boot path. Nothing is replayed: the snapshot is the state. A snapshot
+// that fails to decode or resume is skipped (counted in
+// nrt.snapshots.failed) so one corrupt file cannot block boot.
+// Returns the number of sessions restored.
+func (mg *Manager) Restore(ctx context.Context) (int, error) {
+	ctx, span := obs.StartSpan(ctx, "nrt.restore")
+	defer span.End()
+	ids, err := mg.store.List(ctx)
+	if err != nil {
+		return 0, err
+	}
+	restored := 0
+	for _, id := range ids {
+		data, err := mg.store.Load(ctx, id)
+		if err != nil {
+			mg.snapsFailed.Inc()
+			continue
+		}
+		snap, err := state.DecodeSession(data)
+		if err != nil || snap.ID != id {
+			mg.snapsFailed.Inc()
+			continue
+		}
+		s, err := mg.resume(ctx, snap)
+		if err != nil {
+			mg.snapsFailed.Inc()
+			continue
+		}
+		mg.mu.Lock()
+		if _, taken := mg.sessions[id]; taken {
+			mg.mu.Unlock()
+			continue
+		}
+		mg.sessions[id] = s
+		mg.active.Set(int64(len(mg.sessions)))
+		mg.mu.Unlock()
+		restored++
+		mg.snapsLoaded.Inc()
+	}
+	span.SetAttr("restored", restored)
+	return restored, nil
+}
+
+// resume rebuilds a session from a decoded snapshot, resuming every
+// pixel's monitor in parallel.
+func (mg *Manager) resume(ctx context.Context, snap *state.SessionSnapshot) (*session, error) {
+	s := &session{
+		id: snap.ID, opt: snap.Options, lambda: snap.Lambda,
+		history: snap.History, capacity: snap.Capacity, nextDate: snap.NextDate,
+		pixels: make([]pixel, len(snap.Pixels)),
+	}
+	var firstErr error
+	var errMu sync.Mutex
+	perr := mg.pool.ForEachCtx(ctx, len(snap.Pixels), 0, sched.DefaultGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ps := snap.Pixels[i]
+			if ps.Status != core.StatusOK {
+				s.pixels[i] = pixel{status: ps.Status}
+				continue
+			}
+			mon, err := core.ResumeMonitor(snap.MonitorState(i))
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("nrt: pixel %d: %w", i, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			s.pixels[i] = pixel{status: core.StatusOK, mon: mon}
+		}
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s, nil
+}

@@ -1,0 +1,337 @@
+package nrt
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"bfast/internal/core"
+	"bfast/internal/obs"
+	"bfast/internal/state"
+	"bfast/internal/workload"
+)
+
+// testScene is the acceptance scene: 512 pixels, 228 dates, half the
+// observations missing under a spatially-correlated cloud mask, 30% of
+// pixels carrying an injected break.
+func testScene(t *testing.T) (*workload.Dataset, core.Options) {
+	t.Helper()
+	ds, err := workload.Generate(workload.Spec{
+		M: 512, N: 228, History: 114,
+		NaNFrac: 0.5, Mask: workload.MaskClouds,
+		BreakFrac: 0.3, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, core.DefaultOptions(114)
+}
+
+// offlineDetect runs the offline refit path over a scene truncated to
+// nDates, returning per-pixel results — the reference the NRT path must
+// match bit-for-bit.
+func offlineDetect(t *testing.T, ds *workload.Dataset, opt core.Options, nDates int) []core.Result {
+	t.Helper()
+	x, err := core.DesignFor(opt, nDates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := ds.Spec.N
+	out := make([]core.Result, ds.Spec.M)
+	for i := range out {
+		r, err := core.Detect(ds.Y[i*N:i*N+nDates], x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// checkVerdicts asserts the NRT verdicts equal the offline results
+// bit-for-bit, mapping the one representational difference: a monitored
+// pixel whose every observation so far was missing is StatusOK with
+// ValidMon 0 in the streaming view and StatusNoMonitoringData offline.
+func checkVerdicts(t *testing.T, vs []Verdict, offline []core.Result, label string) {
+	t.Helper()
+	if len(vs) != len(offline) {
+		t.Fatalf("%s: %d verdicts, %d offline results", label, len(vs), len(offline))
+	}
+	for i, v := range vs {
+		r := offline[i]
+		if r.Status == core.StatusNoMonitoringData {
+			if v.Status != core.StatusOK || v.ValidMon != 0 || v.BreakOffset != -1 || v.Mean != 0 {
+				t.Fatalf("%s: pixel %d: offline no-monitoring-data, nrt %+v", label, i, v)
+			}
+			continue
+		}
+		if v.Status != r.Status {
+			t.Fatalf("%s: pixel %d: status %v, offline %v", label, i, v.Status, r.Status)
+		}
+		if v.Status != core.StatusOK {
+			continue
+		}
+		if v.BreakOffset != r.BreakIndex {
+			t.Fatalf("%s: pixel %d: break offset %d, offline %d", label, i, v.BreakOffset, r.BreakIndex)
+		}
+		if math.Float64bits(v.Mean) != math.Float64bits(r.MosumMean) {
+			t.Fatalf("%s: pixel %d: mean %x, offline %x", label, i,
+				math.Float64bits(v.Mean), math.Float64bits(r.MosumMean))
+		}
+	}
+}
+
+// sceneDates returns the date-major monitoring values for dates
+// [from, to): out[d*M+i] = pixel i's value on absolute date from+d.
+func sceneDates(ds *workload.Dataset, from, to int) []float64 {
+	M, N := ds.Spec.M, ds.Spec.N
+	out := make([]float64, (to-from)*M)
+	for d := from; d < to; d++ {
+		for i := 0; i < M; i++ {
+			out[(d-from)*M+i] = ds.Y[i*N+d]
+		}
+	}
+	return out
+}
+
+func fitScene(t *testing.T, mg *Manager, ds *workload.Dataset, opt core.Options) FitSummary {
+	t.Helper()
+	M, N, n := ds.Spec.M, ds.Spec.N, ds.Spec.History
+	hist := make([]float64, M*n)
+	for i := 0; i < M; i++ {
+		copy(hist[i*n:(i+1)*n], ds.Y[i*N:i*N+n])
+	}
+	sum, err := mg.Fit(context.Background(), FitRequest{
+		Options: opt, Pixels: M, History: hist, Capacity: N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Pixels != M || sum.NextDate != n || sum.Capacity != N {
+		t.Fatalf("fit summary %+v", sum)
+	}
+	return sum
+}
+
+// TestObserveBitIdenticalToOfflineRefit is the tentpole acceptance test:
+// folding dates one (and many) at a time through /v1/observe's engine
+// must reproduce the full offline refit bit-for-bit — at a mid-stream
+// checkpoint and at the end of the series.
+func TestObserveBitIdenticalToOfflineRefit(t *testing.T) {
+	ds, opt := testScene(t)
+	n, N := ds.Spec.History, ds.Spec.N
+	mg := NewManager(Config{Metrics: obs.NewRegistry()})
+	sum := fitScene(t, mg, ds, opt)
+	ctx := context.Background()
+
+	// First 60 monitoring dates one call per date (the serving cadence).
+	var res ObserveResult
+	var err error
+	for d := n; d < n+60; d++ {
+		res, err = mg.Observe(ctx, sum.ID, sceneDates(ds, d, d+1), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkVerdicts(t, res.Verdicts, offlineDetect(t, ds, opt, n+60), "after 60 dates")
+
+	// Remaining dates in one batched call (the backfill cadence).
+	res, err = mg.Observe(ctx, sum.ID, sceneDates(ds, n+60, N), N-n-60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NextDate != N || res.Remaining != 0 {
+		t.Fatalf("cursor after full series: %+v", res)
+	}
+	checkVerdicts(t, res.Verdicts, offlineDetect(t, ds, opt, N), "full series")
+	if res.Breaks == 0 {
+		t.Fatal("break-injected scene reported zero breaks")
+	}
+}
+
+// TestRestartFromSnapshotBitIdentical is the durability acceptance test:
+// SIGTERM mid-stream, reboot a fresh manager from the file snapshot,
+// keep observing — the final verdicts must still equal the single
+// uninterrupted offline run bit-for-bit.
+func TestRestartFromSnapshotBitIdentical(t *testing.T) {
+	ds, opt := testScene(t)
+	n, N := ds.Spec.History, ds.Spec.N
+	dir := filepath.Join(t.TempDir(), "snaps")
+	ctx := context.Background()
+
+	storeA, err := state.NewFileStore(dir, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgA := NewManager(Config{Store: storeA, Metrics: obs.NewRegistry()})
+	sum := fitScene(t, mgA, ds, opt)
+	if _, err := mgA.Observe(ctx, sum.ID, sceneDates(ds, n, n+57), 57); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgA.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": a brand-new manager over the same directory.
+	storeB, err := state.NewFileStore(dir, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgB := NewManager(Config{Store: storeB, Metrics: obs.NewRegistry()})
+	restored, err := mgB.Restore(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d sessions, want 1", restored)
+	}
+	info, err := mgB.Get(sum.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NextDate != n+57 {
+		t.Fatalf("restored cursor %d, want %d", info.NextDate, n+57)
+	}
+	res, err := mgB.Observe(ctx, sum.ID, sceneDates(ds, n+57, N), N-n-57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdicts(t, res.Verdicts, offlineDetect(t, ds, opt, N), "after restart")
+}
+
+// TestFitCacheReuse: refitting an identical scene must hit the fit
+// cache for every pixel and behave identically afterwards.
+func TestFitCacheReuse(t *testing.T) {
+	ds, opt := testScene(t)
+	n := ds.Spec.History
+	mg := NewManager(Config{Metrics: obs.NewRegistry()})
+	ctx := context.Background()
+
+	first := fitScene(t, mg, ds, opt)
+	if first.CacheHits != 0 {
+		t.Fatalf("cold fit reported %d cache hits", first.CacheHits)
+	}
+	second := fitScene(t, mg, ds, opt)
+	if second.CacheHits != ds.Spec.M {
+		t.Fatalf("warm fit hit %d of %d pixels", second.CacheHits, ds.Spec.M)
+	}
+
+	day := sceneDates(ds, n, n+1)
+	r1, err := mg.Observe(ctx, first.ID, day, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mg.Observe(ctx, second.ID, day, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Verdicts {
+		a, b := r1.Verdicts[i], r2.Verdicts[i]
+		if a.Status != b.Status || a.BreakOffset != b.BreakOffset ||
+			math.Float64bits(a.Mean) != math.Float64bits(b.Mean) ||
+			math.Float64bits(a.Process) != math.Float64bits(b.Process) {
+			t.Fatalf("pixel %d: cached fit diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestObserveErrors: the error contract the server maps to API codes.
+func TestObserveErrors(t *testing.T) {
+	ds, opt := testScene(t)
+	n, N, M := ds.Spec.History, ds.Spec.N, ds.Spec.M
+	mg := NewManager(Config{Metrics: obs.NewRegistry()})
+	ctx := context.Background()
+	sum := fitScene(t, mg, ds, opt)
+
+	if _, err := mg.Observe(ctx, "s-0000000000000000", sceneDates(ds, n, n+1), 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown session: %v", err)
+	}
+	if _, err := mg.Observe(ctx, sum.ID, make([]float64, M-1), 1); err == nil {
+		t.Fatal("short values accepted")
+	}
+	if _, err := mg.Observe(ctx, sum.ID, nil, 0); err == nil {
+		t.Fatal("zero dates accepted")
+	}
+	over := make([]float64, (N-n+1)*M)
+	if _, err := mg.Observe(ctx, sum.ID, over, N-n+1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("overflow observe: %v", err)
+	}
+	// The exhausted observe must have consumed nothing.
+	info, err := mg.Get(sum.ID)
+	if err != nil || info.NextDate != n {
+		t.Fatalf("cursor moved on rejected observe: %+v %v", info, err)
+	}
+	if err := mg.Delete(ctx, sum.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Get(sum.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted session still visible: %v", err)
+	}
+	if err := mg.Delete(ctx, sum.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// countingStore wraps a Store and counts Save calls.
+type countingStore struct {
+	state.Store
+	mu    sync.Mutex
+	saves int
+}
+
+func (c *countingStore) Save(ctx context.Context, id string, data []byte) error {
+	c.mu.Lock()
+	c.saves++
+	c.mu.Unlock()
+	return c.Store.Save(ctx, id, data)
+}
+
+func (c *countingStore) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saves
+}
+
+// TestSnapshotCadence: SnapshotEvery batches persistence — the fit
+// always persists, then one save per k observes, plus Close.
+func TestSnapshotCadence(t *testing.T) {
+	ds, opt := testScene(t)
+	n := ds.Spec.History
+	cs := &countingStore{Store: state.NewMemStore()}
+	mg := NewManager(Config{Store: cs, SnapshotEvery: 3, Metrics: obs.NewRegistry()})
+	ctx := context.Background()
+
+	sum := fitScene(t, mg, ds, opt)
+	if cs.count() != 1 {
+		t.Fatalf("fit persisted %d times", cs.count())
+	}
+	for d := 0; d < 5; d++ {
+		if _, err := mg.Observe(ctx, sum.ID, sceneDates(ds, n+d, n+d+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs.count() != 2 {
+		t.Fatalf("5 observes at cadence 3 persisted %d times, want 2", cs.count())
+	}
+	if err := mg.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cs.count() != 3 {
+		t.Fatalf("close persisted %d times total, want 3", cs.count())
+	}
+	// The Close snapshot carries the current cursor.
+	data, err := cs.Load(ctx, sum.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := state.DecodeSession(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NextDate != n+5 {
+		t.Fatalf("persisted cursor %d, want %d", snap.NextDate, n+5)
+	}
+}

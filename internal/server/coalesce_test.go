@@ -33,14 +33,13 @@ func coalesceBody(seed int64, pixels, n, history int) DetectRequest {
 // invariant. Concurrent callers mix 1–4 pixel requests over two option
 // sets so merged flushes span multiple callers and queues stay isolated.
 func TestCoalescedBatchBitIdentical(t *testing.T) {
-	direct := httptest.NewServer(New(Config{MaxConcurrent: 128}))
+	direct := httptest.NewServer(mustServer(t, Config{MaxConcurrent: 128}))
 	defer direct.Close()
-	coalesced := httptest.NewServer(New(Config{
+	coalesced := httptest.NewServer(mustServer(t, Config{
 		MaxConcurrent: 128,
-		Coalesce:      true,
 		// A roomy deadline so slow CI schedulers still overlap callers.
-		CoalesceMaxWait: 20 * time.Millisecond,
-		Metrics:         obs.NewRegistry(),
+		Coalesce: CoalesceConfig{Enabled: true, MaxWait: 20 * time.Millisecond},
+		Metrics:  obs.NewRegistry(),
 	}))
 	defer coalesced.Close()
 
@@ -92,7 +91,7 @@ func TestCoalescedBatchBitIdentical(t *testing.T) {
 // span and the ring holds the synthetic coalesce-flush-<id> trace.
 func TestCoalesceMetricsAndTraces(t *testing.T) {
 	reg := obs.NewRegistry()
-	s := New(Config{Coalesce: true, MaxConcurrent: 16, Metrics: reg})
+	s := mustServer(t, Config{Coalesce: CoalesceConfig{Enabled: true}, MaxConcurrent: 16, Metrics: reg})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -174,7 +173,7 @@ func spanNames(tr obs.Trace) map[string]bool {
 // and no coalesce.* family ever registers — the default serving path is
 // untouched.
 func TestCoalesceOffByDefault(t *testing.T) {
-	s := New(Config{Metrics: obs.NewRegistry()})
+	s := mustServer(t, Config{Metrics: obs.NewRegistry()})
 	if s.batcher != nil {
 		t.Fatal("batcher constructed without Config.Coalesce")
 	}
@@ -201,9 +200,9 @@ func TestCoalesceOffByDefault(t *testing.T) {
 // drain began still gets correct results instead of hanging on a dead
 // queue.
 func TestCoalesceSurvivesShutdown(t *testing.T) {
-	direct := httptest.NewServer(New(Config{}))
+	direct := httptest.NewServer(mustServer(t, Config{}))
 	defer direct.Close()
-	s := New(Config{Coalesce: true, Metrics: obs.NewRegistry()})
+	s := mustServer(t, Config{Coalesce: CoalesceConfig{Enabled: true}, Metrics: obs.NewRegistry()})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 

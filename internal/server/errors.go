@@ -33,6 +33,14 @@ const (
 	CodeCanceled = "canceled"
 	// CodeUnavailable: the server is draining for shutdown.
 	CodeUnavailable = "unavailable"
+	// CodeNotFound: the referenced resource (an NRT session, a trace)
+	// does not exist — it was never created, was deleted, or was lost
+	// with the process when no snapshot store is configured.
+	CodeNotFound = "not_found"
+	// CodeSessionExhausted: the observe would advance an NRT session past
+	// its designed capacity; nothing was consumed. Fit a new session with
+	// a larger capacity.
+	CodeSessionExhausted = "session_exhausted"
 	// CodeInternal: unexpected server-side failure.
 	CodeInternal = "internal"
 )

@@ -28,7 +28,7 @@ func FuzzBatchDecode(f *testing.F) {
 	f.Add([]byte(``))
 	f.Add([]byte(`[]`))
 
-	srv := New(Config{
+	srv := mustServer(f, Config{
 		MaxBodyBytes:   1 << 16,
 		MaxBatchPixels: 4,
 		MaxSeriesLen:   64,

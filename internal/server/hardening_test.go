@@ -33,7 +33,7 @@ func errEnvelope(t *testing.T, body []byte) errorDetail {
 // framing check: an over-long series against a declared n must fail with
 // a structured 400 length_mismatch, not silently compute on bad framing.
 func TestDeclaredLengthMismatch(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 
 	// Over-long series: 25 values declared as n=20.
@@ -68,7 +68,7 @@ func TestDeclaredLengthMismatch(t *testing.T) {
 }
 
 func TestBodyAndBatchLimits(t *testing.T) {
-	ts := httptest.NewServer(New(Config{MaxBodyBytes: 128, MaxBatchPixels: 2}))
+	ts := httptest.NewServer(mustServer(t, Config{MaxBodyBytes: 128, MaxBatchPixels: 2}))
 	defer ts.Close()
 
 	big := `{"series": [` + strings.Repeat("0.5,", 200) + `0.5], "history": 10}`
@@ -102,7 +102,7 @@ func TestBodyAndBatchLimits(t *testing.T) {
 // request is rejected immediately with 429 + Retry-After, then succeeds
 // once a slot frees up.
 func TestConcurrencyLimit429(t *testing.T) {
-	s := New(Config{MaxConcurrent: 1})
+	s := mustServer(t, Config{MaxConcurrent: 1})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -133,7 +133,7 @@ func TestConcurrencyLimit429(t *testing.T) {
 // context), records the canceled outcome, and releases its concurrency
 // slot so the next request proceeds.
 func TestBatchCancellationMidRequest(t *testing.T) {
-	s := New(Config{MaxConcurrent: 1})
+	s := mustServer(t, Config{MaxConcurrent: 1})
 
 	rng := rand.New(rand.NewSource(11))
 	pixels := make([]Series, 64)
@@ -180,7 +180,7 @@ func TestBatchCancellationMidRequest(t *testing.T) {
 // in flight, and verifies Shutdown waits for it to finish (200, full
 // body) while Serve returns http.ErrServerClosed.
 func TestGracefulShutdownDrains(t *testing.T) {
-	s := New(Config{})
+	s := mustServer(t, Config{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +245,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 // TestHealthzDraining503 verifies the load-balancer signal flips during
 // shutdown.
 func TestHealthzDraining503(t *testing.T) {
-	s := New(Config{})
+	s := mustServer(t, Config{})
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
 	if rec.Code != http.StatusOK {
@@ -268,7 +268,7 @@ func TestHealthzDraining503(t *testing.T) {
 // /metrics JSON carries the serving, scheduler and kernel-phase series
 // the CI smoke test greps for.
 func TestMetricsEndpoint(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 
 	rng := rand.New(rand.NewSource(13))
@@ -313,7 +313,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 // TestDebugEndpoint checks /debug/bfast exposes limits and the trace ring.
 func TestDebugEndpoint(t *testing.T) {
-	ts := httptest.NewServer(New(Config{TraceDepth: 8}))
+	ts := httptest.NewServer(mustServer(t, Config{TraceDepth: 8}))
 	defer ts.Close()
 	post(t, ts, "/v1/detect", map[string]any{"series": make([]float64, 30), "history": 10})
 
@@ -341,7 +341,7 @@ func TestDebugEndpoint(t *testing.T) {
 }
 
 func TestDisableDebug(t *testing.T) {
-	ts := httptest.NewServer(New(Config{DisableDebug: true}))
+	ts := httptest.NewServer(mustServer(t, Config{DisableDebug: true}))
 	defer ts.Close()
 	for _, p := range []string{"/metrics", "/debug/bfast"} {
 		resp, err := http.Get(ts.URL + p)
@@ -358,7 +358,7 @@ func TestDisableDebug(t *testing.T) {
 // TestRetryAfterConfigurable: the 429 Retry-After hint must follow
 // Config.RetryAfterSeconds (default 1).
 func TestRetryAfterConfigurable(t *testing.T) {
-	s := New(Config{MaxConcurrent: 1, RetryAfterSeconds: 7})
+	s := mustServer(t, Config{MaxConcurrent: 1, RetryAfterSeconds: 7})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -371,7 +371,7 @@ func TestRetryAfterConfigurable(t *testing.T) {
 	if got := resp.Header.Get("Retry-After"); got != "7" {
 		t.Fatalf("Retry-After = %q, want \"7\"", got)
 	}
-	if got := New(Config{}).Config().RetryAfterSeconds; got != 1 {
+	if got := mustServer(t, Config{}).Config().RetryAfterSeconds; got != 1 {
 		t.Fatalf("default RetryAfterSeconds = %d, want 1", got)
 	}
 }

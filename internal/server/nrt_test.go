@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"bfast/internal/obs"
+	"bfast/internal/workload"
+)
+
+// nrtScene is a small scene with the acceptance characteristics: cloud-
+// masked missing values and injected breaks.
+func nrtScene(t *testing.T) *workload.Dataset {
+	t.Helper()
+	ds, err := workload.Generate(workload.Spec{
+		M: 64, N: 228, History: 114,
+		NaNFrac: 0.5, Mask: workload.MaskClouds,
+		BreakFrac: 0.3, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// jsonRows renders rows of ds.Y[pixels][from:to) as JSON arrays with
+// null for NaN; pixelMajor selects row-per-pixel (fit/batch) vs
+// row-per-date (observe).
+func jsonRows(ds *workload.Dataset, from, to int, pixelMajor bool) []json.RawMessage {
+	N := ds.Spec.N
+	encode := func(vals []float64) json.RawMessage {
+		b := []byte{'['}
+		for i, v := range vals {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			if math.IsNaN(v) {
+				b = append(b, "null"...)
+			} else {
+				j, _ := json.Marshal(v)
+				b = append(b, j...)
+			}
+		}
+		return append(b, ']')
+	}
+	var rows []json.RawMessage
+	if pixelMajor {
+		for i := 0; i < ds.Spec.M; i++ {
+			rows = append(rows, encode(ds.Y[i*N+from:i*N+to]))
+		}
+	} else {
+		for d := from; d < to; d++ {
+			vals := make([]float64, ds.Spec.M)
+			for i := range vals {
+				vals[i] = ds.Y[i*N+d]
+			}
+			rows = append(rows, encode(vals))
+		}
+	}
+	return rows
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any, out any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if out != nil && resp.StatusCode == 200 {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decode %s response: %v\n%s", path, err, buf.Bytes())
+		}
+	}
+	return resp, buf.Bytes()
+}
+
+// TestNRTEndToEndMatchesBatch: fit a scene over HTTP, stream all
+// monitoring dates through /v1/observe — with a simulated restart in
+// the middle (Shutdown, new Server over the same state dir) — and the
+// final verdicts must agree with one offline /v1/batch run over the
+// full series.
+func TestNRTEndToEndMatchesBatch(t *testing.T) {
+	ds := nrtScene(t)
+	n, N := ds.Spec.History, ds.Spec.N
+	dir := filepath.Join(t.TempDir(), "nrt-state")
+
+	srvA := mustServer(t, Config{NRT: NRTConfig{StateDir: dir}, Metrics: obs.NewRegistry()})
+	tsA := httptest.NewServer(srvA)
+
+	var fit struct {
+		Session  string `json:"session"`
+		Pixels   int    `json:"pixels"`
+		OK       int    `json:"ok"`
+		NextDate int    `json:"next_date"`
+	}
+	resp, raw := postJSON(t, tsA, "/v1/fit", map[string]any{
+		"pixels": jsonRows(ds, 0, n, true), "history": n, "capacity": N,
+	}, &fit)
+	if resp.StatusCode != 200 {
+		t.Fatalf("fit: %d %s", resp.StatusCode, raw)
+	}
+	if fit.Pixels != ds.Spec.M || fit.NextDate != n || fit.OK == 0 {
+		t.Fatalf("fit summary %+v", fit)
+	}
+
+	var obsResp ObserveResponse
+	resp, raw = postJSON(t, tsA, "/v1/observe", map[string]any{
+		"session": fit.Session, "dates": jsonRows(ds, n, n+57, false),
+	}, &obsResp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("observe: %d %s", resp.StatusCode, raw)
+	}
+	if obsResp.NextDate != n+57 {
+		t.Fatalf("observe cursor %+v", obsResp)
+	}
+
+	// Simulated restart: drain server A (persists), boot B on the dir.
+	tsA.Close()
+	if err := srvA.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srvB := mustServer(t, Config{NRT: NRTConfig{StateDir: dir}, Metrics: obs.NewRegistry()})
+	tsB := httptest.NewServer(srvB)
+	defer tsB.Close()
+
+	var list SessionsResponse
+	lresp, err := http.Get(tsB.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(list.Sessions) != 1 || list.Sessions[0].ID != fit.Session || list.Sessions[0].NextDate != n+57 {
+		t.Fatalf("restored sessions %+v", list.Sessions)
+	}
+
+	resp, raw = postJSON(t, tsB, "/v1/observe", map[string]any{
+		"session": fit.Session, "dates": jsonRows(ds, n+57, N, false),
+	}, &obsResp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("observe after restart: %d %s", resp.StatusCode, raw)
+	}
+	if obsResp.Remaining != 0 || obsResp.Breaks == 0 {
+		t.Fatalf("final observe %+v", obsResp)
+	}
+
+	// Reference: one offline batch over the full series.
+	var batch []DetectResponse
+	resp, raw = postJSON(t, tsB, "/v1/batch", map[string]any{
+		"pixels": jsonRows(ds, 0, N, true), "history": n,
+	}, &batch)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d %s", resp.StatusCode, raw)
+	}
+	for i, v := range obsResp.Verdicts {
+		b := batch[i]
+		if b.Status == "no-monitoring-data" {
+			if v.Status != "ok" || v.ValidMonitoring != 0 {
+				t.Fatalf("pixel %d: %+v vs offline no_monitoring_data", i, v)
+			}
+			continue
+		}
+		if v.Status != b.Status || v.BreakIndex != b.BreakIndex {
+			t.Fatalf("pixel %d: nrt (%s,%d) vs batch (%s,%d)", i, v.Status, v.BreakIndex, b.Status, b.BreakIndex)
+		}
+		if v.Status == "ok" {
+			if (v.Magnitude == nil) != (b.Magnitude == nil) {
+				t.Fatalf("pixel %d: magnitude presence diverged", i)
+			}
+			if v.Magnitude != nil && math.Float64bits(*v.Magnitude) != math.Float64bits(*b.Magnitude) {
+				t.Fatalf("pixel %d: magnitude %v vs %v", i, *v.Magnitude, *b.Magnitude)
+			}
+		}
+	}
+}
+
+// TestNRTErrorCodes: the NRT error paths return their declared
+// structured codes.
+func TestNRTErrorCodes(t *testing.T) {
+	ds := nrtScene(t)
+	n := ds.Spec.History
+	ts := httptest.NewServer(mustServer(t, Config{Metrics: obs.NewRegistry()}))
+	defer ts.Close()
+
+	code := func(raw []byte) string {
+		var e struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		json.Unmarshal(raw, &e)
+		return e.Error.Code
+	}
+
+	resp, raw := postJSON(t, ts, "/v1/observe", map[string]any{
+		"session": "s-0000000000000000", "dates": jsonRows(ds, n, n+1, false),
+	}, nil)
+	if resp.StatusCode != 404 || code(raw) != CodeNotFound {
+		t.Fatalf("unknown session: %d %s", resp.StatusCode, raw)
+	}
+
+	var fit struct {
+		Session string `json:"session"`
+	}
+	resp, raw = postJSON(t, ts, "/v1/fit", map[string]any{
+		"pixels": jsonRows(ds, 0, n, true), "history": n, "capacity": n + 2,
+	}, &fit)
+	if resp.StatusCode != 200 {
+		t.Fatalf("fit: %d %s", resp.StatusCode, raw)
+	}
+	resp, raw = postJSON(t, ts, "/v1/observe", map[string]any{
+		"session": fit.Session, "dates": jsonRows(ds, n, n+3, false),
+	}, nil)
+	if resp.StatusCode != 409 || code(raw) != CodeSessionExhausted {
+		t.Fatalf("exhausted: %d %s", resp.StatusCode, raw)
+	}
+
+	short := jsonRows(ds, n, n+1, false)
+	short[0] = short[0][:bytes.LastIndexByte(short[0], ',')]
+	short[0] = append(short[0], ']')
+	resp, raw = postJSON(t, ts, "/v1/observe", map[string]any{
+		"session": fit.Session, "dates": short,
+	}, nil)
+	if resp.StatusCode != 400 || code(raw) != CodeLengthMismatch {
+		t.Fatalf("short date row: %d %s", resp.StatusCode, raw)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions?session="+fit.Session, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != 200 {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+	gresp, err := http.Get(ts.URL + "/v1/sessions?session=" + fit.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != 404 {
+		t.Fatalf("deleted session lookup: %d", gresp.StatusCode)
+	}
+}
+
+// TestNRTSessionLimit: fits past NRT.MaxSessions get 429 rate_limited.
+func TestNRTSessionLimit(t *testing.T) {
+	ds := nrtScene(t)
+	n := ds.Spec.History
+	ts := httptest.NewServer(mustServer(t, Config{
+		NRT:     NRTConfig{MaxSessions: 1},
+		Metrics: obs.NewRegistry(),
+	}))
+	defer ts.Close()
+	body := map[string]any{"pixels": jsonRows(ds, 0, n, true), "history": n}
+	if resp, raw := postJSON(t, ts, "/v1/fit", body, nil); resp.StatusCode != 200 {
+		t.Fatalf("first fit: %d %s", resp.StatusCode, raw)
+	}
+	resp, raw := postJSON(t, ts, "/v1/fit", body, nil)
+	if resp.StatusCode != 429 {
+		t.Fatalf("second fit past the limit: %d %s", resp.StatusCode, raw)
+	}
+}

@@ -70,7 +70,7 @@ func batchBody(rng *rand.Rand, m, n int) map[string]any {
 // server root through the batched kernel phases — must be retrievable
 // from /debug/bfast/traces under that ID.
 func TestRequestIDAndSpanTree(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(41))
 
@@ -117,7 +117,7 @@ func TestRequestIDAndSpanTree(t *testing.T) {
 // TestRequestIDGenerated: without a client ID the server must mint one
 // (8 random bytes, hex); oversized client IDs are replaced, not echoed.
 func TestRequestIDGenerated(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(42))
 	body := map[string]any{"series": jsonSeries(rng, 60, -1, 0.2), "history": 30}
@@ -138,7 +138,7 @@ func TestRequestIDGenerated(t *testing.T) {
 // TestTracesEndpoint: the unfiltered listing returns recent traces;
 // unknown request IDs return 404 with the structured error envelope.
 func TestTracesEndpoint(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(43))
 	post(t, ts, "/v1/detect", map[string]any{"series": jsonSeries(rng, 60, -1, 0.2), "history": 30})
@@ -163,7 +163,7 @@ func TestTracesEndpoint(t *testing.T) {
 // TestTracingDisabledSkipsSpans: TraceDepth < 0 turns the ring off, and
 // with it the root span — requests still serve, with no span machinery.
 func TestTracingDisabledSkipsSpans(t *testing.T) {
-	ts := httptest.NewServer(New(Config{TraceDepth: -1}))
+	ts := httptest.NewServer(mustServer(t, Config{TraceDepth: -1}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(44))
 	resp, body := post(t, ts, "/v1/batch", batchBody(rng, 8, 80))
@@ -180,7 +180,7 @@ func TestTracingDisabledSkipsSpans(t *testing.T) {
 // default — including the serving metrics with cumulative buckets.
 func TestMetricsPrometheusNegotiation(t *testing.T) {
 	reg := obs.NewRegistry()
-	ts := httptest.NewServer(New(Config{Metrics: reg}))
+	ts := httptest.NewServer(mustServer(t, Config{Metrics: reg}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(45))
 	post(t, ts, "/v1/detect", map[string]any{"series": jsonSeries(rng, 60, -1, 0.2), "history": 30})
@@ -227,7 +227,7 @@ func TestRequestLogging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(Config{Logger: lg}))
+	ts := httptest.NewServer(mustServer(t, Config{Logger: lg}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(46))
 
@@ -259,13 +259,13 @@ func TestRequestLogging(t *testing.T) {
 // TestPprofBehindFlag: /debug/pprof/ must 404 by default and serve the
 // index when EnablePprof is set.
 func TestPprofBehindFlag(t *testing.T) {
-	off := httptest.NewServer(New(Config{}))
+	off := httptest.NewServer(mustServer(t, Config{}))
 	defer off.Close()
 	if resp, _ := get(t, off, "/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("pprof off: status %d, want 404", resp.StatusCode)
 	}
 
-	on := httptest.NewServer(New(Config{EnablePprof: true}))
+	on := httptest.NewServer(mustServer(t, Config{EnablePprof: true}))
 	defer on.Close()
 	resp, body := get(t, on, "/debug/pprof/")
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
@@ -273,7 +273,7 @@ func TestPprofBehindFlag(t *testing.T) {
 	}
 
 	// DisableDebug wins over EnablePprof.
-	both := httptest.NewServer(New(Config{EnablePprof: true, DisableDebug: true}))
+	both := httptest.NewServer(mustServer(t, Config{EnablePprof: true, DisableDebug: true}))
 	defer both.Close()
 	if resp, _ := get(t, both, "/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("DisableDebug must win: status %d", resp.StatusCode)
@@ -284,7 +284,7 @@ func TestPprofBehindFlag(t *testing.T) {
 // gauges into the server's registry and Shutdown stops the sampler.
 func TestRuntimeSamplerLifecycle(t *testing.T) {
 	reg := obs.NewRegistry()
-	s := New(Config{Metrics: reg, SampleRuntimeEvery: time.Millisecond})
+	s := mustServer(t, Config{Metrics: reg, SampleRuntimeEvery: time.Millisecond})
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		if _, ok := reg.Snapshot()["runtime.goroutines"]; ok {

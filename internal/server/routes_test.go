@@ -1,0 +1,121 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// mustServer builds a server or fails the test — the constructor only
+// errors on misconfiguration, which no test below intends.
+func mustServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRouteTablePinsTheMux: the declarative table and the mux must
+// agree in both directions, under every gating configuration.
+func TestRouteTablePinsTheMux(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{DisableDebug: true},
+		{EnablePprof: true},
+		{EnablePprof: true, DisableDebug: true},
+	} {
+		s := mustServer(t, cfg)
+		if err := s.VerifyRoutes(); err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+	}
+}
+
+// TestUndeclaredRouteFailsVerification: mounting a route that is not in
+// RouteTable must fail VerifyRoutes — the drift CI would catch.
+func TestUndeclaredRouteFailsVerification(t *testing.T) {
+	s := mustServer(t, Config{})
+	s.handle("/v1/rogue", http.NotFoundHandler())
+	err := s.VerifyRoutes()
+	if err == nil || !strings.Contains(err.Error(), "/v1/rogue") {
+		t.Fatalf("undeclared route passed verification: %v", err)
+	}
+}
+
+// TestMissingDeclaredRouteFailsVerification: a declared-but-unmounted
+// route must fail too (the other drift direction).
+func TestMissingDeclaredRouteFailsVerification(t *testing.T) {
+	s := mustServer(t, Config{})
+	for i, p := range s.registered {
+		if p == "/v1/observe" {
+			s.registered = append(s.registered[:i], s.registered[i+1:]...)
+			break
+		}
+	}
+	err := s.VerifyRoutes()
+	if err == nil || !strings.Contains(err.Error(), "/v1/observe") {
+		t.Fatalf("missing declared route passed verification: %v", err)
+	}
+}
+
+// TestDeclaredRoutesAreServed: every route the table declares for the
+// default config actually answers — no 404, and the declared method is
+// accepted while a wrong one is rejected with method_not_allowed.
+func TestDeclaredRoutesAreServed(t *testing.T) {
+	cfg := Config{EnablePprof: true}
+	ts := httptest.NewServer(mustServer(t, cfg))
+	defer ts.Close()
+	for _, rt := range RouteTable() {
+		if rt.Pprof {
+			// pprof handlers are stdlib-owned; mounting is covered by
+			// VerifyRoutes and the observability tests.
+			continue
+		}
+		req, err := http.NewRequest(rt.Method, ts.URL+rt.Path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound && rt.Path != "/v1/sessions" {
+			t.Errorf("%s %s: 404 — declared route not served", rt.Method, rt.Path)
+		}
+		if resp.StatusCode == http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: declared method rejected", rt.Method, rt.Path)
+		}
+	}
+	// Wrong method on a declared path → structured method_not_allowed.
+	resp, err := http.Get(ts.URL + "/v1/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/observe: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestRouteTableCodesAreDeclared: every code a route lists must be one
+// of the documented Code* constants — the README error-code table and
+// the route table cannot drift apart silently.
+func TestRouteTableCodesAreDeclared(t *testing.T) {
+	known := map[string]bool{
+		CodeInvalidJSON: true, CodeInvalidArgument: true, CodeLengthMismatch: true,
+		CodeBodyTooLarge: true, CodeBatchTooLarge: true, CodeMethodNotAllowed: true,
+		CodeRateLimited: true, CodeCanceled: true, CodeUnavailable: true,
+		CodeNotFound: true, CodeSessionExhausted: true, CodeInternal: true,
+	}
+	for _, rt := range RouteTable() {
+		for _, c := range rt.Codes {
+			if !known[c] {
+				t.Errorf("%s %s declares unknown code %q", rt.Method, rt.Path, c)
+			}
+		}
+	}
+}

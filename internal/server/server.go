@@ -34,12 +34,15 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bfast/internal/coalesce"
+	"bfast/internal/nrt"
 	"bfast/internal/obs"
+	"bfast/internal/state"
 )
 
 // HeaderRequestID is the request/response header carrying the request's
@@ -100,22 +103,52 @@ type Config struct {
 	// publishing runtime.* gauges (goroutines, heap, GC pauses) into
 	// Metrics at that interval; Shutdown stops it.
 	SampleRuntimeEvery time.Duration
-	// Coalesce routes /v1/batch through the request coalescer
+	// Coalesce groups the /v1/batch request-coalescing knobs.
+	Coalesce CoalesceConfig
+	// NRT groups the stateful near-real-time serving knobs
+	// (/v1/fit, /v1/observe, /v1/sessions).
+	NRT NRTConfig
+}
+
+// CoalesceConfig groups the /v1/batch request-coalescing knobs.
+type CoalesceConfig struct {
+	// Enabled routes /v1/batch through the request coalescer
 	// (internal/coalesce): concurrent small requests with equivalent
 	// options merge into shared detection batches so they ride full
 	// tiles instead of each paying a near-empty kernel launch. Off by
 	// default — responses are bit-identical either way (the repo's
 	// batch-composition invariant), coalescing only changes throughput
-	// and adds at most CoalesceMaxWait of latency under load.
-	Coalesce bool
-	// CoalesceBatchPixels is the merged-batch size that triggers an
-	// immediate flush (default 64); requests at least this large bypass
-	// the queue. Ignored unless Coalesce is set.
-	CoalesceBatchPixels int
-	// CoalesceMaxWait bounds how long a queued request waits for
-	// co-riders before flushing anyway (default 2ms) — the worst-case
-	// latency coalescing can add. Ignored unless Coalesce is set.
-	CoalesceMaxWait time.Duration
+	// and adds at most MaxWait of latency under load.
+	Enabled bool
+	// BatchPixels is the merged-batch size that triggers an immediate
+	// flush (default 64); requests at least this large bypass the
+	// queue. Ignored unless Enabled is set.
+	BatchPixels int
+	// MaxWait bounds how long a queued request waits for co-riders
+	// before flushing anyway (default 2ms) — the worst-case latency
+	// coalescing can add. Ignored unless Enabled is set.
+	MaxWait time.Duration
+}
+
+// NRTConfig groups the stateful near-real-time serving knobs. The NRT
+// endpoints are always mounted; this only controls durability and
+// capacity.
+type NRTConfig struct {
+	// StateDir persists session snapshots as one file per session under
+	// this directory; on boot, existing snapshots are restored, so
+	// sessions survive restarts bit-identically. "" keeps sessions in
+	// process memory only (they die with the process).
+	StateDir string
+	// SnapshotEvery persists a session after every k-th observe call
+	// (default 1 = every observe; negative disables automatic snapshots
+	// — Shutdown still persists).
+	SnapshotEvery int
+	// MaxSessions caps concurrently live sessions (default 64); /v1/fit
+	// past the cap is rejected with 429 rate_limited.
+	MaxSessions int
+	// MaxCapacity caps a session's designed series length — history plus
+	// all future monitoring dates (default MaxSeriesLen).
+	MaxCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +173,12 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
 	}
+	if c.NRT.MaxSessions <= 0 {
+		c.NRT.MaxSessions = 64
+	}
+	if c.NRT.MaxCapacity <= 0 {
+		c.NRT.MaxCapacity = c.MaxSeriesLen
+	}
 	return c
 }
 
@@ -152,6 +191,13 @@ type Server struct {
 	sem      chan struct{}
 	ring     *obs.TraceRing
 	draining atomic.Bool
+
+	// registered tracks every mux pattern mounted through handle();
+	// VerifyRoutes pins it against RouteTable.
+	registered []string
+	// nrtMgr owns the stateful NRT sessions behind /v1/fit and
+	// /v1/observe.
+	nrtMgr *nrt.Manager
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -175,8 +221,11 @@ type Server struct {
 	stopSampler func()
 }
 
-// New returns the service. The zero Config is production-ready.
-func New(cfg Config) *Server {
+// New returns the service. The zero Config is production-ready. It
+// errors when the NRT state directory cannot be opened or when the mux
+// and RouteTable drift (a programming error this constructor turns into
+// a boot failure).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:         cfg,
@@ -189,34 +238,82 @@ func New(cfg Config) *Server {
 	if cfg.TraceDepth >= 0 {
 		s.ring = obs.NewTraceRing(cfg.TraceDepth)
 	}
-	if cfg.Coalesce {
+	if cfg.Coalesce.Enabled {
 		s.batcher = coalesce.New(coalesce.Config{
-			BatchPixels: cfg.CoalesceBatchPixels,
-			MaxWait:     cfg.CoalesceMaxWait,
+			BatchPixels: cfg.Coalesce.BatchPixels,
+			MaxWait:     cfg.Coalesce.MaxWait,
 			Metrics:     cfg.Metrics,
 			Traces:      s.ring,
 		})
 	}
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.Handle("/v1/detect", s.endpoint("detect", true, s.handleDetect))
-	s.mux.Handle("/v1/trace", s.endpoint("trace", true, s.handleTrace))
-	s.mux.Handle("/v1/batch", s.endpoint("batch", true, s.handleBatch))
-	if !cfg.DisableDebug {
-		s.mux.Handle("/metrics", cfg.Metrics.Handler())
-		s.mux.HandleFunc("/debug/bfast", s.handleDebug)
-		s.mux.HandleFunc("/debug/bfast/traces", s.handleTraces)
-		if cfg.EnablePprof {
-			s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-			s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-			s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-			s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-			s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	// NRT durability: a state directory makes sessions restart-proof;
+	// without one they live (and die) with the process.
+	var store state.Store
+	if cfg.NRT.StateDir != "" {
+		fs, err := state.NewFileStore(cfg.NRT.StateDir, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	}
+	s.nrtMgr = nrt.NewManager(nrt.Config{
+		Store:         store,
+		Metrics:       cfg.Metrics,
+		SnapshotEvery: cfg.NRT.SnapshotEvery,
+	})
+	if store != nil {
+		// Boot-time restore: New has no caller context by design (the
+		// process is not serving yet, so there is nothing to cancel).
+		//lint:allow ctxfirst -- constructor-time restore precedes any request context
+		if _, err := s.nrtMgr.Restore(context.Background()); err != nil {
+			return nil, fmt.Errorf("server: restoring NRT sessions: %w", err)
 		}
 	}
+
+	// Table-driven registration: every path the RouteTable declares for
+	// this configuration gets its handler mounted through handle(), and
+	// VerifyRoutes then pins mux against table.
+	handlers := map[string]http.Handler{
+		"/v1/healthz":          http.HandlerFunc(s.handleHealthz),
+		"/v1/detect":           s.endpoint("detect", "POST", true, s.handleDetect),
+		"/v1/trace":            s.endpoint("trace", "POST", true, s.handleTrace),
+		"/v1/batch":            s.endpoint("batch", "POST", true, s.handleBatch),
+		"/v1/fit":              s.endpoint("fit", "POST", true, s.handleFit),
+		"/v1/observe":          s.endpoint("observe", "POST", true, s.handleObserve),
+		"/v1/sessions":         s.endpoint("sessions", "GET,DELETE", false, s.handleSessions),
+		"/metrics":             cfg.Metrics.Handler(),
+		"/debug/bfast":         http.HandlerFunc(s.handleDebug),
+		"/debug/bfast/traces":  http.HandlerFunc(s.handleTraces),
+		"/debug/pprof/":        http.HandlerFunc(pprof.Index),
+		"/debug/pprof/cmdline": http.HandlerFunc(pprof.Cmdline),
+		"/debug/pprof/profile": http.HandlerFunc(pprof.Profile),
+		"/debug/pprof/symbol":  http.HandlerFunc(pprof.Symbol),
+		"/debug/pprof/trace":   http.HandlerFunc(pprof.Trace),
+	}
+	for _, path := range declaredPaths(cfg) {
+		h, ok := handlers[path]
+		if !ok {
+			return nil, fmt.Errorf("server: route %q declared in RouteTable but has no handler", path)
+		}
+		s.handle(path, h)
+	}
+	if err := s.VerifyRoutes(); err != nil {
+		return nil, err
+	}
+
 	if cfg.SampleRuntimeEvery > 0 {
 		s.stopSampler = obs.StartRuntimeSampler(cfg.Metrics, cfg.SampleRuntimeEvery)
 	}
-	return s
+	return s, nil
+}
+
+// handle mounts a pattern and records it for VerifyRoutes. All mux
+// registration funnels through here — that is what makes the recorded
+// set authoritative.
+func (s *Server) handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+	s.registered = append(s.registered, pattern)
 }
 
 // requestID returns the client-supplied correlation ID when acceptable,
@@ -264,6 +361,13 @@ func (s *Server) handleDebug(w http.ResponseWriter, _ *http.Request) {
 		},
 		"workers":  s.cfg.Workers,
 		"coalesce": s.batcher != nil,
+		"nrt": map[string]any{
+			"state_dir":      s.cfg.NRT.StateDir,
+			"snapshot_every": s.cfg.NRT.SnapshotEvery,
+			"max_sessions":   s.cfg.NRT.MaxSessions,
+			"max_capacity":   s.cfg.NRT.MaxCapacity,
+			"sessions":       s.nrtMgr.List(),
+		},
 		"inflight": s.inflight.Value(),
 		"draining": s.draining.Load(),
 		"traces":   s.ring.Recent(),
@@ -293,10 +397,11 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 type endpointFunc func(r *http.Request, tr *obs.Trace) (any, *apiError)
 
 // endpoint wraps a handler with the serving spine: request-ID
-// correlation, method check, concurrency limiting with 429 backpressure,
+// correlation, method check (methods is a comma-separated allow list),
+// concurrency limiting with 429 backpressure on heavy endpoints,
 // per-endpoint request/outcome/latency metrics, span tracing and the
 // trace ring, and structured request logging.
-func (s *Server) endpoint(name string, post bool, fn endpointFunc) http.Handler {
+func (s *Server) endpoint(name, methods string, heavy bool, fn endpointFunc) http.Handler {
 	m := s.cfg.Metrics
 	requests := m.Counter("server." + name + ".requests")
 	oks := m.Counter("server." + name + ".ok")
@@ -344,27 +449,29 @@ func (s *Server) endpoint(name string, post bool, fn endpointFunc) http.Handler 
 				"code", code, "err", tr.Err, "pixels", tr.Pixels,
 				"bytes", tr.Bytes, "duration", tr.Total)
 		}
-		if post && r.Method != http.MethodPost {
-			e := errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
+		if !methodAllowed(methods, r.Method) {
+			e := errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s required", methods)
 			clientErrs.Inc()
 			writeError(w, e)
 			finish(e.Status, e)
 			return
 		}
-		// Backpressure: reject instead of queueing — a queued request
-		// holds its whole decoded body in memory while it waits, and the
-		// client's deadline keeps running; telling it "try again" now is
-		// strictly cheaper for both sides.
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		default:
-			s.rateLimited.Inc()
-			e := errf(http.StatusTooManyRequests, CodeRateLimited, "concurrency limit %d reached", s.cfg.MaxConcurrent)
-			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
-			writeError(w, e)
-			finish(e.Status, e)
-			return
+		if heavy {
+			// Backpressure: reject instead of queueing — a queued request
+			// holds its whole decoded body in memory while it waits, and the
+			// client's deadline keeps running; telling it "try again" now is
+			// strictly cheaper for both sides.
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.rateLimited.Inc()
+				e := errf(http.StatusTooManyRequests, CodeRateLimited, "concurrency limit %d reached", s.cfg.MaxConcurrent)
+				w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+				writeError(w, e)
+				finish(e.Status, e)
+				return
+			}
 		}
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
@@ -389,6 +496,17 @@ func (s *Server) endpoint(name string, post bool, fn endpointFunc) http.Handler 
 			finish(apiErr.Status, apiErr)
 		}
 	})
+}
+
+// methodAllowed reports whether method appears in the comma-separated
+// allow list.
+func methodAllowed(methods, method string) bool {
+	for _, m := range strings.Split(methods, ",") {
+		if m == method {
+			return true
+		}
+	}
+	return false
 }
 
 // ctxError classifies a kernel error: context cancellation becomes the
@@ -451,10 +569,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	srv := s.httpSrv
 	s.mu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
 	}
-	return srv.Shutdown(ctx)
+	// Persist every NRT session after the drain, so the snapshots carry
+	// the last observe each request saw — the restart-durability
+	// contract (a rebooted server resumes bit-identically).
+	if nerr := s.nrtMgr.Close(ctx); err == nil {
+		err = nerr
+	}
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

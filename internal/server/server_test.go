@@ -52,7 +52,7 @@ func jsonSeries(rng *rand.Rand, n, breakAt int, nanFrac float64) Series {
 }
 
 func TestHealthz(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
@@ -65,7 +65,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestDetectEndpointMatchesLibrary(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(7))
 	seriesJSON := jsonSeries(rng, 300, 220, 0.4)
@@ -100,7 +100,7 @@ func TestDetectEndpointMatchesLibrary(t *testing.T) {
 }
 
 func TestDetectCUSUMAndOptions(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(8))
 	k := 2
@@ -115,7 +115,7 @@ func TestDetectCUSUMAndOptions(t *testing.T) {
 }
 
 func TestTraceEndpoint(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(9))
 	resp, body := post(t, ts, "/v1/trace", DetectRequest{
@@ -137,7 +137,7 @@ func TestTraceEndpoint(t *testing.T) {
 }
 
 func TestBatchEndpoint(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	rng := rand.New(rand.NewSource(10))
 	pixels := []Series{
@@ -168,7 +168,7 @@ func TestBatchEndpoint(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	cases := []struct {
 		path string
@@ -205,7 +205,7 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestNullEncodesMissing(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(mustServer(t, Config{}))
 	defer ts.Close()
 	// 5 valid points + nulls; too few valid history points -> status
 	// insufficient-history, proving nulls are treated as missing.
@@ -230,7 +230,12 @@ func TestNullEncodesMissing(t *testing.T) {
 }
 
 func ExampleNew() {
-	ts := httptest.NewServer(New(Config{}))
+	s, err := New(Config{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ts := httptest.NewServer(s)
 	defer ts.Close()
 	resp, _ := http.Get(ts.URL + "/v1/healthz")
 	fmt.Println(resp.StatusCode)

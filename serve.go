@@ -12,6 +12,15 @@ import (
 // production-ready. See the field docs on internal/server.Config.
 type ServerConfig = server.Config
 
+// CoalesceConfig groups the /v1/batch request-coalescing knobs
+// (ServerConfig.Coalesce).
+type CoalesceConfig = server.CoalesceConfig
+
+// NRTConfig groups the stateful near-real-time serving knobs
+// (ServerConfig.NRT): snapshot directory, snapshot cadence, session
+// limits.
+type NRTConfig = server.NRTConfig
+
 // Server is the BFAST-Monitor HTTP service: an http.Handler exposing
 // /v1/detect, /v1/trace, /v1/batch, /v1/healthz, /metrics (JSON and
 // Prometheus text), /debug/bfast and /debug/bfast/traces, with context
@@ -25,8 +34,10 @@ type Server = server.Server
 const HeaderRequestID = server.HeaderRequestID
 
 // NewServer builds the HTTP service from cfg. It is the single
-// constructor shared by library embedders and cmd/bfast-serve.
-func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+// constructor shared by library embedders and cmd/bfast-serve. It
+// errors when the NRT state directory cannot be opened or the route
+// table is internally inconsistent.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // NewLogger builds a structured logger for ServerConfig.Logger and
 // PipelineConfig.Logger: level is debug/info/warn/error (default info),
