@@ -16,15 +16,19 @@
 # -coalesce, fires the same concurrent small /v1/batch requests at both
 # and asserts the responses are byte-identical; `make nrt-smoke` fits a
 # scene, observes dates across a SIGTERM restart from the state
-# directory, and diffs the verdicts against one offline /v1/batch run.
+# directory, and diffs the verdicts against one offline /v1/batch run;
+# `make diag-smoke` boots bfast-serve with a diagnostics directory,
+# drives slow + error traffic, and asserts tail-sampled traces survive a
+# restart, exemplars land on the latency buckets, the slo.* gauges are
+# exported, and /debug/bfast/flight streams a complete bundle.
 
 GO ?= go
 FUZZTIME ?= 10s
 TOL ?= 10
 
-.PHONY: ci lint bfast-lint vet fmt-check build test race fuzz-smoke vulncheck bench bench-smoke bench-compare serve-smoke metrics-smoke coalesce-smoke nrt-smoke
+.PHONY: ci lint bfast-lint vet fmt-check build test race fuzz-smoke vulncheck bench bench-smoke bench-compare serve-smoke metrics-smoke coalesce-smoke nrt-smoke diag-smoke
 
-ci: lint build race test fuzz-smoke coalesce-smoke nrt-smoke
+ci: lint build race test fuzz-smoke coalesce-smoke nrt-smoke diag-smoke
 
 lint: vet fmt-check bfast-lint
 
@@ -85,3 +89,6 @@ coalesce-smoke:
 
 nrt-smoke:
 	./scripts/nrt-smoke.sh
+
+diag-smoke:
+	./scripts/diag-smoke.sh

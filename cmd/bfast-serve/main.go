@@ -47,6 +47,11 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for NRT session snapshots; sessions survive restarts when set, live in memory otherwise")
 	snapshotEvery := flag.Int("snapshot-every", 0, "persist an NRT session every k-th observe (0 = default 1 = every observe; negative disables automatic snapshots)")
 	maxSessions := flag.Int("max-sessions", 0, "max live NRT sessions before /v1/fit returns 429 (0 = default 64)")
+	diagDir := flag.String("diag-dir", "", "diagnostics directory: tail-sampled traces persist to <dir>/traces*.jsonl and anomaly-captured profiles to <dir>/profiles; empty disables persistence and profile capture")
+	diagSlowMs := flag.Int("diag-slow-ms", 0, "latency above which a completed trace is tail-sampled to disk (0 = default 500; negative disables the slow rule)")
+	noSLO := flag.Bool("no-slo", false, "disable the slo.* burn-rate gauges and exemplars")
+	sloLatencyMs := flag.Float64("slo-latency-ms", 0, "per-endpoint latency objective in ms (0 = default 500)")
+	sloTarget := flag.Float64("slo-target", 0, "required fast fraction of the latency objective, in (0,1) (0 = default 0.99)")
 	flag.Parse()
 
 	logger, err := bfast.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -76,6 +81,15 @@ func main() {
 			SnapshotEvery: *snapshotEvery,
 			MaxSessions:   *maxSessions,
 		},
+		Diag: bfast.DiagConfig{
+			Dir:           *diagDir,
+			SlowThreshold: time.Duration(*diagSlowMs) * time.Millisecond,
+		},
+		SLO: bfast.SLOConfig{
+			Disabled:  *noSLO,
+			LatencyMs: *sloLatencyMs,
+			Target:    *sloTarget,
+		},
 	})
 	if err != nil {
 		logger.Error("bfast-serve startup", "err", err)
@@ -88,8 +102,8 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("bfast-serve listening",
-			"addr", *addr, "pprof", *enablePprof, "state_dir", *stateDir,
-			"endpoints", "POST /v1/detect /v1/trace /v1/batch /v1/fit /v1/observe; GET /v1/sessions /metrics /debug/bfast/traces")
+			"addr", *addr, "pprof", *enablePprof, "state_dir", *stateDir, "diag_dir", *diagDir,
+			"endpoints", "POST /v1/detect /v1/trace /v1/batch /v1/fit /v1/observe; GET /v1/sessions /metrics /debug/bfast/traces /debug/bfast/flight")
 		errc <- srv.ListenAndServe(*addr)
 	}()
 

@@ -354,6 +354,11 @@ type cacheEntry struct {
 	Created time.Time `json:"created"`
 }
 
+// CachePath returns the on-disk cache location this config resolves to
+// ("" when caching is disabled or no user cache dir exists) — the
+// flight bundle uses it to ship the cache a node actually served from.
+func (c Config) CachePath() string { return c.cachePath() }
+
 func (c Config) cachePath() string {
 	if c.NoCache {
 		return ""

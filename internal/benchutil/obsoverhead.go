@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"time"
 
+	"os"
+
 	"bfast/internal/core"
 	"bfast/internal/obs"
 	"bfast/internal/workload"
@@ -25,9 +27,17 @@ type ObsOverheadRow struct {
 	// Plain and Instrumented are best-of-reps wall times without and
 	// with an active root span.
 	Plain, Instrumented time.Duration
+	// Diagnostics is the instrumented run plus the full always-on
+	// diagnostics layer of PR 9: an exemplar observation on a latency
+	// histogram and a tail-sampler offer (score + JSONL persistence for
+	// survivors) per batch.
+	Diagnostics time.Duration
 	// OverheadPct is 100*(Instrumented-Plain)/Plain (negative = noise).
 	OverheadPct float64
-	// Identical reports whether both runs returned bit-identical results.
+	// DiagOverheadPct is 100*(Diagnostics-Plain)/Plain — the guard that
+	// lets tail sampling and exemplars stay on in production (<5%).
+	DiagOverheadPct float64
+	// Identical reports whether all runs returned bit-identical results.
 	Identical bool
 }
 
@@ -57,8 +67,26 @@ func ObsOverhead(ctx context.Context, cfg Config) ([]ObsOverheadRow, error) {
 	opt := core.DefaultOptions(spec.History)
 	ring := obs.NewTraceRing(16)
 
-	fmt.Fprintf(cfg.Out, "OBS OVERHEAD — DetectBatch with tracing off vs on (50%% NaN clouds, M=%d N=%d, guard: <5%%)\n", spec.M, spec.N)
-	fmt.Fprintf(cfg.Out, "%-12s %10s %12s %9s %10s\n", "strategy", "plain", "instrumented", "overhead", "identical")
+	// The diagnostics path exercises the PR 9 layer end to end: a real
+	// tail sampler writing to a throwaway directory (so survivors pay
+	// the marshal+append cost) and a latency histogram with exemplars.
+	diagDir, err := os.MkdirTemp("", "bfast-obsbench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(diagDir)
+	reg := obs.NewRegistry()
+	tail, err := obs.NewTailSampler(obs.TailConfig{
+		Dir: diagDir, SlowThreshold: time.Nanosecond, Metrics: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tail.Close()
+	latency := reg.Histogram("bench.latency_ms", nil)
+
+	fmt.Fprintf(cfg.Out, "OBS OVERHEAD — DetectBatch with tracing off / on / on+diagnostics (50%% NaN clouds, M=%d N=%d, guard: <5%%)\n", spec.M, spec.N)
+	fmt.Fprintf(cfg.Out, "%-12s %10s %12s %12s %9s %9s %10s\n", "strategy", "plain", "instrumented", "diagnostics", "overhead", "diag ovh", "identical")
 
 	var rows []ObsOverheadRow
 	for _, st := range []core.Strategy{core.StrategyOurs, core.StrategyRgTlEfSeq} {
@@ -80,16 +108,39 @@ func ObsOverhead(ctx context.Context, cfg Config) ([]ObsOverheadRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		diagRes, diagT, err := bestOf(obsReps, func() ([]core.Result, error) {
+			start := time.Now()
+			root := obs.NewSpan("bench.detect_batch")
+			ctx := obs.ContextWithSpan(ctx, root)
+			res, err := core.DetectBatch(ctx, b, opt, bcfg)
+			root.End()
+			node := root.Node()
+			tr := obs.Trace{Endpoint: "bench", RequestID: "bench-diag", Code: 200,
+				Start: start, Total: time.Since(start), Spans: &node}
+			ring.Record(tr)
+			// The serving layer's per-request diagnostics: exemplar on the
+			// latency bucket, completed trace offered to the tail sampler
+			// (SlowThreshold=1ns above, so every offer also persists — the
+			// worst case, every batch paying the JSONL append).
+			latency.ObserveExemplar(float64(tr.Total)/1e6, tr.RequestID)
+			tail.Offer(tr)
+			return res, err
+		})
+		if err != nil {
+			return nil, err
+		}
 		row := ObsOverheadRow{
 			Strategy: st.String(),
 			M:        spec.M, N: spec.N, History: spec.History, NaNFrac: spec.NaNFrac,
-			Plain: plainT, Instrumented: instT,
-			OverheadPct: 100 * (instT.Seconds() - plainT.Seconds()) / plainT.Seconds(),
-			Identical:   resultsIdentical(plainRes, instRes),
+			Plain: plainT, Instrumented: instT, Diagnostics: diagT,
+			OverheadPct:     100 * (instT.Seconds() - plainT.Seconds()) / plainT.Seconds(),
+			DiagOverheadPct: 100 * (diagT.Seconds() - plainT.Seconds()) / plainT.Seconds(),
+			Identical:       resultsIdentical(plainRes, instRes) && resultsIdentical(plainRes, diagRes),
 		}
 		rows = append(rows, row)
-		fmt.Fprintf(cfg.Out, "%-12s %10s %12s %8.2f%% %10v\n",
-			row.Strategy, shortDur(row.Plain), shortDur(row.Instrumented), row.OverheadPct, row.Identical)
+		fmt.Fprintf(cfg.Out, "%-12s %10s %12s %12s %8.2f%% %8.2f%% %10v\n",
+			row.Strategy, shortDur(row.Plain), shortDur(row.Instrumented), shortDur(row.Diagnostics),
+			row.OverheadPct, row.DiagOverheadPct, row.Identical)
 	}
 	return rows, nil
 }

@@ -189,6 +189,7 @@ type Batcher struct {
 	abandoned   *obs.Counter
 	flushes     *obs.Counter
 	queueDepth  *obs.Gauge
+	queueAgeMs  *obs.Gauge
 	flushPixels *obs.Histogram
 	flushWaitMs *obs.Histogram
 	reasons     map[string]*obs.Counter
@@ -209,6 +210,7 @@ func New(cfg Config) *Batcher {
 		abandoned:   m.Counter("coalesce.abandoned"),
 		flushes:     m.Counter("coalesce.flushes"),
 		queueDepth:  m.Gauge("coalesce.queue.depth"),
+		queueAgeMs:  m.Gauge("coalesce.queue.age_ms"),
 		flushPixels: m.Histogram("coalesce.flush.pixels", nil),
 		flushWaitMs: m.Histogram("coalesce.flush.wait_ms", nil),
 		reasons: map[string]*obs.Counter{
@@ -534,6 +536,31 @@ func (b *Batcher) run(fl *queue) {
 		c.done <- r
 	}
 	b.putBuf(fl.pixels)
+}
+
+// SampleQueueAge refreshes the coalesce.queue.age_ms gauge with the age
+// of the oldest pending queue (0 when none are pending). A queue older
+// than MaxWait means its deadline timer is wedged or starved — exactly
+// the stuck-serving signal the diagnostics watcher wants to see, and one
+// an enqueue-time metric can never show because age accrues while
+// nothing happens. The SLO monitor's tick drives this.
+func (b *Batcher) SampleQueueAge() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	var oldest time.Time
+	for _, q := range b.queues {
+		if oldest.IsZero() || q.first.Before(oldest) {
+			oldest = q.first
+		}
+	}
+	b.mu.Unlock()
+	if oldest.IsZero() {
+		b.queueAgeMs.Set(0)
+		return
+	}
+	b.queueAgeMs.Set(time.Since(oldest).Milliseconds())
 }
 
 // Close flushes every pending queue (reason "close") and switches the

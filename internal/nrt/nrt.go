@@ -32,6 +32,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"time"
 
 	"bfast/internal/core"
 	"bfast/internal/obs"
@@ -88,6 +89,11 @@ type session struct {
 	nextDate  int
 	pixels    []pixel
 	sinceSnap int // observe calls since the last persisted snapshot
+	// lastObserve and lastSnap timestamp the session's most recent
+	// observe pass (fit counts) and persisted snapshot — the raw
+	// material of the observe-lag and snapshot-age diagnostics gauges.
+	lastObserve time.Time
+	lastSnap    time.Time
 }
 
 // Manager owns the NRT sessions of one process.
@@ -115,6 +121,8 @@ type Manager struct {
 	snapsSaved  *obs.Counter
 	snapsLoaded *obs.Counter
 	snapsFailed *obs.Counter
+	obsAgeMax   *obs.Gauge
+	snapAgeMax  *obs.Gauge
 }
 
 // cachedFit is one pixel's reusable fit: its terminal status, or the
@@ -163,6 +171,8 @@ func NewManager(cfg Config) *Manager {
 		snapsSaved:  reg.Counter("nrt.snapshots.saved"),
 		snapsLoaded: reg.Counter("nrt.snapshots.loaded"),
 		snapsFailed: reg.Counter("nrt.snapshots.failed"),
+		obsAgeMax:   reg.Gauge("nrt.observe.age_ms_max"),
+		snapAgeMax:  reg.Gauge("nrt.snapshot.age_ms_max"),
 	}
 }
 
@@ -235,6 +245,8 @@ func (mg *Manager) Fit(ctx context.Context, req FitRequest) (FitSummary, error) 
 		opt: opt, lambda: opt.Lambda,
 		history: opt.History, capacity: req.Capacity, nextDate: opt.History,
 		pixels: make([]pixel, m),
+		// A fresh session's observe lag is measured from its fit.
+		lastObserve: time.Now(),
 	}
 	var hits, fitErrs int64
 	var hitsMu sync.Mutex
@@ -306,6 +318,9 @@ func (mg *Manager) Fit(ctx context.Context, req FitRequest) (FitSummary, error) 
 	mg.cacheMisses.Add(int64(m) - hits)
 	span.SetAttr("pixels", m)
 	span.SetAttr("cache_hits", int(hits))
+	// The session ID on the fit span is what lets a trace reader stitch
+	// this request to the /v1/observe requests that follow it.
+	span.SetAttr("session", id)
 	return mg.summary(id, s, int(hits)), nil
 }
 
@@ -444,6 +459,7 @@ func (mg *Manager) Observe(ctx context.Context, id string, values []float64, dat
 	if err != nil {
 		return ObserveResult{}, err
 	}
+	span.SetAttr("session", id)
 	m := len(s.pixels)
 	if dates <= 0 {
 		return ObserveResult{}, fmt.Errorf("nrt: dates %d must be positive", dates)
@@ -494,6 +510,7 @@ func (mg *Manager) Observe(ctx context.Context, id string, values []float64, dat
 	}
 	s.nextDate += dates
 	s.sinceSnap++
+	s.lastObserve = time.Now()
 	if mg.cfg.SnapshotEvery > 0 && s.sinceSnap >= mg.cfg.SnapshotEvery {
 		if err := mg.persistLocked(ctx, s); err != nil {
 			return ObserveResult{}, err
@@ -546,6 +563,12 @@ type Info struct {
 	NextDate  int    `json:"next_date"`
 	Remaining int    `json:"remaining"`
 	Breaks    int    `json:"breaks"`
+	// ObserveAgeMs is how long ago the session last advanced (fit or
+	// observe); SnapshotAgeMs is the staleness of its persisted snapshot,
+	// -1 if nothing has been persisted yet. Both are diagnostics for the
+	// "is this session being fed / is its durability current" questions.
+	ObserveAgeMs  int64 `json:"observe_age_ms"`
+	SnapshotAgeMs int64 `json:"snapshot_age_ms"`
 }
 
 func (mg *Manager) get(id string) (*session, error) {
@@ -574,6 +597,7 @@ func infoLocked(s *session) Info {
 		ID: s.id, Pixels: len(s.pixels),
 		History: s.history, Capacity: s.capacity,
 		NextDate: s.nextDate, Remaining: s.capacity - s.nextDate,
+		ObserveAgeMs: ageMs(s.lastObserve), SnapshotAgeMs: ageMs(s.lastSnap),
 	}
 	for i := range s.pixels {
 		p := &s.pixels[i]
@@ -586,6 +610,43 @@ func infoLocked(s *session) Info {
 		}
 	}
 	return in
+}
+
+// ageMs reports how many milliseconds ago t was, or -1 for the zero
+// time (the event has not happened).
+func ageMs(t time.Time) int64 {
+	if t.IsZero() {
+		return -1
+	}
+	return time.Since(t).Milliseconds()
+}
+
+// SampleAges refreshes the manager-level max-age gauges
+// (nrt.observe.age_ms_max, nrt.snapshot.age_ms_max) from the live
+// sessions. Designed as an SLOMonitor sampler hook so the age gauges
+// tick on the same clock as the burn-rate layer; both read 0 with no
+// sessions (nothing can be stale).
+func (mg *Manager) SampleAges() {
+	mg.mu.Lock()
+	ss := make([]*session, 0, len(mg.sessions))
+	for _, s := range mg.sessions {
+		ss = append(ss, s)
+	}
+	mg.mu.Unlock()
+	var obsMax, snapMax int64
+	for _, s := range ss {
+		s.mu.Lock()
+		o, sn := ageMs(s.lastObserve), ageMs(s.lastSnap)
+		s.mu.Unlock()
+		if o > obsMax {
+			obsMax = o
+		}
+		if sn > snapMax {
+			snapMax = sn
+		}
+	}
+	mg.obsAgeMax.Set(obsMax)
+	mg.snapAgeMax.Set(snapMax)
 }
 
 // List returns every live session's descriptor, ordered by ID.
@@ -683,6 +744,7 @@ func (mg *Manager) persistLocked(ctx context.Context, s *session) error {
 		return err
 	}
 	s.sinceSnap = 0
+	s.lastSnap = time.Now()
 	mg.snapsSaved.Inc()
 	return nil
 }
@@ -738,6 +800,8 @@ func (mg *Manager) resume(ctx context.Context, snap *state.SessionSnapshot) (*se
 		id: snap.ID, opt: snap.Options, lambda: snap.Lambda,
 		history: snap.History, capacity: snap.Capacity, nextDate: snap.NextDate,
 		pixels: make([]pixel, len(snap.Pixels)),
+		// A resumed session is as fresh as its snapshot: restart time.
+		lastObserve: time.Now(), lastSnap: time.Now(),
 	}
 	var firstErr error
 	var errMu sync.Mutex

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Exemplars close the metrics→trace loop: a latency histogram tells an
+// operator *that* the p99 blew up, an exemplar tells them *which
+// request* did it — the trace ID recorded on the bucket the observation
+// landed in, resolvable through /debug/bfast/traces (ring or persisted
+// tail-sample log). Each bucket keeps only its latest exemplar: the
+// question a burn-rate page asks is "show me one recent offender", not
+// "show me all of them", and one atomic pointer per bucket keeps the
+// hot-path cost at a single store.
+
+// Exemplar is one observation annotated with the trace that produced
+// it. TraceID is the request's X-Request-ID — the join key into
+// /debug/bfast/traces and the persisted trace log.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+	// UnixNs is the observation time in Unix nanoseconds.
+	UnixNs int64 `json:"unix_ns"`
+}
+
+// ObserveExemplar records one observation like Observe and additionally
+// stamps the landing bucket's exemplar with the given trace ID. An
+// empty traceID degrades to a plain Observe — callers can pass the
+// request ID unconditionally.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := bucketIndex(h.bounds, v)
+	h.ex[i].Store(&Exemplar{TraceID: traceID, Value: v, UnixNs: time.Now().UnixNano()})
+}
+
+// bucketIndex returns the index of the bucket v lands in (len(bounds)
+// = the +Inf bucket). Mirrors the sort.SearchFloat64s in Observe.
+func bucketIndex(bounds []float64, v float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Exemplars snapshots the per-bucket exemplars: index i corresponds to
+// bounds[i], the final entry to the +Inf bucket; buckets that never saw
+// an exemplared observation are nil.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.ex))
+	for i := range h.ex {
+		out[i] = h.ex[i].Load()
+	}
+	return out
+}
+
+// exemplarMap renders the non-nil exemplars keyed like the JSON bucket
+// map ("le_16", "le_inf") for the snapshot exposition.
+func (h *Histogram) exemplarMap() map[string]*Exemplar {
+	var out map[string]*Exemplar
+	for i := range h.ex {
+		e := h.ex[i].Load()
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]*Exemplar)
+		}
+		if i < len(h.bounds) {
+			out[fmt.Sprintf("le_%g", h.bounds[i])] = e
+		} else {
+			out["le_inf"] = e
+		}
+	}
+	return out
+}

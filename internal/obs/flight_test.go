@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readBundle un-tars a flight bundle into member name → contents.
+func readBundle(t *testing.T, data []byte) map[string][]byte {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	tr := tar.NewReader(gz)
+	members := map[string][]byte{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("bundle tar: %v", err)
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatalf("bundle member %s: %v", hdr.Name, err)
+		}
+		members[hdr.Name] = body
+	}
+	return members
+}
+
+// TestWriteFlightRoundTrip: a fully-populated bundle carries every
+// source as a member, the manifest lists them all, and a missing raw
+// file is recorded as skipped instead of failing the bundle.
+func TestWriteFlightRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	reg.Counter("server.requests").Inc()
+	reg.Histogram("server.batch.latency_ms", nil).ObserveExemplar(10, "req-flight")
+
+	ring := NewTraceRing(4)
+	ring.Record(Trace{RequestID: "ring-1", Endpoint: "batch", Code: 200})
+
+	tail, err := NewTailSampler(TailConfig{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	tail.Offer(Trace{RequestID: "tail-1", Code: 500, Start: time.Unix(42, 0)})
+
+	profPath := filepath.Join(dir, "cpu-fake.pprof")
+	if err := os.WriteFile(profPath, []byte("profile-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err = WriteFlight(&buf, FlightSources{
+		Registry: reg,
+		Ring:     ring,
+		Tail:     tail,
+		Config:   map[string]any{"workers": 4},
+		Sections: map[string]any{"nrt_sessions": []string{"s1", "s2"}},
+		Files: map[string]string{
+			"profiles/cpu-fake.pprof": profPath,
+			"profiles/gone.pprof":     filepath.Join(dir, "does-not-exist"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	members := readBundle(t, buf.Bytes())
+	for _, want := range []string{
+		"metrics.json", "metrics.prom", "traces_ring.json",
+		"traces_persisted.jsonl", "config.json", "runtime.json",
+		"nrt_sessions.json", "profiles/cpu-fake.pprof", "manifest.json",
+	} {
+		if _, ok := members[want]; !ok {
+			t.Fatalf("bundle missing member %s; have %v", want, keys(members))
+		}
+	}
+
+	// The persisted-trace member is the JSONL survivors.
+	var rec PersistedTrace
+	line := bytes.TrimSpace(members["traces_persisted.jsonl"])
+	if err := json.Unmarshal(line, &rec); err != nil || rec.RequestID != "tail-1" || rec.Reason != "error" {
+		t.Fatalf("traces_persisted.jsonl = %q (%v), want the tail-1 error record", line, err)
+	}
+	// Exemplars ride along in the prom exposition.
+	if !strings.Contains(string(members["metrics.prom"]), `trace_id="req-flight"`) {
+		t.Fatal("metrics.prom member lost the exemplar")
+	}
+	// Ring member holds the recorded trace.
+	var ringTraces []Trace
+	if err := json.Unmarshal(members["traces_ring.json"], &ringTraces); err != nil || len(ringTraces) != 1 || ringTraces[0].RequestID != "ring-1" {
+		t.Fatalf("traces_ring.json = %s (%v)", members["traces_ring.json"], err)
+	}
+	// Raw file copied verbatim.
+	if string(members["profiles/cpu-fake.pprof"]) != "profile-bytes" {
+		t.Fatal("raw profile member corrupted")
+	}
+
+	var man struct {
+		GoVersion string   `json:"go_version"`
+		Members   []string `json:"members"`
+		Skipped   []string `json:"skipped"`
+	}
+	if err := json.Unmarshal(members["manifest.json"], &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.GoVersion == "" {
+		t.Fatal("manifest missing go_version")
+	}
+	if len(man.Members) != len(members)-1 { // manifest doesn't list itself
+		t.Fatalf("manifest lists %d members, bundle has %d (+manifest)", len(man.Members), len(members)-1)
+	}
+	if len(man.Skipped) != 1 || man.Skipped[0] != "profiles/gone.pprof" {
+		t.Fatalf("manifest skipped = %v, want the missing profile", man.Skipped)
+	}
+	if _, ok := members["profiles/gone.pprof"]; ok {
+		t.Fatal("missing file produced a member anyway")
+	}
+}
+
+// TestWriteFlightEmptySources: a bundle from nothing still carries
+// runtime.json and a manifest — the degenerate flight is valid.
+func TestWriteFlightEmptySources(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFlight(&buf, FlightSources{}); err != nil {
+		t.Fatal(err)
+	}
+	members := readBundle(t, buf.Bytes())
+	if _, ok := members["runtime.json"]; !ok {
+		t.Fatal("empty bundle missing runtime.json")
+	}
+	if _, ok := members["manifest.json"]; !ok {
+		t.Fatal("empty bundle missing manifest.json")
+	}
+	var rt map[string]any
+	if err := json.Unmarshal(members["runtime.json"], &rt); err != nil || rt["go_version"] == nil || rt["go_version"] == "" {
+		t.Fatalf("runtime.json = %s (%v)", members["runtime.json"], err)
+	}
+}
+
+// TestProfileFiles: the capture directory maps into profiles/<base>
+// bundle paths; empty or profile-less dirs map to nil.
+func TestProfileFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"cpu-a.pprof", "heap-b.pprof", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ProfileFiles(dir)
+	if len(got) != 2 {
+		t.Fatalf("ProfileFiles = %v, want the two .pprof files", got)
+	}
+	if got["profiles/cpu-a.pprof"] != filepath.Join(dir, "cpu-a.pprof") {
+		t.Fatalf("ProfileFiles mapping wrong: %v", got)
+	}
+	if got := ProfileFiles(""); got != nil {
+		t.Fatalf("ProfileFiles(\"\") = %v", got)
+	}
+	if got := ProfileFiles(t.TempDir()); got != nil {
+		t.Fatalf("ProfileFiles(empty dir) = %v", got)
+	}
+}
+
+// keys lists a member map's names for failure messages.
+func keys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

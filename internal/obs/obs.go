@@ -75,6 +75,9 @@ type Histogram struct {
 	count  atomic.Int64
 	// sum is stored as math.Float64bits in a CAS loop.
 	sum atomic.Uint64
+	// ex holds the latest exemplar per bucket (len(bounds)+1, last =
+	// +Inf), populated only through ObserveExemplar — see exemplar.go.
+	ex []atomic.Pointer[Exemplar]
 }
 
 // NewHistogram builds a histogram with the given ascending upper bounds
@@ -85,7 +88,11 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one observation.
@@ -133,11 +140,15 @@ func (h *Histogram) snapshot() map[string]any {
 		buckets[fmt.Sprintf("le_%g", b)] = cum[i]
 	}
 	buckets["le_inf"] = cum[len(cum)-1]
-	return map[string]any{
+	out := map[string]any{
 		"count":   h.Count(),
 		"sum":     h.Sum(),
 		"buckets": buckets,
 	}
+	if ex := h.exemplarMap(); len(ex) > 0 {
+		out["exemplars"] = ex
+	}
+	return out
 }
 
 // Registry is a named collection of metrics. The zero value is not

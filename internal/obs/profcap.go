@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Anomaly-triggered profile capture: by the time an operator attaches
+// pprof to a degraded node, the degradation is usually over. The
+// ProfCapture watcher closes that gap — it samples a small set of
+// health gauges (SLO burn rates, scheduler imbalance) on a fixed
+// interval and, when a rule stays breached for Sustain consecutive
+// samples, writes a CPU profile and a heap profile into the
+// diagnostics directory. Captures are rate-limited (MinGap) so a
+// sustained outage yields a few useful profiles rather than a disk full
+// of identical ones, and retention is capped so the directory is
+// bounded no matter how long the node lives. The flight bundle picks
+// the latest profiles up automatically.
+
+// Default profile-capture knobs.
+const (
+	DefaultProfInterval   = 10 * time.Second
+	DefaultProfSustain    = 3
+	DefaultProfMinGap     = 10 * time.Minute
+	DefaultProfCPUSeconds = 5
+	DefaultProfMaxKept    = 8
+)
+
+// profilesDirName is the capture directory under the diagnostics dir.
+const profilesDirName = "profiles"
+
+// WatchRule breaches when the named gauge reads at or above Min.
+type WatchRule struct {
+	// Gauge is the registry gauge name to watch, e.g.
+	// "slo.batch.burn_rate_5m_milli".
+	Gauge string `json:"gauge"`
+	// Min is the breach threshold (gauge value >= Min).
+	Min int64 `json:"min"`
+}
+
+// ProfConfig parameterizes a ProfCapture. Dir is required; zero-valued
+// knobs take the Default* constants.
+type ProfConfig struct {
+	// Dir is the diagnostics directory; profiles land in Dir/profiles.
+	Dir string
+	// Rules are the gauges watched; any single breached rule counts the
+	// sample as anomalous.
+	Rules []WatchRule
+	// Registry is where the watched gauges live (nil = Default()).
+	Registry *Registry
+	// Interval is the sampling cadence (0 = DefaultProfInterval).
+	Interval time.Duration
+	// Sustain is how many consecutive anomalous samples trigger a
+	// capture (0 = DefaultProfSustain) — a one-tick spike is noise, a
+	// sustained breach is a capture.
+	Sustain int
+	// MinGap is the minimum time between captures (0 = DefaultProfMinGap).
+	MinGap time.Duration
+	// CPUSeconds is the CPU-profile duration (0 = DefaultProfCPUSeconds).
+	CPUSeconds int
+	// MaxKept bounds retained profiles per kind; oldest are deleted
+	// (0 = DefaultProfMaxKept).
+	MaxKept int
+	// Metrics receives the diag.profile.* families (nil = Default()).
+	Metrics *Registry
+}
+
+func (c ProfConfig) withDefaults() ProfConfig {
+	if c.Registry == nil {
+		c.Registry = Default()
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultProfInterval
+	}
+	if c.Sustain <= 0 {
+		c.Sustain = DefaultProfSustain
+	}
+	if c.MinGap <= 0 {
+		c.MinGap = DefaultProfMinGap
+	}
+	if c.CPUSeconds <= 0 {
+		c.CPUSeconds = DefaultProfCPUSeconds
+	}
+	if c.MaxKept <= 0 {
+		c.MaxKept = DefaultProfMaxKept
+	}
+	if c.Metrics == nil {
+		c.Metrics = Default()
+	}
+	return c
+}
+
+// ProfCapture is the watcher. Construct with NewProfCapture, start with
+// Start, stop via the returned function.
+type ProfCapture struct {
+	cfg ProfConfig
+
+	mu       sync.Mutex
+	streak   int
+	lastCap  time.Time
+	stopped  chan struct{}
+	stopOnce sync.Once
+	exited   chan struct{}
+
+	breaches *Counter
+	captures *Counter
+	errors   *Counter
+}
+
+// NewProfCapture builds the watcher and creates Dir/profiles.
+func NewProfCapture(cfg ProfConfig) (*ProfCapture, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("obs: profile capture needs a directory")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, profilesDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile capture: %w", err)
+	}
+	m := cfg.Metrics
+	return &ProfCapture{
+		cfg:      cfg,
+		stopped:  make(chan struct{}),
+		exited:   make(chan struct{}),
+		breaches: m.Counter("diag.profile.breaches"),
+		captures: m.Counter("diag.profile.captures"),
+		errors:   m.Counter("diag.profile.errors"),
+	}, nil
+}
+
+// ProfilesDir returns the capture directory.
+func (p *ProfCapture) ProfilesDir() string {
+	if p == nil {
+		return ""
+	}
+	return filepath.Join(p.cfg.Dir, profilesDirName)
+}
+
+// Check runs one watch sample: evaluates the rules, advances or resets
+// the sustain streak, and captures when the streak and the rate limit
+// allow. It returns whether a capture ran. Exported for deterministic
+// tests; Start calls it on the interval.
+func (p *ProfCapture) Check() bool {
+	if p == nil {
+		return false
+	}
+	breached := false
+	for _, r := range p.cfg.Rules {
+		if p.cfg.Registry.Gauge(r.Gauge).Value() >= r.Min {
+			breached = true
+			break
+		}
+	}
+	p.mu.Lock()
+	if !breached {
+		p.streak = 0
+		p.mu.Unlock()
+		return false
+	}
+	p.streak++
+	p.breaches.Inc()
+	due := p.streak >= p.cfg.Sustain && time.Since(p.lastCap) >= p.cfg.MinGap
+	if due {
+		p.lastCap = time.Now()
+		p.streak = 0
+	}
+	p.mu.Unlock()
+	if !due {
+		return false
+	}
+	p.CaptureNow()
+	return true
+}
+
+// CaptureNow writes one CPU profile (blocking for CPUSeconds) and one
+// heap profile into the profiles directory, then prunes to the
+// retention cap. Errors are counted, not returned — the watcher loop
+// must outlive a full disk.
+func (p *ProfCapture) CaptureNow() {
+	if p == nil {
+		return
+	}
+	dir := p.ProfilesDir()
+	stamp := time.Now().UTC().Format("20060102T150405.000000000Z")
+
+	if f, err := os.Create(filepath.Join(dir, "cpu-"+stamp+".pprof")); err != nil {
+		p.errors.Inc()
+	} else {
+		if err := pprof.StartCPUProfile(f); err != nil {
+			// Another CPU profile is already running (e.g. an operator on
+			// /debug/pprof/profile); skip rather than fight over it.
+			p.errors.Inc()
+			f.Close()
+			os.Remove(f.Name())
+		} else {
+			select {
+			case <-time.After(time.Duration(p.cfg.CPUSeconds) * time.Second):
+			case <-p.stopped:
+			}
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
+	if f, err := os.Create(filepath.Join(dir, "heap-"+stamp+".pprof")); err != nil {
+		p.errors.Inc()
+	} else {
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			p.errors.Inc()
+		}
+		f.Close()
+	}
+
+	p.captures.Inc()
+	p.pruneKind("cpu-")
+	p.pruneKind("heap-")
+}
+
+// pruneKind deletes the oldest profiles of one kind past MaxKept
+// (timestamps sort lexically, so sorted order is age order).
+func (p *ProfCapture) pruneKind(prefix string) {
+	paths, _ := filepath.Glob(filepath.Join(p.ProfilesDir(), prefix+"*.pprof"))
+	sort.Strings(paths)
+	for len(paths) > p.cfg.MaxKept {
+		if err := os.Remove(paths[0]); err != nil {
+			p.errors.Inc()
+		}
+		paths = paths[1:]
+	}
+}
+
+// LatestProfiles returns the newest profile path per kind, for the
+// flight bundle.
+func (p *ProfCapture) LatestProfiles() []string {
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for _, prefix := range []string{"cpu-", "heap-"} {
+		paths, _ := filepath.Glob(filepath.Join(p.ProfilesDir(), prefix+"*.pprof"))
+		sort.Strings(paths)
+		if len(paths) > 0 {
+			out = append(out, paths[len(paths)-1])
+		}
+	}
+	return out
+}
+
+// Start launches the watch loop; the returned stop is idempotent and
+// waits for the loop (including an in-flight CPU capture) to exit.
+func (p *ProfCapture) Start() (stop func()) {
+	if p == nil {
+		return func() {}
+	}
+	go func() {
+		defer close(p.exited)
+		t := time.NewTicker(p.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stopped:
+				return
+			case <-t.C:
+				p.Check()
+			}
+		}
+	}()
+	return func() {
+		p.stopOnce.Do(func() { close(p.stopped) })
+		<-p.exited
+	}
+}

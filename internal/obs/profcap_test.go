@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// newTestCapture builds a 1-second-CPU watcher over a throwaway dir.
+func newTestCapture(t *testing.T, cfg ProfConfig) (*ProfCapture, *Registry) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	reg := NewRegistry()
+	cfg.Registry = reg
+	cfg.Metrics = reg
+	if cfg.CPUSeconds == 0 {
+		cfg.CPUSeconds = 1
+	}
+	p, err := NewProfCapture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, reg
+}
+
+// TestProfCaptureSustainAndRateLimit: a breach must hold for Sustain
+// consecutive samples before profiles are written, and after a capture
+// the MinGap rate limit suppresses further captures even though the
+// breach persists.
+func TestProfCaptureSustainAndRateLimit(t *testing.T) {
+	p, reg := newTestCapture(t, ProfConfig{
+		Rules:   []WatchRule{{Gauge: "test.burn", Min: 50}},
+		Sustain: 2,
+		MinGap:  time.Hour,
+	})
+	gauge := reg.Gauge("test.burn")
+
+	gauge.Set(100)
+	if p.Check() {
+		t.Fatal("capture after 1 breached sample, sustain is 2")
+	}
+	if !p.Check() {
+		t.Fatal("no capture after 2 sustained breached samples")
+	}
+	cpus, _ := filepath.Glob(filepath.Join(p.ProfilesDir(), "cpu-*.pprof"))
+	heaps, _ := filepath.Glob(filepath.Join(p.ProfilesDir(), "heap-*.pprof"))
+	if len(cpus) != 1 || len(heaps) != 1 {
+		t.Fatalf("capture wrote %d cpu + %d heap profiles, want 1 + 1", len(cpus), len(heaps))
+	}
+	if fi, err := os.Stat(cpus[0]); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile empty or unreadable: %v", err)
+	}
+	if fi, err := os.Stat(heaps[0]); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile empty or unreadable: %v", err)
+	}
+	if v := reg.Counter("diag.profile.captures").Value(); v != 1 {
+		t.Fatalf("captures counter = %d, want 1", v)
+	}
+	if v := reg.Counter("diag.profile.breaches").Value(); v != 2 {
+		t.Fatalf("breaches counter = %d, want 2", v)
+	}
+
+	// Still breached: the streak rebuilds but MinGap (1h) blocks captures.
+	for i := 0; i < 4; i++ {
+		if p.Check() {
+			t.Fatalf("check %d captured inside the MinGap rate limit", i)
+		}
+	}
+	if v := reg.Counter("diag.profile.captures").Value(); v != 1 {
+		t.Fatalf("captures after rate-limited checks = %d, want 1", v)
+	}
+
+	// A healthy sample resets the sustain streak.
+	gauge.Set(0)
+	if p.Check() {
+		t.Fatal("capture on a healthy sample")
+	}
+	gauge.Set(100)
+	if p.Check() {
+		t.Fatal("streak not reset: capture after 1 breached sample")
+	}
+}
+
+// TestProfCaptureRetention: pruneKind deletes the oldest profiles past
+// MaxKept; LatestProfiles returns the newest of each kind.
+func TestProfCaptureRetention(t *testing.T) {
+	p, _ := newTestCapture(t, ProfConfig{MaxKept: 2})
+	dir := p.ProfilesDir()
+	for i := 0; i < 5; i++ {
+		for _, kind := range []string{"cpu-", "heap-"} {
+			name := fmt.Sprintf("%s2026010%dT000000.000000000Z.pprof", kind, i)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p.pruneKind("cpu-")
+	p.pruneKind("heap-")
+	for _, kind := range []string{"cpu-", "heap-"} {
+		got, _ := filepath.Glob(filepath.Join(dir, kind+"*.pprof"))
+		if len(got) != 2 {
+			t.Fatalf("%s retention kept %d, want 2: %v", kind, len(got), got)
+		}
+		// Oldest gone, newest kept.
+		if filepath.Base(got[len(got)-1]) != kind+"20260104T000000.000000000Z.pprof" {
+			t.Fatalf("%s newest = %s, pruning removed the wrong end", kind, got[len(got)-1])
+		}
+	}
+	latest := p.LatestProfiles()
+	if len(latest) != 2 {
+		t.Fatalf("LatestProfiles = %v, want one cpu + one heap", latest)
+	}
+	for i, kind := range []string{"cpu-", "heap-"} {
+		want := filepath.Join(dir, kind+"20260104T000000.000000000Z.pprof")
+		if latest[i] != want {
+			t.Fatalf("LatestProfiles[%d] = %s, want %s", i, latest[i], want)
+		}
+	}
+}
+
+// TestProfCaptureRequiresDir: construction without a directory fails.
+func TestProfCaptureRequiresDir(t *testing.T) {
+	if _, err := NewProfCapture(ProfConfig{Registry: NewRegistry(), Metrics: NewRegistry()}); err == nil {
+		t.Fatal("NewProfCapture without Dir should error")
+	}
+}
+
+// TestProfCaptureNilSafety: a nil watcher is inert.
+func TestProfCaptureNilSafety(t *testing.T) {
+	var p *ProfCapture
+	if p.Check() {
+		t.Fatal("nil Check captured")
+	}
+	p.CaptureNow()
+	if p.ProfilesDir() != "" {
+		t.Fatal("nil ProfilesDir non-empty")
+	}
+	if got := p.LatestProfiles(); got != nil {
+		t.Fatalf("nil LatestProfiles = %v", got)
+	}
+	p.Start()()
+}

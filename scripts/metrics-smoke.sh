@@ -17,8 +17,9 @@ trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 $GO build -o "$TMP/bfast-serve" ./cmd/bfast-serve
 # -coalesce so the coalesce.* batcher families are part of the pinned
-# exposition surface too.
-"$TMP/bfast-serve" -addr "$ADDR" -runtime-sample 50ms -coalesce >"$TMP/serve.log" 2>&1 &
+# exposition surface too; -diag-dir so the diag.* tail-sampler and
+# profile-capture families (and the slo.* gauges' exemplar path) are.
+"$TMP/bfast-serve" -addr "$ADDR" -runtime-sample 50ms -coalesce -diag-dir "$TMP/diag" >"$TMP/serve.log" 2>&1 &
 PID=$!
 
 i=0
@@ -54,15 +55,23 @@ grep '^# TYPE ' "$TMP/metrics.prom2" | sort >"$TMP/families2"
 cmp -s "$TMP/families" "$TMP/families2" ||
     { echo "metrics-smoke: Accept and ?format= expositions disagree" >&2; exit 1; }
 
-# Every non-comment line must be `name{labels} value` Prometheus syntax.
+# Every non-comment line must be `name{labels} value` Prometheus syntax,
+# optionally followed by an OpenMetrics exemplar suffix
+# (` # {trace_id="..."} value timestamp`) on histogram bucket lines.
+LINE_RE='^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9+.eE-]+( # \{[^{}]*\} -?[0-9+.eE-]+ -?[0-9+.eE-]+)?$'
 bad=$(grep -v '^#' "$TMP/metrics.prom" |
-    grep -Evc '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9+.eE-]+$' || true)
+    grep -Evc "$LINE_RE" || true)
 if [ "$bad" -ne 0 ]; then
     echo "metrics-smoke: $bad malformed exposition lines:" >&2
     grep -v '^#' "$TMP/metrics.prom" |
-        grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9+.eE-]+$' >&2
+        grep -Ev "$LINE_RE" >&2
     exit 1
 fi
+
+# The diagnostics layer must put at least one exemplar on a latency
+# bucket: the batch request above completed with a request ID.
+grep -q '# {trace_id="' "$TMP/metrics.prom" ||
+    { echo "metrics-smoke: no exemplar on any histogram bucket" >&2; exit 1; }
 
 # Cumulative-le invariant: the +Inf bucket of a histogram equals its _count.
 inf=$(grep -F 'server_detect_latency_ms_bucket{le="+Inf"}' "$TMP/metrics.prom" | awk '{print $2}')

@@ -21,9 +21,19 @@ type CoalesceConfig = server.CoalesceConfig
 // limits.
 type NRTConfig = server.NRTConfig
 
+// DiagConfig groups the production-diagnostics knobs
+// (ServerConfig.Diag): the diagnostics directory for tail-sampled trace
+// persistence and anomaly-captured profiles.
+type DiagConfig = server.DiagConfig
+
+// SLOConfig groups the per-endpoint latency objectives
+// (ServerConfig.SLO) behind the slo.* burn-rate gauges.
+type SLOConfig = server.SLOConfig
+
 // Server is the BFAST-Monitor HTTP service: an http.Handler exposing
 // /v1/detect, /v1/trace, /v1/batch, /v1/healthz, /metrics (JSON and
-// Prometheus text), /debug/bfast and /debug/bfast/traces, with context
+// Prometheus text), /debug/bfast, /debug/bfast/traces and
+// /debug/bfast/flight, with context
 // cancellation plumbed into the detection kernels, concurrency limiting
 // with 429 backpressure, request-ID span tracing and graceful Shutdown.
 // cmd/bfast-serve is a thin wrapper around this type.
