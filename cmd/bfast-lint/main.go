@@ -2,6 +2,7 @@
 // analyzer suite in internal/analysis. Two modes:
 //
 //	bfast-lint ./...              standalone multichecker over packages
+//	bfast-lint -json ./...        same, findings as a JSON array for CI
 //	go vet -vettool=$(which bfast-lint) ./...
 //	                              unit-at-a-time under the go command
 //
@@ -43,7 +44,16 @@ func main() {
 		}
 		return
 	}
-	os.Exit(analysis.RunStandalone(".", args, analysis.All(), os.Stdout))
+	asJSON := false
+	patterns := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	os.Exit(analysis.RunStandalone(".", patterns, analysis.All(), os.Stdout, asJSON))
 }
 
 // printVersion answers go vet's -V=full handshake. The go command

@@ -100,6 +100,7 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//lint:allow golifecycle -- joined via the buffered errc receive in the select below; the goroutine's lifetime is the process's lifetime by design
 	go func() {
 		logger.Info("bfast-serve listening",
 			"addr", *addr, "pprof", *enablePprof, "state_dir", *stateDir, "diag_dir", *diagDir,

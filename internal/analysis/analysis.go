@@ -37,6 +37,15 @@ type Analyzer struct {
 	Name string // short lower-case identifier, used by //lint:allow
 	Doc  string // one-line summary of the invariant
 	Run  func(*Pass) error
+
+	// Finish, when non-nil, runs once after every package of a
+	// whole-module standalone run has been checked, and returns
+	// run-wide findings — invariants that only make sense for the
+	// repository as a whole (metricdoc's golden-file cross-check).
+	// Drivers that see one package at a time (the vet unitchecker) and
+	// partial-pattern runs skip it, since its cross-package state would
+	// be incomplete.
+	Finish func() []Diagnostic
 }
 
 // Diagnostic is one finding, attributed to the analyzer that produced
@@ -45,6 +54,10 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+
+	// Path attributes a run-wide finding (Pos == token.NoPos, from an
+	// Analyzer.Finish hook) to a file, e.g. scripts/metrics.golden.
+	Path string
 }
 
 // Pass carries one type-checked package through one analyzer.

@@ -207,6 +207,29 @@ func TestKernelAllocFixture(t *testing.T)  { runFixture(t, "kernelalloc", Kernel
 func TestCtxFirstFixture(t *testing.T)     { runFixture(t, "ctxfirst", CtxFirst) }
 func TestSpanPairFixture(t *testing.T)     { runFixture(t, "spanpair", SpanPair) }
 func TestNoDeprecatedFixture(t *testing.T) { runFixture(t, "nodeprecated", NoDeprecated) }
+func TestLockPairFixture(t *testing.T)     { runFixture(t, "lockpair", LockPair) }
+func TestGoLifecycleFixture(t *testing.T)  { runFixture(t, "golifecycle", GoLifecycle) }
+func TestAtomicGuardFixture(t *testing.T)  { runFixture(t, "atomicguard", AtomicGuard) }
+func TestMetricDocFixture(t *testing.T)    { runFixture(t, "metricdoc", NewMetricDoc()) }
+
+// TestMetricDocFinishCrossCheck exercises the golden-to-code direction
+// that runFixture cannot: Finish must flag the one golden family the
+// fixture never registers, attributed to the golden file itself.
+func TestMetricDocFinishCrossCheck(t *testing.T) {
+	env := newFixtureEnv()
+	pkg := env.load(t, "metricdoc")
+	a := NewMetricDoc()
+	if _, err := Check(pkg, []*Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	diags := a.Finish()
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `"svc_orphaned_total"`) {
+		t.Fatalf("Finish = %+v, want exactly one orphaned-family diagnostic for svc_orphaned_total", diags)
+	}
+	if !strings.HasSuffix(diags[0].Path, filepath.Join("scripts", "metrics.golden")) {
+		t.Fatalf("Finish diagnostic not attributed to the golden file: %+v", diags[0])
+	}
+}
 
 // TestAllAnalyzersRegistered pins the suite: a new analyzer must be
 // added to All() or neither driver will run it.
@@ -221,7 +244,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"nanguard", "kernelalloc", "ctxfirst", "spanpair", "nodeprecated"} {
+	for _, want := range []string{"nanguard", "kernelalloc", "ctxfirst", "spanpair", "nodeprecated", "lockpair", "golifecycle", "atomicguard", "metricdoc"} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from All()", want)
 		}

@@ -10,5 +10,9 @@ func All() []*Analyzer {
 		CtxFirst,
 		SpanPair,
 		NoDeprecated,
+		LockPair,
+		GoLifecycle,
+		AtomicGuard,
+		NewMetricDoc(),
 	}
 }

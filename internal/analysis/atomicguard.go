@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicGuard catches the torn-counter bug: a variable or struct field
+// that is updated through sync/atomic in one place and read or written
+// plainly in another. Mixed access is a data race the atomic calls
+// only *look* like they prevent — the plain read can observe a torn
+// value on 32-bit platforms and races with the atomic write on all of
+// them. The serving stack's hot counters (coalescer batch stats, NRT
+// hit counters, sampler drops) must pick one discipline per word.
+//
+// Mechanics: pass one collects every address expression handed to a
+// sync/atomic function (atomic.AddInt64(&s.n, 1), atomic.LoadUint32,
+// Store/Swap/CompareAndSwap) and resolves it to its types.Object — the
+// field object for selections, so s.n in one method and self.n in
+// another are the same word; the variable object for plain idents.
+// Pass two reports every use of those objects outside an atomic call.
+// The method-based atomic types (atomic.Int64, atomic.Value) make
+// mixed access unrepresentable and need no guard; this analyzer covers
+// the function-based API where the type system cannot help.
+//
+// The check is per-package, matching how the codebase scopes counter
+// state; an exported field accessed atomically here and plainly in
+// another package would need the cross-package metricdoc treatment and
+// is out of scope.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc:  "a word accessed via sync/atomic must never also be read or written plainly",
+	Run:  runAtomicGuard,
+}
+
+func runAtomicGuard(pass *Pass) error {
+	atomicSites := make(map[types.Object]token.Pos) // word -> first atomic site
+	atomicArgs := make(map[ast.Expr]bool)           // &x arguments, exempt in pass two
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			atomicArgs[addr.X] = true
+			if obj := wordObject(pass, addr.X); obj != nil {
+				if _, seen := atomicSites[obj]; !seen {
+					atomicSites[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicSites) == 0 {
+		return nil
+	}
+
+	// Struct-literal keys (S{n: 0}) resolve to the field object but are
+	// initialization before the value is published, not a racy access.
+	literalKeys := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, el := range cl.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						literalKeys[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && atomicArgs[e] {
+				return false // the &x operand of an atomic call
+			}
+			var obj types.Object
+			var pos token.Pos
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj = pass.TypesInfo.Uses[n.Sel]
+				pos = n.Pos()
+			case *ast.Ident:
+				if literalKeys[n] {
+					return true
+				}
+				obj = pass.TypesInfo.Uses[n]
+				pos = n.Pos()
+			default:
+				return true
+			}
+			first, tracked := atomicSites[obj]
+			if !tracked {
+				return true
+			}
+			pass.Reportf(pos, "%s is accessed with sync/atomic (%s) but read/written plainly here: mixed access is a data race, use atomic ops everywhere or switch to a mutex", obj.Name(), pass.Fset.Position(first))
+			return false // don't also flag the ident inside the selector
+		})
+	}
+	return nil
+}
+
+// isAtomicFuncCall matches calls to the function-based sync/atomic API
+// (the ones that take a word address).
+func isAtomicFuncCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Functions only: methods on atomic.Int64 etc. are safe by type.
+	return obj.Type().(*types.Signature).Recv() == nil
+}
+
+// wordObject resolves the expression under & to the object identifying
+// the word: the field object for selections (shared across receivers),
+// the variable object for identifiers. Index expressions and other
+// dynamic shapes return nil — untrackable.
+func wordObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// The CFG builder's edge cases, asserted through the same reachability
+// queries the analyzers use: "can the function exit be reached from
+// after call X without crossing a call to Y" is exactly the spanpair/
+// lockpair question, so these tests pin the graph shapes that matter —
+// labeled break/continue, select with and without default, defers as
+// path nodes, and panic paths staying off the Exit block.
+
+// buildFromSrc parses `func f() { body }` and returns its CFG.
+func buildFromSrc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fd := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// callNamed returns a predicate matching any node containing a call to
+// the named function (not descending into nested blocks or closures,
+// mirroring the analyzers' kill predicates).
+func callNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BlockStmt:
+				return ast.Node(x) == n
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+}
+
+// siteOf locates the unique node containing a call to name.
+func siteOf(t *testing.T, g *CFG, name string) (*Block, int) {
+	t.Helper()
+	pred := callNamed(name)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if pred(n) {
+				return blk, i
+			}
+		}
+	}
+	t.Fatalf("no node calls %s", name)
+	return nil, -1
+}
+
+// escapes reports whether Exit is reachable from just after the call
+// to from, avoiding every node that calls kill.
+func escapes(t *testing.T, g *CFG, from, kill string) bool {
+	t.Helper()
+	blk, i := siteOf(t, g, from)
+	return g.ReachesAvoiding(blk, i, g.Exit, callNamed(kill))
+}
+
+func TestCFGLabeledBreakEscapesRelease(t *testing.T) {
+	g := buildFromSrc(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			acquire()
+			if j == 1 {
+				break outer
+			}
+			release()
+		}
+	}`)
+	if !escapes(t, g, "acquire", "release") {
+		t.Error("break outer jumps past release() but Exit was not reachable")
+	}
+}
+
+func TestCFGPlainBreakStaysInOuterLoop(t *testing.T) {
+	// A plain break leaves only the inner loop; the outer loop's
+	// release() still covers every path.
+	g := buildFromSrc(t, `
+	for i := 0; i < 3; i++ {
+		acquire()
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				break
+			}
+		}
+		release()
+	}`)
+	if escapes(t, g, "acquire", "release") {
+		t.Error("plain break stays inside the function but Exit became reachable without release()")
+	}
+}
+
+func TestCFGLabeledContinueLoopsAround(t *testing.T) {
+	// continue outer skips release() on that iteration and re-enters
+	// the loop — the acquire() node must be reachable again (the
+	// self-deadlock region query) and the exit must be reachable
+	// through the loop condition without crossing release().
+	g := buildFromSrc(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		acquire()
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer
+			}
+		}
+		release()
+	}`)
+	if !escapes(t, g, "acquire", "release") {
+		t.Error("continue outer can reach the loop exit without release(), but Exit was not reachable")
+	}
+	blk, i := siteOf(t, g, "acquire")
+	region := g.RegionAvoiding(blk, i, callNamed("release"))
+	reAcquired := false
+	for _, n := range region {
+		if callNamed("acquire")(n) {
+			reAcquired = true
+		}
+	}
+	if !reAcquired {
+		t.Error("continue outer loops back to acquire() but the held region does not contain it")
+	}
+}
+
+func TestCFGSelectWithDefaultHasFallthroughPath(t *testing.T) {
+	g := buildFromSrc(t, `
+	acquire()
+	select {
+	case v := <-ch():
+		handle(v)
+	default:
+		idle()
+	}
+	release()`)
+	// Exit is reachable avoiding handle (the default path)...
+	if !escapes(t, g, "acquire", "handle") {
+		t.Error("default path should bypass handle()")
+	}
+	// ...and avoiding idle (the comm path)...
+	if !escapes(t, g, "acquire", "idle") {
+		t.Error("comm path should bypass idle()")
+	}
+	// ...but not avoiding release, which every arm rejoins.
+	if escapes(t, g, "acquire", "release") {
+		t.Error("every select arm rejoins release(); Exit must not be reachable without it")
+	}
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	g := buildFromSrc(t, `
+	acquire()
+	select {}
+	release()`)
+	if escapes(t, g, "acquire", "release") {
+		t.Error("select{} never proceeds; Exit must be unreachable past it")
+	}
+}
+
+func TestCFGDeferCoversDownstreamPaths(t *testing.T) {
+	// A defer node sits on the path like any other node: registered
+	// before the early return, it kills every escape downstream.
+	g := buildFromSrc(t, `
+	acquire()
+	defer release()
+	if cond() {
+		return
+	}
+	work()`)
+	if escapes(t, g, "acquire", "release") {
+		t.Error("defer release() covers both the early return and the fallthrough exit")
+	}
+	// Registered only on one arm, the other arm escapes.
+	g = buildFromSrc(t, `
+	acquire()
+	if cond() {
+		defer release()
+		return
+	}
+	work()`)
+	if !escapes(t, g, "acquire", "release") {
+		t.Error("the else path has no defer registered; Exit must be reachable")
+	}
+}
+
+func TestCFGPanicLeavesExitUnreachable(t *testing.T) {
+	g := buildFromSrc(t, `
+	acquire()
+	panic("boom")`)
+	blk, i := siteOf(t, g, "acquire")
+	if g.ReachesAvoiding(blk, i, g.Exit, func(ast.Node) bool { return false }) {
+		t.Error("the only path after acquire() panics; Exit must be unreachable")
+	}
+	if !g.ReachesAvoiding(blk, i, g.Panic, func(ast.Node) bool { return false }) {
+		t.Error("the panic path must reach the Panic block")
+	}
+}
+
+func TestCFGPanicRecoverPath(t *testing.T) {
+	// The deferred recover closure is an ordinary node registered
+	// before the conditional panic: analyses that treat defers as
+	// covering nodes (spanpair, lockpair) see it on both the panic
+	// and the normal path; the panic itself still routes to the Panic
+	// block, not Exit — the analyzers deliberately ignore unwinding.
+	g := buildFromSrc(t, `
+	acquire()
+	defer func() {
+		if r := recover(); r != nil {
+			log(r)
+		}
+	}()
+	if bad() {
+		panic("boom")
+	}
+	release()`)
+	if escapes(t, g, "acquire", "release") {
+		t.Error("the non-panicking path crosses release(); Exit must not be reachable avoiding it")
+	}
+	blk, i := siteOf(t, g, "acquire")
+	if !g.ReachesAvoiding(blk, i, g.Panic, callNamed("release")) {
+		t.Error("the panic arm must reach the Panic block without crossing release()")
+	}
+}
+
+func TestCFGGotoBackwardEdge(t *testing.T) {
+	g := buildFromSrc(t, `
+retry:
+	acquire()
+	if flaky() {
+		goto retry
+	}
+	release()`)
+	if escapes(t, g, "acquire", "release") {
+		t.Error("both the retry loop and the fallthrough cross release() eventually; Exit must not be reachable avoiding it")
+	}
+	// The goto loops back through acquire: the region must see it.
+	blk, i := siteOf(t, g, "acquire")
+	region := g.RegionAvoiding(blk, i, callNamed("release"))
+	reAcquired := false
+	for _, n := range region {
+		if callNamed("acquire")(n) {
+			reAcquired = true
+		}
+	}
+	if !reAcquired {
+		t.Error("goto retry loops back to acquire() but the region does not contain it")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildFromSrc(t, `
+	acquire()
+	switch mode() {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		release()
+	default:
+		release()
+	}`)
+	if escapes(t, g, "acquire", "release") {
+		t.Error("case 1 falls through into the releasing case 2; every arm releases")
+	}
+}
+
+func TestCFGUnreachableCodeDetached(t *testing.T) {
+	g := buildFromSrc(t, `
+	release()
+	return
+	acquire()`)
+	blk, _ := siteOf(t, g, "acquire")
+	entryReaches := g.ReachesAvoiding(g.Entry, -1, blk, func(ast.Node) bool { return false })
+	if entryReaches {
+		t.Error("statements after return must live in a detached block")
+	}
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GoLifecycle flags fire-and-forget goroutines. Every goroutine the
+// serving stack launches (coalescer flush loops, NRT snapshot
+// persistence, SLO/profile-capture watchers, the runtime sampler) must
+// have a lifetime tied to something: a ctx/done/stop-channel it waits
+// on, a work channel it ranges over (closed by the producer on
+// shutdown), a WaitGroup it signals, or a completion channel it closes.
+// A goroutine with none of those outlives Server.Shutdown, keeps
+// ticking against freed state, and is exactly what the
+// internal/leakcheck harness catches at runtime — this analyzer is the
+// static half of that contract.
+//
+// "Managed" is a set of syntactic-plus-type heuristics over the
+// goroutine's body (resolving same-package callees one level deep, so
+// `go b.run(fl)` is judged by run's body):
+//
+//   - it receives from a <-chan obtained via a Done() call or from a
+//     channel whose name looks like a stop signal (done/stop/quit/
+//     exit/shut/close/ctx);
+//   - it ranges over a channel (producer close terminates it);
+//   - it calls Done() on a sync.WaitGroup (a joiner Waits for it);
+//   - it uses any context.Context-typed value (cancellation threads
+//     through everything in this codebase that takes a ctx);
+//   - it closes a channel (completion signal a joiner receives on).
+//
+// A goroutine that is genuinely intended to live for the whole process
+// (the ListenAndServe wrapper in cmd/bfast-serve) is the documented
+// exception: //lint:allow golifecycle with the reason. Test files are
+// exempt wholesale, as with every analyzer in the suite.
+var GoLifecycle = &Analyzer{
+	Name: "golifecycle",
+	Doc:  "every goroutine outside tests must be tied to a ctx/done/stop channel, WaitGroup, or completion signal",
+	Run:  runGoLifecycle,
+}
+
+// stopChanName matches identifiers that conventionally carry shutdown
+// signals; receiving from one ties the goroutine to a lifecycle.
+var stopChanName = regexp.MustCompile(`(?i)(done|stop|quit|exit|shut|close|ctx)`)
+
+const lifecycleCallDepth = 2 // resolve same-package callees this deep
+
+func runGoLifecycle(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineManaged(pass, gs.Call, decls, lifecycleCallDepth, make(map[*ast.FuncDecl]bool)) {
+				pass.Reportf(gs.Pos(), "fire-and-forget goroutine: nothing ties its lifetime to a ctx/done/stop channel, WaitGroup, or completion signal, so it outlives shutdown")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls indexes this package's function and method bodies by
+// their defining object, for one-level callee resolution.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goroutineManaged judges the call expression of a go statement.
+func goroutineManaged(pass *Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl, depth int, visiting map[*ast.FuncDecl]bool) bool {
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyManaged(pass, fl.Body, decls, depth, visiting)
+	}
+	// Named callee: judge its body when it lives in this package.
+	var callee types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		callee = pass.TypesInfo.Uses[fun.Sel]
+	}
+	if fd := decls[callee]; fd != nil {
+		if visiting[fd] {
+			return false
+		}
+		visiting[fd] = true
+		return bodyManaged(pass, fd.Body, decls, depth, visiting)
+	}
+	// Body out of reach (other package, interface method, func value):
+	// accept when a ctx or channel flows in as an argument — the callee
+	// was designed to be cancellable/joinable — otherwise report.
+	for _, arg := range call.Args {
+		if t := pass.TypesInfo.TypeOf(arg); isContextType(t) || isChanType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyManaged scans a goroutine body (including nested closures — they
+// run on this goroutine if called) for any lifecycle tie.
+func bodyManaged(pass *Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl, depth int, visiting map[*ast.FuncDecl]bool) bool {
+	managed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if managed {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isStopChannel(pass, n.X) {
+				managed = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.TypesInfo.TypeOf(n.X)) {
+				managed = true
+			}
+		case *ast.CallExpr:
+			switch {
+			case isWaitGroupDone(pass, n):
+				managed = true
+			case isCloseBuiltin(pass, n):
+				managed = true
+			case depth > 0:
+				// One hop into a same-package callee: `go b.run(fl)`
+				// is judged by run's loop, not the call site.
+				var callee types.Object
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					callee = pass.TypesInfo.Uses[fun]
+				case *ast.SelectorExpr:
+					callee = pass.TypesInfo.Uses[fun.Sel]
+				}
+				if fd := decls[callee]; fd != nil && !visiting[fd] {
+					visiting[fd] = true
+					if bodyManaged(pass, fd.Body, decls, depth-1, visiting) {
+						managed = true
+					}
+				}
+			}
+		default:
+			if e, ok := n.(ast.Expr); ok && isContextType(pass.TypesInfo.TypeOf(e)) {
+				managed = true
+			}
+		}
+		return !managed
+	})
+	return managed
+}
+
+// isStopChannel reports whether e is a channel expression that carries
+// a shutdown signal: the result of a Done() call (context.Context,
+// custom stoppers) or a channel-typed value whose terminal name looks
+// like one.
+func isStopChannel(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+		return false
+	}
+	if !isChanType(pass.TypesInfo.TypeOf(e)) {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return stopChanName.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return stopChanName.MatchString(e.Sel.Name)
+	}
+	return false
+}
+
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" || len(call.Args) != 0 {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func isCloseBuiltin(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

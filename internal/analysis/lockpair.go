@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockPair proves the two invariants every mutex in the serving stack
+// (the coalescer's flush paths, the NRT session registry, the metric
+// registry, the tail sampler) must hold:
+//
+//  1. Pairing — every sync Lock()/RLock() is matched by the
+//     corresponding Unlock()/RUnlock() on all paths out of the
+//     function. A path that leaves the function with the lock held is
+//     a latent deadlock that only fires under the right interleaving,
+//     exactly the class of bug `go test -race` cannot surface.
+//  2. No blocking under the lock — while the lock is held (the CFG
+//     region between the acquire and a plain release), the function
+//     must not park the goroutine: no channel send/receive outside a
+//     select-with-default, no Wait(), no time.Sleep, no blocking
+//     net/http/exec calls, and no re-acquisition of the same mutex
+//     (the classic self-deadlock).
+//
+// Both checks are CFG-region queries, so a release on only one arm of
+// an if, or a `break` that jumps past the Unlock, is seen for the path
+// bug it is. Deferred releases count for pairing (a defer node on a
+// path covers every exit downstream of its registration) but do not
+// end the held region — blocking after `defer mu.Unlock()` still
+// blocks under the lock. Paths into CFG.Panic are exempt: deferred
+// Unlocks run during unwinding, and a process that panics while
+// holding a lock has bigger problems than lock hygiene.
+//
+// The analyzer is intraprocedural and object-based: only methods named
+// Lock/RLock/Unlock/RUnlock that resolve to package sync are matched
+// (a custom Lock method on a repo type is not a mutex), and the mutex
+// identity is the resolved object chain of the receiver expression, so
+// `b.mu` in two methods is the same lock while `a.mu` and `b.mu` are
+// not. Locks handed across function boundaries (locked helpers,
+// lock-returning constructors) are invisible to it and deserve a
+// documented //lint:allow lockpair.
+var LockPair = &Analyzer{
+	Name: "lockpair",
+	Doc:  "every sync (R)Lock must be (R)Unlocked on all paths, and nothing may block while the lock is held",
+	Run:  runLockPair,
+}
+
+func runLockPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			body := funcBody(n)
+			if body == nil {
+				return true
+			}
+			checkLocksInFunc(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLocksInFunc(pass *Pass, body *ast.BlockStmt) {
+	nonBlocking := nonBlockingComms(body)
+	g := BuildCFG(body)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			call, acquire := lockAcquire(pass, n)
+			if call == nil {
+				continue
+			}
+			key, disp := lockReceiverKey(pass, call)
+			if key == "" {
+				continue // receiver too dynamic to track (call result etc.)
+			}
+			checkLockSite(pass, g, blk, i, call, acquire, key, disp, nonBlocking)
+		}
+	}
+}
+
+// checkLockSite runs the pairing and held-region queries for one
+// acquire site.
+func checkLockSite(pass *Pass, g *CFG, blk *Block, idx int, call *ast.CallExpr, acquire, key, disp string, nonBlocking map[ast.Node]bool) {
+	unlock := "Unlock"
+	if acquire == "RLock" {
+		unlock = "RUnlock"
+	}
+
+	release := func(n ast.Node) bool { return releasesLock(pass, n, key, unlock) }
+	if g.ReachesAvoiding(blk, idx, g.Exit, release) {
+		pass.Reportf(call.Pos(), "%s.%s() is not released on every path: a path can leave the function with the lock held (call %s.%s() before every return, or defer it)", disp, acquire, disp, unlock)
+	}
+
+	// The held region ends only at a *plain* release: a deferred
+	// Unlock keeps the lock held until the function returns.
+	plainRelease := func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		return releasesLock(pass, n, key, unlock)
+	}
+	for _, n := range g.RegionAvoiding(blk, idx, plainRelease) {
+		reportHeldHazards(pass, n, key, disp, acquire, nonBlocking)
+	}
+}
+
+// lockAcquire matches an `x.Lock()` / `x.RLock()` statement whose
+// method resolves into package sync.
+func lockAcquire(pass *Pass, n ast.Node) (*ast.CallExpr, string) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return nil, ""
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	name := syncMethodName(pass, call)
+	if name == "Lock" || name == "RLock" {
+		return call, name
+	}
+	return nil, ""
+}
+
+// syncMethodName returns the method name when call is a selector call
+// resolving to a method of package sync ("" otherwise).
+func syncMethodName(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// lockReceiverKey canonicalizes the receiver expression of a sync
+// method call into an identity key (object-pointer chain, so shadowing
+// and same-named fields on different values do not alias) plus a
+// human-readable rendering for messages.
+func lockReceiverKey(pass *Pass, call *ast.CallExpr) (key, display string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return lockExprKey(pass, sel.X)
+}
+
+func lockExprKey(pass *Pass, e ast.Expr) (key, display string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return "", ""
+		}
+		return fmt.Sprintf("%p", obj), e.Name
+	case *ast.SelectorExpr:
+		base, disp := lockExprKey(pass, e.X)
+		if base == "" {
+			return "", ""
+		}
+		return base + "." + e.Sel.Name, disp + "." + e.Sel.Name
+	}
+	return "", ""
+}
+
+// releasesLock reports whether executing node n guarantees the lock is
+// released: a plain `key.Unlock()` call (outside nested closures), a
+// `defer key.Unlock()`, or a deferred closure that calls it.
+func releasesLock(pass *Pass, n ast.Node, key, unlock string) bool {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if isLockMethodCall(pass, d.Call, key, unlock) {
+			return true
+		}
+		if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			return scanForLockCall(pass, fl.Body, fl.Body, key, unlock)
+		}
+		return false
+	}
+	return scanForLockCall(pass, n, n, key, unlock)
+}
+
+// scanForLockCall looks for a key.unlock() call in root, not
+// descending into nested function literals (they may never run) or
+// nested blocks (a CFG node that embeds a block — a RangeStmt head, a
+// conditional inside a deferred closure — does not guarantee the block
+// body executes).
+func scanForLockCall(pass *Pass, root, top ast.Node, key, unlock string) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			if n != top {
+				return false
+			}
+		case *ast.CallExpr:
+			if isLockMethodCall(pass, n, key, unlock) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isLockMethodCall(pass *Pass, call *ast.CallExpr, key, name string) bool {
+	if syncMethodName(pass, call) != name {
+		return false
+	}
+	k, _ := lockReceiverKey(pass, call)
+	return k != "" && k == key
+}
+
+// nonBlockingComms collects the comm statements of every select that
+// has a default clause: those channel operations cannot park the
+// goroutine, so they are exempt from the held-region check.
+func nonBlockingComms(body *ast.BlockStmt) map[ast.Node]bool {
+	exempt := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				exempt[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// reportHeldHazards scans one CFG node of the held region for
+// operations that park the goroutine while the lock is held.
+func reportHeldHazards(pass *Pass, node ast.Node, key, disp, acquire string, nonBlocking map[ast.Node]bool) {
+	if nonBlocking[node] {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			// A block nested inside a CFG node (a RangeStmt head)
+			// re-appears as separate region nodes; skip it here so
+			// hazards are not reported twice.
+			return false
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(n.Pos(), "range over a channel while %s is held (since %s()): the loop parks until the channel closes", disp, acquire)
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while %s is held (since %s()): an unready receiver parks this goroutine under the lock", disp, acquire)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while %s is held (since %s()): an empty channel parks this goroutine under the lock", disp, acquire)
+			}
+		case *ast.CallExpr:
+			if reason := blockingCallReason(pass, n, key, acquire); reason != "" {
+				pass.Reportf(n.Pos(), "%s while %s is held (since %s())", reason, disp, acquire)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCallReason classifies a call that can park the goroutine (or
+// deadlock it) while a lock is held. The set is curated for this
+// codebase: bare file I/O is deliberately absent — the state store
+// fsyncs under its lock on purpose, and disk latency is bounded in a
+// way channel waits are not.
+func blockingCallReason(pass *Pass, call *ast.CallExpr, key, acquire string) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	obj := pass.TypesInfo.Uses[sel.Sel]
+
+	// Re-acquiring the held mutex: Lock under Lock or RLock, and Lock
+	// under RLock, self-deadlock (RLock under RLock is legal).
+	if syncMethodName(pass, call) == "Lock" || (acquire == "Lock" && syncMethodName(pass, call) == "RLock") {
+		if k, _ := lockReceiverKey(pass, call); k == key {
+			return fmt.Sprintf("%s() on the already-held mutex: self-deadlock", name)
+		}
+		return ""
+	}
+
+	// Any zero-argument Wait method: sync.WaitGroup.Wait, sync.Cond.Wait,
+	// exec.Cmd.Wait, the scheduler's Task.Wait — all park by design.
+	if name == "Wait" && len(call.Args) == 0 {
+		return "a Wait() call"
+	}
+
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "a blocking net/http call"
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "Listen", "ListenPacket", "Accept":
+			return "a blocking net call"
+		}
+	case "os/exec":
+		switch name {
+		case "Run", "Output", "CombinedOutput":
+			return "a blocking os/exec call"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricdoc pins the metric surface: every name registered through an
+// obs Registry (Counter/Gauge/Histogram) must map to a family pinned
+// in scripts/metrics.golden, and every pinned family must have a
+// registration site in the code. Until now only the metrics-smoke
+// script could catch this drift — and only for families the smoke
+// request happens to exercise, an hour after the fact in CI; the
+// analyzer catches it at lint time, in both directions (PR-9's
+// state.file.* counters shipped unpinned exactly this way).
+//
+// Name handling mirrors the Prometheus exposition in internal/obs:
+// dots map to underscores (promMetricName). Dynamic names — the
+// per-endpoint "server."+name+".requests" concatenations, Sprintf
+// formats — are matched structurally: their literal fragments become a
+// ^prefix.*suffix$ pattern over the golden families, so a dynamic
+// registration is satisfied by (and satisfies) the families it can
+// produce. A name with no literal fragments at all (a pure variable,
+// like the profile-capture rule gauges) carries no checkable
+// information and is skipped.
+//
+// The golden-to-code direction needs the whole repository, not one
+// package, so it runs in the analyzer's Finish hook — the standalone
+// `bfast-lint ./...` driver invokes it after the last package; the
+// per-package vet protocol skips it. NewMetricDoc returns a fresh
+// instance per suite so the cross-package state cannot leak between
+// runs.
+type metricDoc struct {
+	goldenPath string
+	golden     map[string]bool // prometheus family name -> pinned
+	goldenErr  error
+	loaded     bool
+	matched    map[string]bool // golden families covered by some site
+}
+
+// NewMetricDoc returns the metricdoc analyzer. A fresh value each call:
+// the analyzer accumulates cross-package state between Run invocations
+// and reconciles it in Finish.
+func NewMetricDoc() *Analyzer {
+	m := &metricDoc{matched: make(map[string]bool)}
+	return &Analyzer{
+		Name:   "metricdoc",
+		Doc:    "metric names registered in code must be pinned in scripts/metrics.golden and vice versa",
+		Run:    m.run,
+		Finish: m.finish,
+	}
+}
+
+// wildSeg marks a dynamic fragment in a metric-name expression.
+const wildSeg = "\x00"
+
+func (m *metricDoc) run(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRegistryMetricCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			segs := nameSegments(call.Args[0])
+			if !hasLiteralSeg(segs) {
+				return true // pure variable: nothing to check
+			}
+			m.loadGolden(pass.Fset.Position(call.Pos()).Filename)
+			if m.goldenErr != nil {
+				return true // reported once in finish
+			}
+			m.checkName(pass, call.Args[0], segs)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkName verifies one registration site against the golden set and
+// records which families it covers.
+func (m *metricDoc) checkName(pass *Pass, arg ast.Expr, segs []string) {
+	if !strings.Contains(strings.Join(segs, ""), wildSeg) {
+		name := strings.Join(segs, "")
+		fam := promMetricName(name)
+		if !m.golden[fam] {
+			pass.Reportf(arg.Pos(), "metric %q (prometheus family %q) is not pinned in scripts/metrics.golden: regenerate with METRICS_GOLDEN_REGEN=1 scripts/metrics-smoke.sh, or drop the metric", name, fam)
+			return
+		}
+		m.matched[fam] = true
+		return
+	}
+	var b strings.Builder
+	b.WriteString("^")
+	display := ""
+	for _, s := range segs {
+		if s == wildSeg {
+			b.WriteString(".*")
+			display += "*"
+		} else {
+			b.WriteString(regexp.QuoteMeta(promMetricName(s)))
+			display += s
+		}
+	}
+	b.WriteString("$")
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return
+	}
+	found := false
+	for fam := range m.golden {
+		if re.MatchString(fam) {
+			m.matched[fam] = true
+			found = true
+		}
+	}
+	if !found {
+		pass.Reportf(arg.Pos(), "no family in scripts/metrics.golden matches dynamic metric name %q: regenerate with METRICS_GOLDEN_REGEN=1 scripts/metrics-smoke.sh, or drop the metric", display)
+	}
+}
+
+// finish runs the golden-to-code direction once the driver has fed it
+// every package of the module.
+func (m *metricDoc) finish() []Diagnostic {
+	if !m.loaded {
+		return nil
+	}
+	if m.goldenErr != nil {
+		return []Diagnostic{{
+			Analyzer: "metricdoc",
+			Message:  fmt.Sprintf("cannot load golden metric families: %v", m.goldenErr),
+			Path:     m.goldenPath,
+		}}
+	}
+	var missing []string
+	for fam := range m.golden {
+		if !m.matched[fam] {
+			missing = append(missing, fam)
+		}
+	}
+	sort.Strings(missing)
+	var out []Diagnostic
+	for _, fam := range missing {
+		out = append(out, Diagnostic{
+			Analyzer: "metricdoc",
+			Message:  fmt.Sprintf("golden family %q has no registration site in the code: the metric was renamed or removed without regenerating scripts/metrics.golden", fam),
+			Path:     m.goldenPath,
+		})
+	}
+	return out
+}
+
+// loadGolden locates scripts/metrics.golden relative to the module
+// root enclosing file (walking up to go.mod) and parses its
+// `# TYPE <family> <kind>` lines. Loaded once per instance.
+func (m *metricDoc) loadGolden(file string) {
+	if m.loaded {
+		return
+	}
+	m.loaded = true
+	m.golden = make(map[string]bool)
+	abs, err := filepath.Abs(file)
+	if err != nil {
+		m.goldenErr = err
+		return
+	}
+	dir := filepath.Dir(abs)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			m.goldenErr = fmt.Errorf("no go.mod above %s", file)
+			return
+		}
+		dir = parent
+	}
+	m.goldenPath = filepath.Join(dir, "scripts", "metrics.golden")
+	data, err := os.ReadFile(m.goldenPath)
+	if err != nil {
+		m.goldenErr = err
+		return
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && fields[0] == "#" && fields[1] == "TYPE" {
+			m.golden[fields[2]] = true
+		}
+	}
+}
+
+// isRegistryMetricCall matches method calls Counter/Gauge/Histogram on
+// an obs Registry (package named "obs", method with a receiver — the
+// fixture's fake obs package satisfies the same shape).
+func isRegistryMetricCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// nameSegments decomposes a metric-name expression into literal
+// fragments and wildSeg markers: string literals pass through,
+// concatenations flatten, Sprintf formats split at their verbs, and
+// anything else is a wildcard.
+func nameSegments(e ast.Expr) []string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			if s, err := strconv.Unquote(e.Value); err == nil {
+				return []string{s}
+			}
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return append(nameSegments(e.X), nameSegments(e.Y)...)
+		}
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Sprintf" && len(e.Args) > 0 {
+			if lit, ok := ast.Unparen(e.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if s, err := strconv.Unquote(lit.Value); err == nil {
+					return splitFormat(s)
+				}
+			}
+		}
+	}
+	return []string{wildSeg}
+}
+
+var formatVerbRe = regexp.MustCompile(`%[-+# 0-9.]*[a-zA-Z%]`)
+
+// splitFormat turns a Sprintf format into literal fragments separated
+// by wildcards at each verb (%% stays literal).
+func splitFormat(s string) []string {
+	var segs []string
+	last := 0
+	for _, loc := range formatVerbRe.FindAllStringIndex(s, -1) {
+		if s[loc[0]:loc[1]] == "%%" {
+			continue
+		}
+		segs = append(segs, s[last:loc[0]], wildSeg)
+		last = loc[1]
+	}
+	segs = append(segs, s[last:])
+	return segs
+}
+
+func hasLiteralSeg(segs []string) bool {
+	for _, s := range segs {
+		if s != wildSeg && s != "" {
+			return true
+		}
+	}
+	return false
+}
+
+var promUnsafeRe = regexp.MustCompile(`[^a-zA-Z0-9_]`)
+
+// promMetricName mirrors internal/obs's exposition mapping: every
+// character outside [a-zA-Z0-9_] becomes an underscore.
+func promMetricName(s string) string {
+	return promUnsafeRe.ReplaceAllString(s, "_")
+}

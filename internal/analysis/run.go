@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"io"
@@ -11,7 +12,17 @@ import (
 // package matching patterns, run the suite, print findings one per
 // line ("path:line:col: message (analyzer)") and return the process
 // exit code (0 clean, 1 findings, 2 operational failure).
-func RunStandalone(dir string, patterns []string, analyzers []*Analyzer, w io.Writer) int {
+//
+// When the run spans the whole module (the "./..." pattern), each
+// analyzer's Finish hook runs after the last package, contributing
+// run-wide findings; partial runs skip Finish because its
+// cross-package state would be incomplete and its reports misleading.
+//
+// asJSON switches the output to a single JSON array of findings
+// ({"file","line","col","message","analyzer"}), the format CI
+// annotations consume; operational failures still go to w as plain
+// text so they surface in logs either way.
+func RunStandalone(dir string, patterns []string, analyzers []*Analyzer, w io.Writer, asJSON bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -20,7 +31,8 @@ func RunStandalone(dir string, patterns []string, analyzers []*Analyzer, w io.Wr
 		fmt.Fprintf(w, "bfast-lint: %v\n", err)
 		return 2
 	}
-	found := 0
+	var all []jsonDiagnostic
+	var lastFset *token.FileSet
 	for _, pkg := range pkgs {
 		diags, err := Check(pkg, analyzers)
 		if err != nil {
@@ -28,28 +40,99 @@ func RunStandalone(dir string, patterns []string, analyzers []*Analyzer, w io.Wr
 			return 2
 		}
 		for _, d := range diags {
-			fmt.Fprintln(w, FormatDiagnostic(pkg.Fset, d, dir))
-			found++
+			all = append(all, toJSONDiagnostic(pkg.Fset, d, dir))
+		}
+		lastFset = pkg.Fset
+	}
+	if wholeModule(patterns) {
+		for _, a := range analyzers {
+			if a.Finish == nil {
+				continue
+			}
+			for _, d := range a.Finish() {
+				all = append(all, toJSONDiagnostic(lastFset, d, dir))
+			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(w, "bfast-lint: %d finding(s)\n", found)
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(w, d.format())
+		}
+		if len(all) > 0 {
+			fmt.Fprintf(w, "bfast-lint: %d finding(s)\n", len(all))
+		}
+	}
+	if len(all) > 0 {
 		return 1
 	}
 	return 0
 }
 
+// wholeModule reports whether the pattern list covers the entire
+// module, making cross-package Finish hooks sound.
+func wholeModule(patterns []string) bool {
+	for _, p := range patterns {
+		if p == "./..." || p == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonDiagnostic is the CI-facing rendering of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+func toJSONDiagnostic(fset *token.FileSet, d Diagnostic, dir string) jsonDiagnostic {
+	j := jsonDiagnostic{Message: d.Message, Analyzer: d.Analyzer}
+	if d.Pos.IsValid() && fset != nil {
+		p := fset.Position(d.Pos)
+		j.File = relToDir(p.Filename, dir)
+		j.Line = p.Line
+		j.Col = p.Column
+	} else {
+		j.File = relToDir(d.Path, dir)
+	}
+	return j
+}
+
+func (j jsonDiagnostic) format() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", j.File, j.Line, j.Col, j.Message, j.Analyzer)
+}
+
 // FormatDiagnostic renders one finding with a path relative to dir
 // when possible (keeps CI logs readable and clickable).
 func FormatDiagnostic(fset *token.FileSet, d Diagnostic, dir string) string {
-	p := fset.Position(d.Pos)
-	name := p.Filename
-	if dir != "" {
-		if abs, err := filepath.Abs(dir); err == nil {
-			if rel, err := filepath.Rel(abs, name); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
-				name = rel
-			}
-		}
+	return toJSONDiagnostic(fset, d, dir).format()
+}
+
+// relToDir relativizes name against dir when the result stays inside
+// it (keeps CI logs readable and clickable).
+func relToDir(name, dir string) string {
+	if dir == "" || name == "" {
+		return name
 	}
-	return fmt.Sprintf("%s:%d:%d: %s (%s)", name, p.Line, p.Column, d.Message, d.Analyzer)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return name
+	}
+	rel, err := filepath.Rel(abs, name)
+	if err != nil || filepath.IsAbs(rel) || rel == "" || rel[0] == '.' {
+		return name
+	}
+	return rel
 }

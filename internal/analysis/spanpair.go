@@ -8,38 +8,38 @@ import (
 // SpanPair keeps PR-4's trace trees leak-free: every span returned by
 // obs.StartSpan must be Ended on every path out of the enclosing
 // function, or /debug/bfast/traces accumulates forever-open spans with
-// garbage durations. The analyzer proves pairing with a conservative
-// forward scan from the StartSpan assignment through its enclosing
-// statement list:
+// garbage durations.
 //
-//   - `defer sp.End()` reached before any statement that can return →
-//     paired (the dominant repo idiom);
-//   - a plain `sp.End()` reached the same way → paired (the
-//     sequential-phases idiom in core's staged kernels);
-//   - a statement containing a return is tolerated only if every such
-//     return is directly preceded by `sp.End()` in its own block (the
-//     early-exit idiom in the serving handlers and sched loops);
-//   - anything else — a reachable return without End, reassignment of
-//     the span variable before End, a goto, or falling off the scan —
-//     is reported.
+// Since the CFG engine landed, the analyzer proves pairing by graph
+// reachability instead of the original forward statement scan: a span
+// leaks iff CFG.Exit is reachable from the StartSpan assignment without
+// crossing a node that Ends the span (a plain `sp.End()`, a
+// `defer sp.End()`, or a deferred closure that calls it — a defer node
+// on a path covers every exit downstream of its registration, which is
+// exactly the defer semantics). This closes the forward scan's known
+// false negative: a `break`/`continue`/`goto` that jumps past the End
+// of a span started inside a loop or switch now shows up as the leaking
+// path it is. Paths into CFG.Panic are deliberately not checked — a
+// span leaked by a dying process is moot, and deferred Ends run during
+// unwinding anyway.
 //
-// The scan is intraprocedural and syntactic on purpose: a span that
-// escapes into another function for ending is exotic enough to deserve
-// a documented //lint:allow spanpair.
+// The check stays intraprocedural and object-based: a span that escapes
+// into another function (returned, stored, Ended inside a goroutine) is
+// exotic enough to deserve a documented //lint:allow spanpair.
 var SpanPair = &Analyzer{
 	Name: "spanpair",
-	Doc:  "every obs.StartSpan must have End called on all paths (defer it, or End before any branch/return)",
+	Doc:  "every obs.StartSpan must have End called on all paths (defer it, or End before every exit)",
 	Run:  runSpanPair,
 }
 
 func runSpanPair(pass *Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			fn := funcBody(n)
-			if fn == nil {
+			body := funcBody(n)
+			if body == nil {
 				return true
 			}
-			checkSpansInFunc(pass, fn)
+			checkSpansInFunc(pass, body)
 			return true
 		})
 	}
@@ -56,57 +56,106 @@ func funcBody(n ast.Node) *ast.BlockStmt {
 	return nil
 }
 
-// checkSpansInFunc scans every statement list of fn (block bodies,
-// case clauses) for StartSpan assignments and verifies pairing within
-// that list. Nested function literals are handled by their own
-// funcBody visit, not here.
+// checkSpansInFunc builds the function's CFG once and path-checks every
+// StartSpan assignment in it. Nested function literals are handled by
+// their own funcBody visit with their own CFG, not here.
 func checkSpansInFunc(pass *Pass, body *ast.BlockStmt) {
-	var walkList func(list []ast.Stmt)
-	var walkStmt func(s ast.Stmt)
-	walkStmt = func(s ast.Stmt) {
-		switch s := s.(type) {
+	g := BuildCFG(body)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			s, ok := n.(ast.Stmt)
+			if !ok {
+				continue
+			}
+			sp, assign := startSpanAssign(pass, s)
+			if sp == nil {
+				continue
+			}
+			checkSpanPaths(pass, g, blk, i, sp, assign)
+		}
+	}
+}
+
+// checkSpanPaths runs the reachability queries for one open span.
+func checkSpanPaths(pass *Pass, g *CFG, blk *Block, idx int, sp types.Object, assign *ast.AssignStmt) {
+	kill := func(n ast.Node) bool { return endsSpan(pass, n, sp) }
+
+	// A write into the span variable anywhere the span is still open
+	// loses the only handle that could End it.
+	for _, n := range g.RegionAvoiding(blk, idx, kill) {
+		if s, ok := n.(ast.Stmt); ok && reassignsSpan(pass, s, sp) {
+			pass.Reportf(assign.Pos(), "span from obs.StartSpan is reassigned before End: the first span leaks")
+			return
+		}
+	}
+
+	if !g.ReachesAvoiding(blk, idx, g.Exit, kill) {
+		return // every path out of the function Ends the span
+	}
+	if spanEverEnded(pass, g, sp) {
+		pass.Reportf(assign.Pos(), "span from obs.StartSpan may leak: a path can leave the function before End (defer sp.End() right after StartSpan, or End on every path)")
+	} else {
+		pass.Reportf(assign.Pos(), "span from obs.StartSpan is never Ended (defer sp.End() right after StartSpan)")
+	}
+}
+
+// spanEverEnded distinguishes "no End anywhere" (the blunt message)
+// from "Ended, but a path slips past it" (the path message).
+func spanEverEnded(pass *Pass, g *CFG, sp types.Object) bool {
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if endsSpan(pass, n, sp) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// endsSpan reports whether executing node n guarantees the span ends:
+// a plain sp.End() call (anywhere in the node outside a nested
+// function literal), a `defer sp.End()`, or a deferred closure whose
+// body calls sp.End().
+func endsSpan(pass *Pass, n ast.Node, sp types.Object) bool {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if isEndExpr(pass, d.Call, sp) {
+			return true
+		}
+		if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			return containsEndCall(pass, fl.Body, sp, true)
+		}
+		return false
+	}
+	return containsEndCall(pass, n, sp, false)
+}
+
+// containsEndCall scans root for a sp.End() call. Calls inside nested
+// FuncLits do not count unless intoFuncLits is set (a closure may never
+// run; a *deferred* closure is the one exception, handled by endsSpan).
+// Nested blocks never count: a CFG node that embeds a block — a
+// RangeStmt head carrying its body, a conditional inside a deferred
+// closure — does not guarantee the block executes, and the block's own
+// statements are separate CFG nodes anyway.
+func containsEndCall(pass *Pass, root ast.Node, sp types.Object, intoFuncLits bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return intoFuncLits
 		case *ast.BlockStmt:
-			walkList(s.List)
-		case *ast.IfStmt:
-			walkList(s.Body.List)
-			if s.Else != nil {
-				walkStmt(s.Else)
+			return ast.Node(n) == root
+		case *ast.CallExpr:
+			if isEndExpr(pass, n, sp) {
+				found = true
+				return false
 			}
-		case *ast.ForStmt:
-			walkList(s.Body.List)
-		case *ast.RangeStmt:
-			walkList(s.Body.List)
-		case *ast.SwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					walkList(cc.Body)
-				}
-			}
-		case *ast.TypeSwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					walkList(cc.Body)
-				}
-			}
-		case *ast.SelectStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CommClause); ok {
-					walkList(cc.Body)
-				}
-			}
-		case *ast.LabeledStmt:
-			walkStmt(s.Stmt)
 		}
-	}
-	walkList = func(list []ast.Stmt) {
-		for i, s := range list {
-			if obj, assign := startSpanAssign(pass, s); assign != nil {
-				checkPairing(pass, obj, assign, list[i+1:])
-			}
-			walkStmt(s)
-		}
-	}
-	walkList(body.List)
+		return true
+	})
+	return found
 }
 
 // startSpanAssign matches `ctx, sp := obs.StartSpan(...)` (or `=`) and
@@ -148,44 +197,6 @@ func isObsStartSpan(pass *Pass, call *ast.CallExpr) bool {
 	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
 }
 
-// checkPairing runs the forward scan over the statements following the
-// StartSpan assignment in the same list.
-func checkPairing(pass *Pass, sp types.Object, assign *ast.AssignStmt, rest []ast.Stmt) {
-	for _, s := range rest {
-		switch {
-		case isEndCall(pass, s, sp):
-			return // plain sp.End() dominates the exits seen so far
-		case isDeferEnd(pass, s, sp):
-			return // deferred: all later paths are covered
-		case reassignsSpan(pass, s, sp):
-			pass.Reportf(assign.Pos(), "span from obs.StartSpan is reassigned before End: the first span leaks")
-			return
-		}
-		if !exitSafe(pass, s, sp) {
-			pass.Reportf(assign.Pos(), "span from obs.StartSpan may leak: a path can leave the function before End (defer sp.End() right after StartSpan, or End before every return)")
-			return
-		}
-	}
-	pass.Reportf(assign.Pos(), "span from obs.StartSpan is never Ended in this block (defer sp.End() right after StartSpan)")
-}
-
-// isEndCall matches `sp.End()` as an expression statement.
-func isEndCall(pass *Pass, s ast.Stmt, sp types.Object) bool {
-	es, ok := s.(*ast.ExprStmt)
-	if !ok {
-		return false
-	}
-	return isEndExpr(pass, es.X, sp)
-}
-
-func isDeferEnd(pass *Pass, s ast.Stmt, sp types.Object) bool {
-	ds, ok := s.(*ast.DeferStmt)
-	if !ok {
-		return false
-	}
-	return isEndExpr(pass, ds.Call, sp)
-}
-
 func isEndExpr(pass *Pass, e ast.Expr, sp types.Object) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
@@ -212,69 +223,4 @@ func reassignsSpan(pass *Pass, s ast.Stmt, sp types.Object) bool {
 		}
 	}
 	return false
-}
-
-// exitSafe reports whether statement s cannot leave the enclosing
-// function with the span still open: either it contains no
-// return/goto at all (closures excluded — their returns do not exit
-// this function), or every return it contains is directly preceded by
-// `sp.End()` in its own statement list.
-func exitSafe(pass *Pass, s ast.Stmt, sp types.Object) bool {
-	safe := true
-	var checkList func(list []ast.Stmt)
-	var inspect func(n ast.Node) bool
-	inspect = func(n ast.Node) bool {
-		if !safe {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false // separate function; its returns don't exit ours
-		case *ast.ReturnStmt:
-			// reached only when not consumed by checkList below — a
-			// return in a position we could not prove is End-preceded.
-			safe = false
-			return false
-		case *ast.BranchStmt:
-			if n.Tok.String() == "goto" {
-				safe = false
-				return false
-			}
-		case *ast.BlockStmt:
-			checkList(n.List)
-			return false
-		case *ast.CaseClause:
-			checkList(n.Body)
-			return false
-		case *ast.CommClause:
-			checkList(n.Body)
-			return false
-		}
-		return true
-	}
-	checkList = func(list []ast.Stmt) {
-		for i, st := range list {
-			if r, ok := st.(*ast.ReturnStmt); ok {
-				if i == 0 || !isEndCall(pass, list[i-1], sp) {
-					safe = false
-					return
-				}
-				// End-preceded return: still scan the return's values
-				// for closures is unnecessary; expressions can't exit.
-				_ = r
-				continue
-			}
-			if reassignsSpan(pass, st, sp) {
-				safe = false
-				return
-			}
-			ast.Inspect(st, inspect)
-			if !safe {
-				return
-			}
-		}
-	}
-	// Wrap s so ast.Inspect dispatches block structure through checkList.
-	ast.Inspect(s, inspect)
-	return safe
 }

@@ -1,0 +1,66 @@
+// Fixture for the atomicguard analyzer. Positives: a field/package var
+// updated through sync/atomic in one place and read or written plainly
+// in another (the torn-counter bug). Negatives: consistent atomic
+// discipline, plain-only words, and struct-literal initialization
+// (which happens before the value is published and is exempt).
+package atomicguard
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	name string
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) torn() int64 {
+	return c.n // want `mixed access is a data race`
+}
+
+func (c *counter) tornWrite() {
+	c.n = 0 // want `mixed access is a data race`
+}
+
+var hits uint32
+
+func markHit() {
+	atomic.StoreUint32(&hits, 1)
+}
+
+func resetHits() {
+	hits = 0 // want `mixed access is a data race`
+}
+
+type clean struct {
+	n int64
+}
+
+func (c *clean) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *clean) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *clean) swap(v int64) int64 {
+	return atomic.SwapInt64(&c.n, v)
+}
+
+func newCounter() *counter {
+	// Struct-literal keys are initialization, not racy access.
+	return &counter{n: 0, name: "fresh"}
+}
+
+var plainOnly int64
+
+func bump() {
+	plainOnly++
+}
+
+func (c *counter) label() string {
+	return c.name // untracked field: plain access is fine
+}

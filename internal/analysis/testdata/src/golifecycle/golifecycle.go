@@ -1,0 +1,106 @@
+// Fixture for the golifecycle analyzer. Positives: goroutines with no
+// lifecycle tie (bare infinite loops, fire-and-forget named callees).
+// Negatives: every managed shape the serving stack uses — ctx.Done
+// select, stop-channel receive, range over a work channel, WaitGroup
+// join, completion-channel close, and a same-package callee whose body
+// is lifecycle-aware.
+package golifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func spawnBare() {
+	go func() { // want `fire-and-forget goroutine`
+		for {
+			work()
+		}
+	}()
+}
+
+func tick() {
+	for {
+		work()
+	}
+}
+
+func spawnNamedBare() {
+	go tick() // want `fire-and-forget goroutine`
+}
+
+func spawnSendOnly(results chan int) {
+	go func() { // want `fire-and-forget goroutine`
+		for {
+			results <- 1
+		}
+	}()
+}
+
+func goodCtxSelect(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+func goodStopChannel(stop chan struct{}) {
+	go func() {
+		<-stop
+		work()
+	}()
+}
+
+func goodRangeWorkChannel(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+func goodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func goodCompletionClose() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+func loop(ctx context.Context) {
+	for ctx.Err() == nil {
+		work()
+	}
+}
+
+func goodNamedCtxLoop(ctx context.Context) {
+	go loop(ctx)
+}
+
+func run(stop chan struct{}) {
+	<-stop
+}
+
+func goodNamedViaClosure(stop chan struct{}) {
+	// The callee's body, one hop deep, carries the lifecycle.
+	go func() {
+		run(stop)
+	}()
+}

@@ -1,0 +1,174 @@
+// Fixture for the lockpair analyzer. Positives: a lock that can escape
+// the function un-released (early return, break, labeled break) and
+// operations that park the goroutine while the lock is held (channel
+// ops, Wait, Sleep, re-locking). Negatives: the repo idioms — deferred
+// unlock, unlock on every arm, select-with-default under the lock,
+// nested distinct mutexes.
+package lockpair
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	other sync.Mutex
+	n     int
+)
+
+func work() {}
+
+func leakEarlyReturn(err error) error {
+	mu.Lock() // want `not released on every path`
+	if err != nil {
+		return err
+	}
+	mu.Unlock()
+	return nil
+}
+
+func leakBreak(items []int) {
+	for _, it := range items {
+		mu.Lock() // want `not released on every path`
+		if it < 0 {
+			break
+		}
+		mu.Unlock()
+	}
+}
+
+func leakLabeledBreak(rows [][]int) {
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			mu.Lock() // want `not released on every path`
+			if v < 0 {
+				break outer
+			}
+			mu.Unlock()
+		}
+	}
+}
+
+func leakRLock(skip bool) {
+	rw.RLock() // want `not released on every path`
+	if skip {
+		return
+	}
+	rw.RUnlock()
+}
+
+func blockSend(ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `channel send while mu is held`
+	mu.Unlock()
+}
+
+func blockReceive(ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	n = <-ch // want `channel receive while mu is held`
+}
+
+func blockWait(wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait() // want `a Wait\(\) call while mu is held`
+}
+
+func blockSleep() {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while mu is held`
+	mu.Unlock()
+}
+
+func blockRangeChan(ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	for v := range ch { // want `range over a channel while mu is held`
+		n = v
+	}
+}
+
+func selfDeadlock() {
+	mu.Lock()
+	mu.Lock() // want `self-deadlock`
+	mu.Unlock()
+	mu.Unlock()
+}
+
+func writeUnderRead() {
+	rw.RLock()
+	defer rw.RUnlock()
+	rw.Lock() // want `self-deadlock`
+	rw.Unlock()
+}
+
+func goodDefer(err error) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if err != nil {
+		return err
+	}
+	work()
+	return nil
+}
+
+func goodBothArms(err error) error {
+	mu.Lock()
+	if err != nil {
+		mu.Unlock()
+		return err
+	}
+	mu.Unlock()
+	return nil
+}
+
+func goodDeferClosure() {
+	mu.Lock()
+	defer func() {
+		work()
+		mu.Unlock()
+	}()
+	work()
+}
+
+func goodNonBlockingSend(ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case ch <- n:
+	default:
+	}
+}
+
+func goodNestedDistinct() {
+	mu.Lock()
+	other.Lock()
+	n++
+	other.Unlock()
+	mu.Unlock()
+}
+
+func goodReadPath() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return n
+}
+
+func goodLoopPaired(items []int) {
+	for range items {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}
+}
+
+func goodSendAfterUnlock(ch chan int) {
+	mu.Lock()
+	v := n
+	mu.Unlock()
+	ch <- v
+}

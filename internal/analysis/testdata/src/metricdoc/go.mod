@@ -1,0 +1,3 @@
+module metricdocfixture
+
+go 1.22

@@ -1,0 +1,28 @@
+// Fixture for the metricdoc analyzer. The sibling go.mod makes the
+// module-root walk stop here, so the analyzer reads the fixture's own
+// scripts/metrics.golden instead of the repository's. Positives: a
+// literal name and a dynamic pattern with no pinned family. Negatives:
+// pinned literals, a dynamic name that matches a pinned family, and a
+// pure-variable name (no checkable information).
+package metricdoc
+
+import (
+	"fmt"
+
+	"obs"
+)
+
+func register(r *obs.Registry, endpoint, custom string) {
+	r.Counter("svc.requests")
+	r.Gauge("svc.queue_depth")
+	r.Histogram("svc.latency_ms", nil)
+
+	r.Counter("svc.unpinned_total") // want `not pinned in scripts/metrics.golden`
+
+	r.Counter("svc." + endpoint + ".errors")
+	r.Gauge(fmt.Sprintf("svc.%s.depth", endpoint))
+
+	r.Counter("svc." + endpoint + ".nothing_like_this") // want `no family in scripts/metrics.golden matches`
+
+	r.Counter(custom) // pure variable: skipped
+}

@@ -18,3 +18,25 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	_ = name
 	return ctx, &Span{open: true}
 }
+
+// Registry mirrors the metric surface of the real bfast/internal/obs
+// registry for the metricdoc fixtures: the analyzer matches
+// Counter/Gauge/Histogram methods on a type from a package named obs.
+type Registry struct{}
+
+type Counter struct{}
+
+func (c *Counter) Add(d int64)  {}
+func (c *Counter) Value() int64 { return 0 }
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v int64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+func (r *Registry) Counter(name string) *Counter                  { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge                      { return &Gauge{} }
+func (r *Registry) Histogram(name string, b []float64) *Histogram { return &Histogram{} }

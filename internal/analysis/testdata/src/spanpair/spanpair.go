@@ -66,3 +66,65 @@ func goodEndBeforeReturn(ctx context.Context, err error) error {
 	sp.End()
 	return nil
 }
+
+// The CFG rebuild closes the old forward-scan false negative: a break,
+// labeled break, or continue that jumps past the End of a span started
+// inside a loop leaves the span open on the escaping path.
+
+func leakBreak(ctx context.Context, items []int) {
+	for _, it := range items {
+		_, sp := obs.StartSpan(ctx, "iter") // want `may leak`
+		if it < 0 {
+			break // escapes the loop with the span open
+		}
+		sp.End()
+	}
+}
+
+func leakLabeledBreak(ctx context.Context, rows [][]int) {
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			_, sp := obs.StartSpan(ctx, "cell") // want `may leak`
+			if v < 0 {
+				break outer
+			}
+			sp.End()
+		}
+	}
+}
+
+func leakContinue(ctx context.Context, items []int) {
+	for _, it := range items {
+		_, sp := obs.StartSpan(ctx, "iter") // want `span from obs\.StartSpan`
+		if it < 0 {
+			continue // next iteration re-creates sp; this span is gone
+		}
+		sp.End()
+	}
+}
+
+func goodLoopEnd(ctx context.Context, items []int) {
+	for range items {
+		_, sp := obs.StartSpan(ctx, "iter")
+		work()
+		sp.End()
+	}
+}
+
+func goodBreakAfterEnd(ctx context.Context, items []int) {
+	for _, it := range items {
+		_, sp := obs.StartSpan(ctx, "iter")
+		work()
+		sp.End()
+		if it < 0 {
+			break
+		}
+	}
+}
+
+func goodDeferredClosureEnd(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "wrapped")
+	defer func() { sp.End() }()
+	work()
+}

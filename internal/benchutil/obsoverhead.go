@@ -83,6 +83,7 @@ func ObsOverhead(ctx context.Context, cfg Config) ([]ObsOverheadRow, error) {
 		return nil, err
 	}
 	defer tail.Close()
+	//lint:allow metricdoc -- bench-local registry, never mounted on /metrics, so the family is deliberately outside the pinned golden surface
 	latency := reg.Histogram("bench.latency_ms", nil)
 
 	fmt.Fprintf(cfg.Out, "OBS OVERHEAD — DetectBatch with tracing off / on / on+diagnostics (50%% NaN clouds, M=%d N=%d, guard: <5%%)\n", spec.M, spec.N)

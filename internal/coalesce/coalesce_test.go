@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bfast/internal/core"
+	"bfast/internal/leakcheck"
 	"bfast/internal/obs"
 )
 
@@ -100,6 +101,7 @@ func sameResults(a, b []core.Result) bool {
 // TestSizeFlush: four 1-pixel callers with a 4-pixel threshold merge
 // into exactly one flush, and every caller gets its own slice back.
 func TestSizeFlush(t *testing.T) {
+	leakcheck.Check(t)
 	rec := &recordingDetect{}
 	b := New(Config{
 		BatchPixels: 4, MaxWait: 5 * time.Second, DisableIdleFlush: true,
@@ -144,6 +146,7 @@ func TestSizeFlush(t *testing.T) {
 // TestDeadlineFlush: a queue below the size threshold flushes when
 // MaxWait elapses, not before.
 func TestDeadlineFlush(t *testing.T) {
+	leakcheck.Check(t)
 	rec := &recordingDetect{}
 	b := New(Config{
 		BatchPixels: 1000, MaxWait: 40 * time.Millisecond, DisableIdleFlush: true,
@@ -183,6 +186,7 @@ func TestDeadlineFlush(t *testing.T) {
 // other caller in flight the queue flushes immediately, so off-peak
 // coalescing adds no latency.
 func TestIdleFlush(t *testing.T) {
+	leakcheck.Check(t)
 	b := New(Config{
 		BatchPixels: 1000, MaxWait: 10 * time.Second,
 		Metrics: obs.NewRegistry(),
@@ -209,6 +213,7 @@ func TestIdleFlush(t *testing.T) {
 // TestMixedOptionsIsolation: two different option sets never share a
 // merged batch, while equivalent encodings of the same options do.
 func TestMixedOptionsIsolation(t *testing.T) {
+	leakcheck.Check(t)
 	rec := &recordingDetect{}
 	b := New(Config{
 		BatchPixels: 2, MaxWait: 5 * time.Second, DisableIdleFlush: true,
@@ -283,6 +288,7 @@ func TestMixedOptionsIsolation(t *testing.T) {
 // TestCancelMidQueue: a caller that cancels while queued gets its own
 // ctx error immediately; the other riders of the flush are unaffected.
 func TestCancelMidQueue(t *testing.T) {
+	leakcheck.Check(t)
 	b := New(Config{
 		BatchPixels: 100, MaxWait: 60 * time.Millisecond, DisableIdleFlush: true,
 		Metrics: obs.NewRegistry(),
@@ -332,6 +338,7 @@ func TestCancelMidQueue(t *testing.T) {
 // TestErrorFanOut: a merged batch error is propagated verbatim to every
 // waiter of the flush.
 func TestErrorFanOut(t *testing.T) {
+	leakcheck.Check(t)
 	sentinel := errors.New("merged batch failed")
 	b := New(Config{
 		BatchPixels: 2, MaxWait: 5 * time.Second, DisableIdleFlush: true,
@@ -363,6 +370,7 @@ func TestErrorFanOut(t *testing.T) {
 // live while any rider remains and is cancelled when the last one
 // leaves.
 func TestAllCallersCancelledCancelsMergedRun(t *testing.T) {
+	leakcheck.Check(t)
 	detectCancelled := make(chan struct{})
 	b := New(Config{
 		BatchPixels: 2, MaxWait: 5 * time.Second, DisableIdleFlush: true,
@@ -408,6 +416,7 @@ func TestAllCallersCancelledCancelsMergedRun(t *testing.T) {
 // "close"), and callers arriving afterwards run direct instead of
 // queueing forever.
 func TestCloseFlushesPending(t *testing.T) {
+	leakcheck.Check(t)
 	b := New(Config{
 		BatchPixels: 100, MaxWait: time.Hour, DisableIdleFlush: true,
 		Metrics: obs.NewRegistry(),
@@ -447,6 +456,7 @@ func TestCloseFlushesPending(t *testing.T) {
 // TestLargeRequestBypasses: a request already at the flush threshold
 // skips the queue.
 func TestLargeRequestBypasses(t *testing.T) {
+	leakcheck.Check(t)
 	rec := &recordingDetect{}
 	b := New(Config{
 		BatchPixels: 2, MaxWait: time.Second,
@@ -471,6 +481,7 @@ func TestLargeRequestBypasses(t *testing.T) {
 // sets, with a fraction cancelling mid-flight; every completed caller
 // must get results bit-identical to its own per-request run.
 func TestStressConcurrentSmallCallers(t *testing.T) {
+	leakcheck.Check(t)
 	b := New(Config{
 		BatchPixels: 16, MaxWait: time.Millisecond,
 		Metrics: obs.NewRegistry(), Traces: obs.NewTraceRing(8),

@@ -1,0 +1,142 @@
+// Package leakcheck is the runtime half of the golifecycle contract:
+// the analyzer proves statically that every goroutine has a lifecycle
+// tie, and this harness verifies dynamically that test suites actually
+// wind their goroutines down. Check snapshots the live goroutines at
+// the start of a test and diffs against them at cleanup — any goroutine
+// born during the test that is still alive after its shutdown paths ran
+// is reported with its stack.
+//
+// The diff is by goroutine ID against the baseline, so long-lived
+// process goroutines (the runtime's own workers, other packages'
+// singletons started before the test) never false-positive. On top of
+// the baseline, stacks matching known lazily-reaped runtime machinery —
+// testing harness goroutines, os/signal watchers, net/http keep-alive
+// connection loops from httptest clients, DNS resolver workers — are
+// filtered, because their teardown is asynchronous by design and
+// outside the code under test. Everything else must exit within the
+// grace window (goroutine teardown races the test's own cleanup, so the
+// check polls instead of sampling once).
+//
+// Usage, first line of a test or suite helper:
+//
+//	func TestServer(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the slice of testing.TB the harness needs; the indirection
+// keeps the package importable from non-test helpers without pulling
+// testing into production binaries' dependency graphs in a load-bearing
+// way.
+type TB interface {
+	Cleanup(func())
+	Errorf(format string, args ...any)
+	Helper()
+}
+
+// retryWindow bounds how long Cleanup waits for goroutines that are
+// legitimately mid-shutdown when the test body returns. A variable so
+// the package's own tests can shrink the window.
+var retryWindow = 2 * time.Second
+
+// Check records the current goroutines and registers a cleanup that
+// fails the test if new, unfiltered goroutines survive it.
+func Check(t TB) {
+	t.Helper()
+	base := make(map[string]bool)
+	for _, g := range snapshot() {
+		base[g.id] = true
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(retryWindow)
+		var leaked []goroutine
+		for {
+			leaked = leaked[:0]
+			for _, g := range snapshot() {
+				if !base[g.id] && !ignored(g) {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine %s [%s]:\n%s", g.id, g.state, g.stack)
+		}
+	})
+}
+
+// goroutine is one parsed stanza of runtime.Stack output.
+type goroutine struct {
+	id    string
+	state string
+	stack string
+}
+
+// snapshot parses `runtime.Stack(all=true)` into per-goroutine stanzas.
+func snapshot() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		header, rest, _ := strings.Cut(stanza, "\n")
+		var id int
+		var state string
+		if _, err := fmt.Sscanf(header, "goroutine %d [%s", &id, &state); err != nil {
+			continue
+		}
+		out = append(out, goroutine{
+			id:    fmt.Sprintf("%d", id),
+			state: strings.TrimRight(state, ":]"),
+			stack: rest,
+		})
+	}
+	return out
+}
+
+// ignoredFrames are stack substrings of goroutines whose lazy teardown
+// is owned by the runtime or stdlib, not by the code under test.
+var ignoredFrames = []string{
+	"testing.RunTests",
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.tRunner",
+	"runtime.goexit0",
+	"runtime.gcBgMarkWorker",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.runfinq",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+	"net.(*Resolver)",
+	"internal/singleflight.(*Group)",
+}
+
+func ignored(g goroutine) bool {
+	for _, f := range ignoredFrames {
+		if strings.Contains(g.stack, f) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package leakcheck
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB captures Errorf calls and runs cleanups on demand, standing in
+// for *testing.T so the harness's verdicts can be asserted.
+type fakeTB struct {
+	cleanups []func()
+	errors   []string
+}
+
+func (f *fakeTB) Cleanup(fn func())                 { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Errorf(format string, args ...any) { f.errors = append(f.errors, format) }
+func (f *fakeTB) Helper()                           {}
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func shortWindow(t *testing.T) {
+	t.Helper()
+	old := retryWindow
+	retryWindow = 200 * time.Millisecond
+	t.Cleanup(func() { retryWindow = old })
+}
+
+func TestDetectsLeakedGoroutine(t *testing.T) {
+	shortWindow(t)
+	ft := &fakeTB{}
+	Check(ft)
+	block := make(chan struct{})
+	go func() { <-block }()
+	ft.runCleanups()
+	close(block)
+	if len(ft.errors) == 0 {
+		t.Fatal("leaked goroutine not reported")
+	}
+}
+
+func TestCleanShutdownPasses(t *testing.T) {
+	ft := &fakeTB{}
+	Check(ft)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	ft.runCleanups()
+	if len(ft.errors) != 0 {
+		t.Fatalf("clean goroutine reported as leak: %v", ft.errors)
+	}
+}
+
+func TestBaselineGoroutineIgnored(t *testing.T) {
+	block := make(chan struct{})
+	go func() { <-block }() // born before Check: baseline, not a leak
+	defer close(block)
+	ft := &fakeTB{}
+	Check(ft)
+	ft.runCleanups()
+	if len(ft.errors) != 0 {
+		t.Fatalf("pre-existing goroutine reported as leak: %v", ft.errors)
+	}
+}
+
+// TestHTTPKeepAliveFiltered pins the filter that makes the harness
+// usable in the server suite: an httptest client's idle keep-alive
+// connection leaves persistConn read/write loops behind, and those
+// must not fail the test.
+func TestHTTPKeepAliveFiltered(t *testing.T) {
+	ft := &fakeTB{}
+	Check(ft)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.Close()
+	ft.runCleanups()
+	for _, e := range ft.errors {
+		if strings.Contains(e, "persistConn") {
+			t.Fatalf("keep-alive goroutine not filtered: %v", ft.errors)
+		}
+	}
+	if len(ft.errors) != 0 {
+		t.Fatalf("unexpected leaks: %v", ft.errors)
+	}
+}
+
+func TestSnapshotParsesStanzas(t *testing.T) {
+	gs := snapshot()
+	if len(gs) == 0 {
+		t.Fatal("snapshot saw no goroutines")
+	}
+	for _, g := range gs {
+		if g.id == "" || g.state == "" {
+			t.Fatalf("malformed stanza: %+v", g)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"bfast/internal/core"
+	"bfast/internal/leakcheck"
 	"bfast/internal/obs"
 	"bfast/internal/state"
 	"bfast/internal/workload"
@@ -121,6 +122,7 @@ func fitScene(t *testing.T, mg *Manager, ds *workload.Dataset, opt core.Options)
 // must reproduce the full offline refit bit-for-bit — at a mid-stream
 // checkpoint and at the end of the series.
 func TestObserveBitIdenticalToOfflineRefit(t *testing.T) {
+	leakcheck.Check(t)
 	ds, opt := testScene(t)
 	n, N := ds.Spec.History, ds.Spec.N
 	mg := NewManager(Config{Metrics: obs.NewRegistry()})
@@ -157,6 +159,7 @@ func TestObserveBitIdenticalToOfflineRefit(t *testing.T) {
 // keep observing — the final verdicts must still equal the single
 // uninterrupted offline run bit-for-bit.
 func TestRestartFromSnapshotBitIdentical(t *testing.T) {
+	leakcheck.Check(t)
 	ds, opt := testScene(t)
 	n, N := ds.Spec.History, ds.Spec.N
 	dir := filepath.Join(t.TempDir(), "snaps")
@@ -205,6 +208,7 @@ func TestRestartFromSnapshotBitIdentical(t *testing.T) {
 // TestFitCacheReuse: refitting an identical scene must hit the fit
 // cache for every pixel and behave identically afterwards.
 func TestFitCacheReuse(t *testing.T) {
+	leakcheck.Check(t)
 	ds, opt := testScene(t)
 	n := ds.Spec.History
 	mg := NewManager(Config{Metrics: obs.NewRegistry()})
@@ -240,6 +244,7 @@ func TestFitCacheReuse(t *testing.T) {
 
 // TestObserveErrors: the error contract the server maps to API codes.
 func TestObserveErrors(t *testing.T) {
+	leakcheck.Check(t)
 	ds, opt := testScene(t)
 	n, N, M := ds.Spec.History, ds.Spec.N, ds.Spec.M
 	mg := NewManager(Config{Metrics: obs.NewRegistry()})
@@ -298,6 +303,7 @@ func (c *countingStore) count() int {
 // TestSnapshotCadence: SnapshotEvery batches persistence — the fit
 // always persists, then one save per k observes, plus Close.
 func TestSnapshotCadence(t *testing.T) {
+	leakcheck.Check(t)
 	ds, opt := testScene(t)
 	n := ds.Spec.History
 	cs := &countingStore{Store: state.NewMemStore()}

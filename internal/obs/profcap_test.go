@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"bfast/internal/leakcheck"
 )
 
 // newTestCapture builds a 1-second-CPU watcher over a throwaway dir.
@@ -32,6 +34,7 @@ func newTestCapture(t *testing.T, cfg ProfConfig) (*ProfCapture, *Registry) {
 // the MinGap rate limit suppresses further captures even though the
 // breach persists.
 func TestProfCaptureSustainAndRateLimit(t *testing.T) {
+	leakcheck.Check(t)
 	p, reg := newTestCapture(t, ProfConfig{
 		Rules:   []WatchRule{{Gauge: "test.burn", Min: 50}},
 		Sustain: 2,
@@ -88,6 +91,7 @@ func TestProfCaptureSustainAndRateLimit(t *testing.T) {
 // TestProfCaptureRetention: pruneKind deletes the oldest profiles past
 // MaxKept; LatestProfiles returns the newest of each kind.
 func TestProfCaptureRetention(t *testing.T) {
+	leakcheck.Check(t)
 	p, _ := newTestCapture(t, ProfConfig{MaxKept: 2})
 	dir := p.ProfilesDir()
 	for i := 0; i < 5; i++ {
@@ -124,6 +128,7 @@ func TestProfCaptureRetention(t *testing.T) {
 
 // TestProfCaptureRequiresDir: construction without a directory fails.
 func TestProfCaptureRequiresDir(t *testing.T) {
+	leakcheck.Check(t)
 	if _, err := NewProfCapture(ProfConfig{Registry: NewRegistry(), Metrics: NewRegistry()}); err == nil {
 		t.Fatal("NewProfCapture without Dir should error")
 	}
@@ -131,6 +136,7 @@ func TestProfCaptureRequiresDir(t *testing.T) {
 
 // TestProfCaptureNilSafety: a nil watcher is inert.
 func TestProfCaptureNilSafety(t *testing.T) {
+	leakcheck.Check(t)
 	var p *ProfCapture
 	if p.Check() {
 		t.Fatal("nil Check captured")

@@ -22,8 +22,11 @@ func SampleRuntime(r *Registry) {
 	r.Gauge("runtime.heap.sys_bytes").Set(int64(ms.Sys))
 	r.Gauge("runtime.gc.count").Set(int64(ms.NumGC))
 	r.Gauge("runtime.gc.pause_total_ns").Set(int64(ms.PauseTotalNs))
+	// Registered unconditionally so the family is part of the pinned
+	// /metrics surface from boot; the value stays 0 until the first GC.
+	lastPause := r.Gauge("runtime.gc.last_pause_ns")
 	if ms.NumGC > 0 {
-		r.Gauge("runtime.gc.last_pause_ns").Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+		lastPause.Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
 	}
 }
 

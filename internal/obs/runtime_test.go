@@ -3,9 +3,12 @@ package obs
 import (
 	"testing"
 	"time"
+
+	"bfast/internal/leakcheck"
 )
 
 func TestSampleRuntime(t *testing.T) {
+	leakcheck.Check(t)
 	r := NewRegistry()
 	SampleRuntime(r)
 	snap := r.Snapshot()
@@ -26,6 +29,7 @@ func TestSampleRuntime(t *testing.T) {
 }
 
 func TestStartRuntimeSampler(t *testing.T) {
+	leakcheck.Check(t)
 	r := NewRegistry()
 	stop := StartRuntimeSampler(r, time.Millisecond)
 	deadline := time.Now().Add(2 * time.Second)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"bfast/internal/leakcheck"
 )
 
 // TestSLOMonitorBurnMath drives one deterministic breach through the
@@ -12,6 +14,7 @@ import (
 // 1% budget at 10x — gauge value 10000 milli on both windows (at two
 // samples the 5m and 1h windows are both "since baseline").
 func TestSLOMonitorBurnMath(t *testing.T) {
+	leakcheck.Check(t)
 	reg := NewRegistry()
 	hist := reg.Histogram("server.batch.latency_ms", nil)
 	m := NewSLOMonitor(reg, []Objective{{Endpoint: "batch", LatencyMs: 500, Target: 0.99}}, 0)
@@ -42,6 +45,7 @@ func TestSLOMonitorBurnMath(t *testing.T) {
 // TestSLOMonitorAllGoodReadsZero: traffic entirely within the objective
 // keeps the burn gauges at zero.
 func TestSLOMonitorAllGoodReadsZero(t *testing.T) {
+	leakcheck.Check(t)
 	reg := NewRegistry()
 	hist := reg.Histogram("server.detect.latency_ms", nil)
 	m := NewSLOMonitor(reg, []Objective{{Endpoint: "detect", LatencyMs: 500, Target: 0.99}}, 0)
@@ -59,6 +63,7 @@ func TestSLOMonitorAllGoodReadsZero(t *testing.T) {
 // outside (0,1) are dropped at construction instead of publishing
 // nonsense gauges.
 func TestSLOMonitorSkipsInvalidObjectives(t *testing.T) {
+	leakcheck.Check(t)
 	m := NewSLOMonitor(NewRegistry(), []Objective{
 		{Endpoint: "", LatencyMs: 500, Target: 0.99},
 		{Endpoint: "batch", LatencyMs: 500, Target: 0},
@@ -75,6 +80,7 @@ func TestSLOMonitorSkipsInvalidObjectives(t *testing.T) {
 // TestSLOMonitorSamplerHook: AddSampler functions run on every tick —
 // the shared clock the NRT age and coalescer queue gauges ride on.
 func TestSLOMonitorSamplerHook(t *testing.T) {
+	leakcheck.Check(t)
 	m := NewSLOMonitor(NewRegistry(), nil, 0)
 	calls := 0
 	m.AddSampler(func() { calls++ })
@@ -88,6 +94,7 @@ func TestSLOMonitorSamplerHook(t *testing.T) {
 
 // TestSLOMonitorNilSafety: a nil monitor is inert.
 func TestSLOMonitorNilSafety(t *testing.T) {
+	leakcheck.Check(t)
 	var m *SLOMonitor
 	m.Sample()
 	m.AddSampler(func() {})
@@ -101,6 +108,7 @@ func TestSLOMonitorNilSafety(t *testing.T) {
 // empty ID degrades to a plain Observe, and later observations in the
 // same bucket replace the exemplar.
 func TestObserveExemplar(t *testing.T) {
+	leakcheck.Check(t)
 	h := NewHistogram(nil) // DefaultBuckets: 1,4,16,64,...
 	h.ObserveExemplar(10, "req-a")
 	ex := h.Exemplars()
@@ -124,6 +132,7 @@ func TestObserveExemplar(t *testing.T) {
 // expositions — OpenMetrics `# {trace_id=...}` bucket suffixes in the
 // Prometheus text and an "exemplars" object in the JSON snapshot.
 func TestExemplarExpositions(t *testing.T) {
+	leakcheck.Check(t)
 	reg := NewRegistry()
 	reg.Histogram("server.batch.latency_ms", nil).ObserveExemplar(10, "req-xyz")
 

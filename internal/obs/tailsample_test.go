@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"bfast/internal/leakcheck"
 )
 
 // newTestSampler builds a sampler over a throwaway dir and registry.
@@ -29,6 +31,7 @@ func newTestSampler(t *testing.T, cfg TailConfig) (*TailSampler, *Registry) {
 // precedence: error beats slow beats head, and a trace matching none is
 // dropped.
 func TestTailSamplerScore(t *testing.T) {
+	leakcheck.Check(t)
 	s, _ := newTestSampler(t, TailConfig{SlowThreshold: 100 * time.Millisecond, HeadEvery: 3})
 	cases := []struct {
 		tr   Trace
@@ -61,6 +64,7 @@ func TestTailSamplerScore(t *testing.T) {
 // TestTailSamplerPersistAndReadBack: survivors round-trip through the
 // JSONL log with reason and order intact; non-survivors leave no line.
 func TestTailSamplerPersistAndReadBack(t *testing.T) {
+	leakcheck.Check(t)
 	s, reg := newTestSampler(t, TailConfig{HeadEvery: -1})
 	for i := 0; i < 5; i++ {
 		s.Offer(Trace{RequestID: fmt.Sprintf("r%d", i), Code: 500, Start: time.Unix(int64(100+i), 0)})
@@ -93,6 +97,7 @@ func TestTailSamplerPersistAndReadBack(t *testing.T) {
 
 // TestTailSamplerDefaultLimit: ReadBack(0, ...) caps at 50, newest kept.
 func TestTailSamplerDefaultLimit(t *testing.T) {
+	leakcheck.Check(t)
 	s, _ := newTestSampler(t, TailConfig{HeadEvery: -1})
 	for i := 0; i < 60; i++ {
 		s.Offer(Trace{RequestID: fmt.Sprintf("r%d", i), Code: 500})
@@ -110,6 +115,7 @@ func TestTailSamplerDefaultLimit(t *testing.T) {
 // next line would cross MaxFileBytes, retention bounds total segments,
 // and read-back still sees the retained records oldest first.
 func TestTailSamplerRotationAtSizeCap(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	s, reg := newTestSampler(t, TailConfig{Dir: dir, HeadEvery: -1, MaxFileBytes: 256, MaxFiles: 3})
 	const total = 40
@@ -143,6 +149,7 @@ func TestTailSamplerRotationAtSizeCap(t *testing.T) {
 // TestTailSamplerRotationSeqResumes: a restarted sampler continues the
 // rotation numbering instead of overwriting old segments.
 func TestTailSamplerRotationSeqResumes(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	cfg := TailConfig{Dir: dir, HeadEvery: -1, MaxFileBytes: 128, MaxFiles: 10, Metrics: NewRegistry()}
 	for round := 0; round < 2; round++ {
@@ -172,6 +179,7 @@ func TestTailSamplerRotationSeqResumes(t *testing.T) {
 // TestTailSamplerCorruptLinesSkipped: torn or hand-mangled lines are
 // skipped and counted on read-back; intact records still come through.
 func TestTailSamplerCorruptLinesSkipped(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	s, reg := newTestSampler(t, TailConfig{Dir: dir, HeadEvery: -1})
 	s.Offer(Trace{RequestID: "good-1", Code: 500})
@@ -204,6 +212,7 @@ func TestTailSamplerCorruptLinesSkipped(t *testing.T) {
 // must hold every survivor, parseable, with nothing corrupt. Run under
 // -race this is the diagnostics pipeline's data-race guard.
 func TestTraceRingAndTailConcurrent(t *testing.T) {
+	leakcheck.Check(t)
 	const workers, perWorker, depth = 8, 200, 8
 	ring := NewTraceRing(depth)
 	s, reg := newTestSampler(t, TailConfig{HeadEvery: -1})
@@ -239,6 +248,7 @@ func TestTraceRingAndTailConcurrent(t *testing.T) {
 // TestTailSamplerNilSafety: a nil sampler is a full no-op, mirroring
 // the nil TraceRing contract.
 func TestTailSamplerNilSafety(t *testing.T) {
+	leakcheck.Check(t)
 	var s *TailSampler
 	s.Offer(Trace{Code: 500})
 	if got := s.ReadBack(10, time.Time{}); got != nil {
@@ -258,6 +268,7 @@ func TestTailSamplerNilSafety(t *testing.T) {
 // TestTailSamplerRequiresDir: construction without a directory is a
 // configuration error.
 func TestTailSamplerRequiresDir(t *testing.T) {
+	leakcheck.Check(t)
 	if _, err := NewTailSampler(TailConfig{Metrics: NewRegistry()}); err == nil {
 		t.Fatal("NewTailSampler without Dir should error")
 	}

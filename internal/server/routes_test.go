@@ -1,20 +1,35 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"bfast/internal/leakcheck"
 )
 
 // mustServer builds a server or fails the test — the constructor only
-// errors on misconfiguration, which no test below intends.
+// errors on misconfiguration, which no test below intends. Every
+// server carries background goroutines (SLO monitor, runtime sampler,
+// batcher, diagnostics), so the helper registers a graceful Shutdown
+// cleanup plus a leakcheck: any goroutine the shutdown paths fail to
+// reap fails the test. Cleanups run LIFO, so the leak snapshot taken
+// here is compared after Shutdown completes; explicit Shutdown calls
+// inside tests are fine — every stop path is idempotent.
 func mustServer(t testing.TB, cfg Config) *Server {
 	t.Helper()
+	leakcheck.Check(t)
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("cleanup shutdown: %v", err)
+		}
+	})
 	return s
 }
 
